@@ -1,0 +1,41 @@
+(* Experiment harness driver.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment, full size
+     dune exec bench/main.exe -- --quick      # reduced instance counts
+     dune exec bench/main.exe -- --only E7    # one experiment
+     dune exec bench/main.exe -- --no-micro   # skip the Bechamel benches
+
+   Every experiment is seeded and deterministic; EXPERIMENTS.md records
+   the expected qualitative outcome of each table. *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_micro = List.mem "--no-micro" args in
+  let only =
+    let rec find = function
+      | "--only" :: v :: _ -> Some (String.uppercase_ascii v)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  print_endline "Data Management in Hierarchical Bus Networks (SPAA 2000)";
+  print_endline "Experiment harness - see EXPERIMENTS.md for the index.";
+  if quick then print_endline "(quick mode: reduced instance counts)";
+  let experiments = Experiments.all ~quick in
+  let selected =
+    match only with
+    | None -> experiments
+    | Some id -> List.filter (fun (eid, _) -> eid = id) experiments
+  in
+  (match (selected, only) with
+  | [], Some id when id <> "MICRO" ->
+    Printf.eprintf "unknown experiment %s (expected E1..E17 or micro)\n" id;
+    exit 1
+  | _ -> ());
+  List.iter (fun (_, f) -> f ()) selected;
+  let micro_selected = only = Some "MICRO" in
+  if micro_selected || ((not no_micro) && only = None) then Micro.run ();
+  print_endline "\nAll requested experiments completed."

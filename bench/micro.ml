@@ -1,0 +1,66 @@
+(* Bechamel microbenchmarks (B1-B4): per-phase cost of the strategy on a
+   fixed mid-size instance. Results print as ns/run estimated by OLS. *)
+
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Prng = Hbn_prng.Prng
+module Workload = Hbn_workload.Workload
+module Generators = Hbn_workload.Generators
+module Placement = Hbn_placement.Placement
+module Nibble = Hbn_nibble.Nibble
+module Strategy = Hbn_core.Strategy
+module Sim = Hbn_sim.Sim
+module Table = Hbn_util.Table
+
+open Bechamel
+open Toolkit
+
+let instance () =
+  let prng = Prng.create 4242 in
+  let tree = Builders.balanced ~arity:3 ~height:3 ~profile:(Builders.Uniform 2) in
+  let w = Generators.uniform ~prng tree ~objects:16 ~max_rate:8 in
+  w
+
+let tests =
+  let w = instance () in
+  let placement = (Strategy.run w).Strategy.placement in
+  Test.make_grouped ~name:"hbn"
+    [
+      Test.make ~name:"B1 nibble placement"
+        (Staged.stage (fun () -> ignore (Nibble.placement w)));
+      Test.make ~name:"B2 full strategy"
+        (Staged.stage (fun () -> ignore (Strategy.run w)));
+      Test.make ~name:"B3 congestion evaluation"
+        (Staged.stage (fun () -> ignore (Placement.evaluate w placement)));
+      Test.make ~name:"B4 packet simulation (scale 8)"
+        (Staged.stage (fun () -> ignore (Sim.run ~scale:8 w placement)));
+    ]
+
+let run () =
+  print_endline "\n=== B1-B4: Bechamel microbenchmarks ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let quota = Time.second 1.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Table.create [ "benchmark"; "ns/run"; "r^2" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Table.fmt_float e
+        | Some es ->
+          String.concat "," (List.map (Table.fmt_float ~digits:1) es)
+        | None -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Table.fmt_float r
+        | None -> "-"
+      in
+      Table.add_row table [ name; est; r2 ])
+    (List.sort compare rows);
+  Table.print table

@@ -1,0 +1,97 @@
+(* Scale check: the strategy and its certificates on large networks.
+
+   Run with:  dune exec bench/stress.exe
+   Not part of `dune runtest` (takes seconds, not milliseconds); used to
+   confirm the implementation is practical far beyond the unit-test sizes
+   and that every certificate still holds there. *)
+
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Prng = Hbn_prng.Prng
+module Workload = Hbn_workload.Workload
+module Generators = Hbn_workload.Generators
+module Placement = Hbn_placement.Placement
+module Strategy = Hbn_core.Strategy
+module Certificates = Hbn_core.Certificates
+module Lower_bounds = Hbn_exact.Lower_bounds
+module Sim = Hbn_sim.Sim
+module Dist_nibble = Hbn_dist.Dist_nibble
+module Nibble = Hbn_nibble.Nibble
+module Table = Hbn_util.Table
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let prng = Prng.create 987654 in
+  let cases =
+    [
+      ("ternary-h6", Builders.balanced ~arity:3 ~height:6 ~profile:(Builders.Uniform 4), 64);
+      ("caterpillar-200x3", Builders.caterpillar ~spine:200 ~leaves_per_bus:3 ~profile:(Builders.Uniform 2), 64);
+      ("random-1200", Builders.random ~prng ~buses:400 ~leaves:800 ~profile:(Builders.Scaled_by_subtree 1), 128);
+      ("star-1000", Builders.star ~leaves:1000 ~profile:(Builders.Uniform 16), 256);
+      ( "rings-deep",
+        (let rec ring depth =
+           {
+             Builders.ring_bandwidth = 4 + depth;
+             members =
+               List.init 3 (fun _ -> Builders.Ring_processor)
+               @ (if depth = 0 then []
+                  else List.init 2 (fun _ -> Builders.Sub_ring (2, ring (depth - 1))));
+           }
+         in
+         Builders.of_ring (ring 6)),
+        128 );
+    ]
+  in
+  let t =
+    Table.create
+      [ "topology"; "|V|"; "h"; "deg"; "|X|"; "requests"; "run (ms)";
+        "certs (ms)"; "C/LB"; "certs" ]
+  in
+  List.iter
+    (fun (name, tree, objects) ->
+      let w =
+        Generators.zipf_popularity ~prng tree ~objects ~requests_per_leaf:24
+          ~exponent:1.1 ~write_fraction:0.25
+      in
+      let res, run_s = time (fun () -> Strategy.run w) in
+      let cert, cert_s = time (fun () -> Certificates.check_all w res) in
+      let c = Placement.congestion w res.Strategy.placement in
+      let lb = Lower_bounds.combined w in
+      Table.add_row t
+        [
+          name;
+          string_of_int (Tree.n tree);
+          string_of_int (Tree.height tree);
+          string_of_int (Tree.max_degree tree);
+          string_of_int objects;
+          string_of_int (Workload.total_requests w);
+          Table.fmt_float ~digits:1 (run_s *. 1000.);
+          Table.fmt_float ~digits:1 (cert_s *. 1000.);
+          Table.fmt_ratio c lb;
+          (match cert with Ok () -> "ok" | Error m -> "FAIL: " ^ m);
+        ])
+    cases;
+  Table.print t;
+  (* The distributed protocol at scale, checked against the sequential
+     placement. *)
+  let tree = Builders.balanced ~arity:2 ~height:8 ~profile:(Builders.Uniform 2) in
+  let w = Generators.uniform ~prng tree ~objects:32 ~max_rate:5 in
+  let (sets, stats), secs = time (fun () -> Dist_nibble.run w) in
+  let seq = Nibble.place_all w in
+  Array.iteri (fun obj nodes -> assert (nodes = seq.(obj).Nibble.nodes)) sets;
+  Printf.printf
+    "\ndistributed nibble on %d nodes, %d objects: %d rounds, %d messages, \
+     %.1f ms (== sequential placement)\n"
+    (Tree.n tree) 32 stats.Hbn_dist.Runtime.rounds
+    stats.Hbn_dist.Runtime.messages (secs *. 1000.);
+  (* A large simulation. *)
+  let res = Strategy.run w in
+  let out, secs = time (fun () -> Sim.run ~scale:2 w res.Strategy.placement) in
+  Printf.printf
+    "packet sim: %d packets, %d transmissions, makespan %d, %.1f ms\n"
+    out.Sim.packets out.Sim.transmissions out.Sim.makespan (secs *. 1000.);
+  print_endline "stress: all certificates held at scale."

@@ -1,0 +1,416 @@
+(* Command-line interface to the library.
+
+   hbn_cli topology  --kind balanced --arity 3 --height 3 --dot
+   hbn_cli place     --kind random --buses 8 --leaves 16 --workload zipf
+   hbn_cli compare   --kind caterpillar --spine 8 --workload hotspot
+   hbn_cli gadget    3 1 1 2 3 2
+   hbn_cli simulate  --kind star --leaves 12 --workload uniform *)
+
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Prng = Hbn_prng.Prng
+module Workload = Hbn_workload.Workload
+module Generators = Hbn_workload.Generators
+module Partition = Hbn_workload.Partition
+module Placement = Hbn_placement.Placement
+module Strategy = Hbn_core.Strategy
+module Certificates = Hbn_core.Certificates
+module Baselines = Hbn_baselines.Baselines
+module Lower_bounds = Hbn_exact.Lower_bounds
+module Gadget_opt = Hbn_exact.Gadget_opt
+module Sim = Hbn_sim.Sim
+module Dist = Hbn_dist.Dist
+module Table = Hbn_util.Table
+
+open Cmdliner
+
+(* -- shared options ----------------------------------------------------- *)
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed (deterministic).")
+
+let kind =
+  Arg.(
+    value
+    & opt (enum [ ("star", `Star); ("balanced", `Balanced);
+                  ("caterpillar", `Caterpillar); ("random", `Random);
+                  ("rings", `Rings) ])
+        `Balanced
+    & info [ "kind" ] ~doc:"Topology family: star|balanced|caterpillar|random|rings.")
+
+let leaves = Arg.(value & opt int 12 & info [ "leaves" ] ~doc:"Processor count.")
+let arity = Arg.(value & opt int 3 & info [ "arity" ] ~doc:"Balanced-tree arity.")
+let height = Arg.(value & opt int 3 & info [ "height" ] ~doc:"Balanced-tree height.")
+let spine = Arg.(value & opt int 6 & info [ "spine" ] ~doc:"Caterpillar spine length.")
+let buses = Arg.(value & opt int 6 & info [ "buses" ] ~doc:"Random-topology bus count.")
+let bandwidth = Arg.(value & opt int 2 & info [ "bandwidth" ] ~doc:"Uniform bus/switch bandwidth.")
+
+let workload_kind =
+  Arg.(
+    value
+    & opt (enum [ ("uniform", `Uniform); ("zipf", `Zipf); ("hotspot", `Hotspot);
+                  ("prodcons", `Prodcons); ("local", `Local) ])
+        `Uniform
+    & info [ "workload" ] ~doc:"Workload family: uniform|zipf|hotspot|prodcons|local.")
+
+let objects = Arg.(value & opt int 10 & info [ "objects" ] ~doc:"Shared object count.")
+
+let build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth =
+  let profile = Builders.Uniform bandwidth in
+  match kind with
+  | `Star -> Builders.star ~leaves ~profile
+  | `Balanced -> Builders.balanced ~arity ~height ~profile
+  | `Caterpillar ->
+    Builders.caterpillar ~spine ~leaves_per_bus:(max 1 (leaves / max 1 spine))
+      ~profile
+  | `Random -> Builders.random ~prng ~buses ~leaves ~profile
+  | `Rings ->
+    Builders.of_ring
+      (Builders.sample_ring_of_rings ~prng ~depth:height ~fanout:2
+         ~procs_per_ring:3)
+
+let build_workload kind ~prng tree ~objects =
+  match kind with
+  | `Uniform -> Generators.uniform ~prng tree ~objects ~max_rate:8
+  | `Zipf ->
+    Generators.zipf_popularity ~prng tree ~objects ~requests_per_leaf:24
+      ~exponent:1.1 ~write_fraction:0.3
+  | `Hotspot ->
+    Generators.hotspot ~prng tree ~objects ~writers_per_object:2 ~write_rate:8
+      ~read_rate:6
+  | `Prodcons ->
+    Generators.producer_consumer ~prng tree ~objects ~consumers:4 ~rate:6
+  | `Local ->
+    Generators.local_with_background ~prng tree ~objects ~local_rate:40
+      ~background_rate:2
+
+(* -- topology ----------------------------------------------------------- *)
+
+let topology_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of a summary.") in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Write the network to FILE.")
+  in
+  let load =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Read the network from FILE instead of generating one.")
+  in
+  let run seed kind leaves arity height spine buses bandwidth dot save load =
+    let prng = Prng.create seed in
+    let t =
+      match load with
+      | None -> build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth
+      | Some path -> (
+        match Hbn_tree.Topology_io.load ~path with
+        | Ok t -> t
+        | Error m ->
+          Printf.eprintf "cannot load %s: %s\n" path m;
+          exit 1)
+    in
+    (match save with
+    | None -> ()
+    | Some path ->
+      Hbn_tree.Topology_io.save t ~path;
+      Printf.printf "saved to %s\n" path);
+    if dot then print_string (Tree.to_dot t)
+    else begin
+      Format.printf "%a@." Tree.pp t;
+      match Tree.validate_paper_assumptions t with
+      | Ok () -> print_endline "paper assumptions: ok (unit processor switches)"
+      | Error m -> Printf.printf "paper assumptions violated: %s\n" m
+    end
+  in
+  Cmd.v (Cmd.info "topology" ~doc:"Generate, load, save and inspect a hierarchical bus network.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ dot $ save $ load)
+
+(* -- place -------------------------------------------------------------- *)
+
+let place_cmd =
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Print per-object copy sets.") in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ]
+          ~doc:"Per-processor copy capacity (post-processes the placement).")
+  in
+  let run seed kind leaves arity height spine buses bandwidth wkind objects verbose capacity =
+    let prng = Prng.create seed in
+    let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
+    let w = build_workload wkind ~prng t ~objects in
+    let res = Strategy.run w in
+    let res =
+      match capacity with
+      | None -> res
+      | Some cap ->
+        (match Hbn_core.Capacitated.apply w ~capacity:(fun _ -> cap)
+                 res.Strategy.placement with
+        | out ->
+          Printf.printf
+            "capacity %d: %d relocations, %d merges applied\n" cap
+            out.Hbn_core.Capacitated.relocations
+            out.Hbn_core.Capacitated.merges;
+          { res with Strategy.placement = out.Hbn_core.Capacitated.placement }
+        | exception Hbn_core.Capacitated.Infeasible msg ->
+          Printf.printf "capacity %d infeasible: %s\n" cap msg;
+          res)
+    in
+    let c = Placement.evaluate w res.Strategy.placement in
+    Printf.printf "network: %d processors, %d buses, height %d\n"
+      (Tree.num_leaves t) (List.length (Tree.buses t)) (Tree.height t);
+    Printf.printf "workload: %d objects, %d requests\n" objects
+      (Workload.total_requests w);
+    Printf.printf "congestion: %.3f  (bottleneck %s)\n" c.Placement.value
+      (match c.Placement.bottleneck with
+      | `Edge e -> Printf.sprintf "edge %d" e
+      | `Bus b -> Printf.sprintf "bus %d" b);
+    Printf.printf "lower bound: %.3f  (certified ratio <= %.3f; proven <= 7)\n"
+      (Lower_bounds.combined w)
+      (if Lower_bounds.combined w > 0. then c.Placement.value /. Lower_bounds.combined w
+       else Float.nan);
+    Printf.printf "deletions: %d, clone splits: %d, tau_max: %d\n"
+      res.Strategy.deletions res.Strategy.splits res.Strategy.tau_max;
+    (if capacity = None then
+       match Certificates.check_all w res with
+       | Ok () -> print_endline "certificates: all hold (Obs 3.2, Lemmas 4.5/4.6)"
+       | Error m -> Printf.printf "CERTIFICATE FAILURE: %s\n" m
+     else
+       print_endline
+         "certificates: skipped (capacity post-processing voids the factor-7 \
+          analysis)");
+    if verbose then
+      Array.iteri
+        (fun obj _ ->
+          Printf.printf "  object %2d -> [%s]\n" obj
+            (String.concat "; "
+               (List.map string_of_int
+                  (Placement.copies res.Strategy.placement ~obj))))
+        res.Strategy.placement
+  in
+  Cmd.v (Cmd.info "place" ~doc:"Run the extended-nibble strategy on a generated instance.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ workload_kind $ objects $ verbose $ capacity)
+
+(* -- workload ----------------------------------------------------------- *)
+
+let workload_cmd =
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Write the workload to FILE.")
+  in
+  let load =
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Read the workload from FILE instead of generating one \
+                   (requires --topology-file for the matching network).")
+  in
+  let topo_file =
+    Arg.(value & opt (some string) None
+         & info [ "topology-file" ] ~docv:"FILE"
+             ~doc:"Load the network from FILE instead of generating it.")
+  in
+  let run seed kind leaves arity height spine buses bandwidth wkind objects
+      save load topo_file =
+    let prng = Prng.create seed in
+    let t =
+      match topo_file with
+      | None ->
+        build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth
+      | Some path -> (
+        match Hbn_tree.Topology_io.load ~path with
+        | Ok t -> t
+        | Error m ->
+          Printf.eprintf "cannot load %s: %s\n" path m;
+          exit 1)
+    in
+    let w =
+      match load with
+      | None -> build_workload wkind ~prng t ~objects
+      | Some path -> (
+        match Hbn_workload.Workload_io.load t ~path with
+        | Ok w -> w
+        | Error m ->
+          Printf.eprintf "cannot load %s: %s\n" path m;
+          exit 1)
+    in
+    (match save with
+    | None -> ()
+    | Some path ->
+      Hbn_workload.Workload_io.save w ~path;
+      Printf.printf "saved to %s\n" path);
+    Format.printf "%a@." Workload.pp w
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Generate, load, save and summarize a workload.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ workload_kind $ objects $ save $ load $ topo_file)
+
+(* -- dynamic ------------------------------------------------------------ *)
+
+let dynamic_cmd =
+  let requests_kind =
+    Arg.(
+      value
+      & opt (enum [ ("shuffled", `Shuffled); ("bursty", `Bursty) ]) `Shuffled
+      & info [ "requests" ] ~doc:"Request order: shuffled|bursty.")
+  in
+  let run seed kind leaves arity height spine buses bandwidth wkind objects
+      requests_kind =
+    let prng = Prng.create seed in
+    let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
+    let w = build_workload wkind ~prng t ~objects in
+    let table =
+      Table.create
+        [ "object"; "requests"; "online"; "offline OPT"; "worst edge ratio";
+          "repl"; "migr"; "peak copies" ]
+    in
+    for obj = 0 to objects - 1 do
+      let reqs =
+        match requests_kind with
+        | `Shuffled -> Hbn_dynamic.Request.of_workload ~prng w ~obj
+        | `Bursty -> Hbn_dynamic.Request.bursty ~prng w ~obj ~burst:8
+      in
+      match reqs with
+      | [] -> ()
+      | first :: _ ->
+        let initial = first.Hbn_dynamic.Request.node in
+        let dyn = Hbn_dynamic.Online.run t ~initial reqs in
+        let opt = Hbn_dynamic.Offline.per_edge_optimum t ~initial reqs in
+        let worst = ref 0. in
+        Array.iteri
+          (fun e l ->
+            if opt.(e) > 0 then
+              worst := Float.max !worst (float_of_int l /. float_of_int opt.(e)))
+          dyn.Hbn_dynamic.Online.edge_loads;
+        Table.add_row table
+          [
+            string_of_int obj;
+            string_of_int dyn.Hbn_dynamic.Online.served;
+            string_of_int
+              (Array.fold_left ( + ) 0 dyn.Hbn_dynamic.Online.edge_loads);
+            string_of_int (Array.fold_left ( + ) 0 opt);
+            Table.fmt_float !worst;
+            string_of_int dyn.Hbn_dynamic.Online.replications;
+            string_of_int dyn.Hbn_dynamic.Online.migrations;
+            string_of_int dyn.Hbn_dynamic.Online.max_copies;
+          ]
+    done;
+    Table.print table;
+    print_endline
+      "worst edge ratio compares against the exact per-edge offline optimum \
+       (competitive ratio 3 for trees, per the paper's reference [10])"
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:"Run the online dynamic strategy and compare with the offline optimum.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ workload_kind $ objects $ requests_kind)
+
+(* -- compare ------------------------------------------------------------ *)
+
+let compare_cmd =
+  let run seed kind leaves arity height spine buses bandwidth wkind objects =
+    let prng = Prng.create seed in
+    let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
+    let w = build_workload wkind ~prng t ~objects in
+    let lb = Lower_bounds.combined w in
+    let table = Table.create [ "strategy"; "congestion"; "C/LB"; "total load"; "makespan" ] in
+    List.iter
+      (fun (name, p) ->
+        let c = Placement.congestion w p in
+        Table.add_row table
+          [
+            name;
+            Table.fmt_float c;
+            Table.fmt_ratio c lb;
+            string_of_int (Placement.total_load w p);
+            string_of_int (Sim.run ~scale:4 w p).Sim.makespan;
+          ])
+      [
+        ("extended-nibble", (Strategy.run w).Strategy.placement);
+        ("owner", Baselines.owner w);
+        ("gravity-leaf", Baselines.gravity_leaf w);
+        ("random-leaf", Baselines.random_leaf ~prng w);
+        ("full-replication", Baselines.full_replication w);
+        ("local-search", Baselines.local_search ~iterations:100 ~prng w);
+      ];
+    Table.print table;
+    Printf.printf "lower bound (certified): %.3f\n" lb
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare placement strategies on one instance.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ workload_kind $ objects)
+
+(* -- gadget ------------------------------------------------------------- *)
+
+let gadget_cmd =
+  let items =
+    Arg.(non_empty & pos_all int [] & info [] ~docv:"ITEM" ~doc:"PARTITION items (positive).")
+  in
+  let run items =
+    let inst = Partition.make items in
+    (match Partition.half inst with
+    | None ->
+      Printf.printf "item sum %d is odd: PARTITION trivially unsolvable\n"
+        (Partition.sum inst)
+    | Some k ->
+      let g = Partition.gadget inst in
+      let w = g.Partition.workload in
+      Printf.printf "gadget: 4-ary tree of height 1, %d objects, k = %d\n"
+        (Workload.num_objects w) k;
+      Printf.printf "PARTITION solvable: %b\n" (Partition.solvable inst);
+      let opt = Gadget_opt.family_optimum inst in
+      Printf.printf "optimal congestion: %d (4k = %d)\n" opt (4 * k);
+      (match Partition.find_subset inst with
+      | Some s ->
+        let p = Placement.single w (Partition.yes_placement g s) in
+        Printf.printf "witness: x_i of {%s} on s, rest on s̄, y on a -> congestion %.0f\n"
+          (String.concat ", " (List.map string_of_int s))
+          (Placement.congestion w p)
+      | None -> ());
+      let res = Strategy.run w in
+      Printf.printf "extended-nibble: %.0f (ratio %.2f)\n"
+        (Placement.congestion w res.Strategy.placement)
+        (Placement.congestion w res.Strategy.placement /. float_of_int opt))
+  in
+  Cmd.v (Cmd.info "gadget" ~doc:"Encode a PARTITION instance into the Theorem 2.1 gadget.")
+    Term.(const run $ items)
+
+(* -- simulate ----------------------------------------------------------- *)
+
+let simulate_cmd =
+  let scale = Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Frequency downscaling for the simulation.") in
+  let run seed kind leaves arity height spine buses bandwidth wkind objects scale =
+    let prng = Prng.create seed in
+    let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
+    let w = build_workload wkind ~prng t ~objects in
+    let res = Strategy.run w in
+    let out = Sim.run ~scale w res.Strategy.placement in
+    Printf.printf "packets: %d, edge transmissions: %d\n" out.Sim.packets
+      out.Sim.transmissions;
+    Printf.printf "makespan: %d rounds (lower bound %.1f)\n" out.Sim.makespan
+      (Sim.lower_bound w res.Strategy.placement out);
+    let placement, stats = Dist.strategy_rounds w in
+    ignore placement;
+    Printf.printf
+      "distributed computation of the placement: %d rounds, %d messages, max node work %d\n"
+      stats.Dist.rounds stats.Dist.messages stats.Dist.max_node_work
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ workload_kind $ objects $ scale)
+
+let () =
+  let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in
+  let info = Cmd.info "hbn_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            topology_cmd; workload_cmd; place_cmd; compare_cmd; gadget_cmd;
+            simulate_cmd; dynamic_cmd;
+          ]))

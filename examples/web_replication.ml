@@ -1,0 +1,80 @@
+(* Replicating WWW pages on a hierarchical provider network.
+
+   The paper's introduction names "pages in the WWW" as a target
+   application: a provider tree (backbone, regional networks, access
+   networks, servers) carries requests to pages with Zipf popularity.
+   This example sweeps the write fraction (page update rate) and shows
+   how the extended-nibble strategy adapts the replication degree: few
+   writes -> wide replication (reads served locally); many writes ->
+   shrinking copy sets (updates get expensive).
+
+   Run with:  dune exec examples/web_replication.exe *)
+
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Prng = Hbn_prng.Prng
+module Workload = Hbn_workload.Workload
+module Generators = Hbn_workload.Generators
+module Placement = Hbn_placement.Placement
+module Strategy = Hbn_core.Strategy
+module Baselines = Hbn_baselines.Baselines
+module Lower_bounds = Hbn_exact.Lower_bounds
+module Table = Hbn_util.Table
+
+let () =
+  (* A provider hierarchy: backbone of 3 regions x 3 access networks x 3
+     servers, with capacity scaled to the subtree it serves. *)
+  let network =
+    Builders.balanced ~arity:3 ~height:3 ~profile:(Builders.Scaled_by_subtree 1)
+  in
+  Printf.printf
+    "provider tree: %d servers, %d networks, height %d, fat-tree bandwidths\n\n"
+    (Tree.num_leaves network)
+    (List.length (Tree.buses network))
+    (Tree.height network);
+  let t =
+    Table.create
+      [ "write%"; "copies/page"; "C ext"; "C owner"; "C full-repl"; "LB";
+        "ext/LB" ]
+  in
+  List.iter
+    (fun write_fraction ->
+      let prng = Prng.create 3000 in
+      let w =
+        Generators.zipf_popularity ~prng network ~objects:30
+          ~requests_per_leaf:40 ~exponent:1.1 ~write_fraction
+      in
+      let res = Strategy.run w in
+      let p = res.Strategy.placement in
+      let pages_with_copies =
+        Array.to_list p |> List.filter (fun op -> op.Placement.copies <> [])
+      in
+      let avg_copies =
+        float_of_int
+          (List.fold_left
+             (fun a op -> a + List.length op.Placement.copies)
+             0 pages_with_copies)
+        /. float_of_int (max 1 (List.length pages_with_copies))
+      in
+      let c = Placement.congestion w p in
+      let lb = Lower_bounds.combined w in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f%%" (write_fraction *. 100.);
+          Table.fmt_float ~digits:1 avg_copies;
+          Table.fmt_float c;
+          Table.fmt_float (Placement.congestion w (Baselines.owner w));
+          Table.fmt_float (Placement.congestion w (Baselines.full_replication w));
+          Table.fmt_float lb;
+          Table.fmt_ratio c lb;
+        ])
+    [ 0.0; 0.02; 0.05; 0.1; 0.25; 0.5; 0.9 ];
+  Table.print t;
+  print_endline
+    "\nRead-mostly pages are replicated widely (full replication is also \
+     fine there); as updates grow, the strategy contracts each page onto \
+     few servers while single-home placement (owner) pays for remote reads.";
+  print_endline
+    "The crossover between full replication and owner placement is exactly \
+     what the extended-nibble strategy navigates per page, with a proven \
+     factor-7 guarantee."

@@ -1,0 +1,116 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+module Nibble = Hbn_nibble.Nibble
+module Prng = Hbn_prng.Prng
+
+let single_copy_per_object w pick =
+  let copies =
+    Array.init (Workload.num_objects w) (fun obj ->
+        match Workload.requesting_leaves w ~obj with
+        | [] -> []
+        | leaves -> [ pick obj leaves ])
+  in
+  Placement.nearest w ~copies
+
+let owner w =
+  single_copy_per_object w (fun obj leaves ->
+      let best = ref (-1) and best_w = ref (-1) in
+      List.iter
+        (fun leaf ->
+          let h = Workload.weight w ~obj leaf in
+          if h > !best_w then begin
+            best := leaf;
+            best_w := h
+          end)
+        leaves;
+      !best)
+
+let gravity_leaf w =
+  let tree = Workload.tree w in
+  single_copy_per_object w (fun obj leaves ->
+      let weights = Workload.weight_vector w ~obj in
+      let g = Nibble.gravity_center tree ~weights in
+      let best = ref (-1) and best_d = ref max_int in
+      List.iter
+        (fun leaf ->
+          let d = Tree.path_length tree leaf g in
+          if d < !best_d then begin
+            best := leaf;
+            best_d := d
+          end)
+        leaves;
+      !best)
+
+let random_leaf ~prng w =
+  single_copy_per_object w (fun _ leaves -> Prng.pick prng leaves)
+
+let full_replication = Placement.full_replication
+
+let hill_climb ~iterations ~prng w copies =
+  let leaves = Array.of_list (Tree.leaves (Workload.tree w)) in
+  let eval cs = Placement.congestion w (Placement.nearest w ~copies:cs) in
+  let current = ref (eval copies) in
+  let active_objects =
+    List.filter
+      (fun obj -> copies.(obj) <> [])
+      (List.init (Workload.num_objects w) (fun i -> i))
+  in
+  if active_objects <> [] && Array.length leaves > 0 then
+    for _ = 1 to iterations do
+      let obj = Prng.pick prng active_objects in
+      let leaf = leaves.(Prng.int prng (Array.length leaves)) in
+      let old = copies.(obj) in
+      let proposal =
+        if List.mem leaf old then
+          if List.length old > 1 then List.filter (fun l -> l <> leaf) old
+          else old
+        else if Prng.bool prng then leaf :: old
+        else
+          (* Move: replace a random existing copy by the new leaf. *)
+          let victim = Prng.pick prng old in
+          leaf :: List.filter (fun l -> l <> victim) old
+      in
+      if proposal <> old then begin
+        copies.(obj) <- proposal;
+        let c = eval copies in
+        if c <= !current then current := c else copies.(obj) <- old
+      end
+    done;
+  Placement.nearest w ~copies
+
+let local_search ?(iterations = 300) ~prng w =
+  let copies =
+    Array.init (Workload.num_objects w) (fun obj ->
+        match Workload.requesting_leaves w ~obj with
+        | [] -> []
+        | leaf :: _ ->
+          (* Start from the owner placement. *)
+          let best = ref leaf and best_w = ref (-1) in
+          List.iter
+            (fun l ->
+              let h = Workload.weight w ~obj l in
+              if h > !best_w then begin
+                best := l;
+                best_w := h
+              end)
+            (Workload.requesting_leaves w ~obj);
+          [ !best ])
+  in
+  hill_climb ~iterations ~prng w copies
+
+let polish ?(iterations = 300) ~prng w placement =
+  let tree = Workload.tree w in
+  if not (Placement.leaf_only tree placement) then
+    invalid_arg "Baselines.polish: placement must be leaf-only";
+  let copies =
+    Array.init (Workload.num_objects w) (fun obj ->
+        Placement.copies placement ~obj)
+  in
+  let improved = hill_climb ~iterations ~prng w copies in
+  (* The climb works on nearest-copy assignments, which may differ from
+     the input's (possibly forwarded) assignments; keep the input when
+     nothing better was found so the guarantee is monotone. *)
+  if Placement.congestion w improved <= Placement.congestion w placement then
+    improved
+  else placement

@@ -1,0 +1,30 @@
+(** Ablated variants of the extended-nibble strategy.
+
+    DESIGN.md calls out two design decisions the analysis depends on; the
+    variants here remove them so experiment E14 can measure what breaks:
+
+    - {!naive_nearest_leaf} replaces the whole Step 3 load-balancing
+      machinery by "move every bus copy to its nearest processor". No
+      acceptable-load bookkeeping means a popular bus's processors absorb
+      every forwarded request, and the Lemma 4.5 per-edge bound is lost.
+    - {!skip_deletion} feeds the raw nibble placement straight into the
+      mapping algorithm. Copies may then serve fewer than [κ_x] requests,
+      which invalidates the initialization of Invariant 4.2
+      ([Σ(s+κ) ≤ 2Σs] needs [s ≥ κ]), and with it Lemma 4.1's free-edge
+      guarantee: the downwards phase can fail. The experiment reports how
+      often it does. *)
+
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+val naive_nearest_leaf : Workload.t -> Placement.t
+(** Nibble placement with every bus copy teleported to the processor
+    nearest to its bus (ties to the lowest id), requests following their
+    copy. Leaf-only and valid, but with no approximation guarantee. *)
+
+type skip_deletion_outcome =
+  | Mapped of Placement.t  (** the mapping happened to succeed *)
+  | Stuck of { node : int }  (** no free child edge (Lemma 4.1 violated) *)
+
+val skip_deletion : Workload.t -> skip_deletion_outcome
+(** Step 1 then Step 3 with Step 2 removed. *)

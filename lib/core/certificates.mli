@@ -1,0 +1,39 @@
+(** Machine-checkable certificates for the paper's guarantees.
+
+    Each check corresponds to a numbered statement of the paper and is run
+    by the test suite on every generated instance and by experiment E4–E7
+    of the harness. All checks are sound for both strategy variants
+    ([move_leaf_copies] true or false). *)
+
+module Workload = Hbn_workload.Workload
+
+val check_valid : Workload.t -> Strategy.result -> (unit, string) result
+(** The three placements of the result exactly cover the workload, and the
+    final placement uses processors only. *)
+
+val check_observation_3_2 :
+  Workload.t -> Strategy.result -> (unit, string) result
+(** Observation 3.2: every Step 2 copy of an object with [κ_x > 0] serves
+    between [κ_x] and [2·κ_x] requests, and per object the modified
+    placement's load on every edge is at most twice the nibble
+    placement's. *)
+
+val check_lemma_4_5 : Workload.t -> Strategy.result -> (unit, string) result
+(** Lemma 4.5: final load [L(e) ≤ 4·L_nib(e) + τ_max] on every edge. *)
+
+val check_lemma_4_6 : Workload.t -> Strategy.result -> (unit, string) result
+(** Lemma 4.6: final bus load [L(v) ≤ 4·L_nib(v) + τ_max] on every bus. *)
+
+val check_theorem_4_3 :
+  Workload.t -> Strategy.result -> optimum:float -> (unit, string) result
+(** Theorem 4.3: final congestion at most [7 · optimum] (plus a 1e-9
+    tolerance), where [optimum] is the bus-model optimal congestion. *)
+
+val check_all : Workload.t -> Strategy.result -> (unit, string) result
+(** {!check_valid}, {!check_observation_3_2}, {!check_lemma_4_5} and
+    {!check_lemma_4_6} in sequence, reporting the first failure. *)
+
+val max_edge_slack : Workload.t -> Strategy.result -> float
+(** The largest ratio [L(e) / (4·L_nib(e) + τ_max)] over edges with a
+    nonzero bound — how tight Lemma 4.5 is on this instance (≤ 1 when the
+    lemma holds). *)

@@ -1,0 +1,32 @@
+(** Copies of shared data objects as mutable tokens.
+
+    Steps 2 and 3 of the extended-nibble strategy manipulate individual
+    copies: the deletion algorithm merges and splits the request groups a
+    copy serves, and the mapping algorithm moves copies between nodes. A
+    copy records the object it belongs to, the object's write contention
+    [κ_x] (cached because [s(c) + κ_x] is the unit in which mapping loads
+    grow), its current node, and the request groups it serves. *)
+
+module Nibble = Hbn_nibble.Nibble
+
+type t = {
+  id : int;  (** unique per strategy run, for diagnostics *)
+  obj : int;
+  kappa : int;  (** [κ_x] of the object this is a copy of *)
+  mutable node : int;  (** current location *)
+  mutable groups : Nibble.group list;  (** requests served by this copy *)
+  mutable served : int;  (** [s(c)]: cached sum of group weights *)
+}
+
+val make : id:int -> obj:int -> kappa:int -> node:int -> Nibble.group list -> t
+(** Builds a copy; [served] is computed from the groups. *)
+
+val weight : t -> int
+(** [s(c) + κ_x]: the amount by which moving this copy along an edge
+    increases the edge's mapping load. *)
+
+val absorb : t -> from:t -> unit
+(** [absorb c ~from] transfers all of [from]'s groups to [c] (the deletion
+    algorithm's reassignment step); [from] is left empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Nibble = Hbn_nibble.Nibble
+
+type outcome = { copies : Copy.t list; deletions : int; splits : int }
+
+let split_sizes ~served ~kappa =
+  if kappa <= 0 then invalid_arg "Deletion.split_sizes: kappa must be positive";
+  if served < kappa then invalid_arg "Deletion.split_sizes: served < kappa";
+  let k = max 1 (served / kappa) in
+  let base = served / k and extra = served mod k in
+  List.init k (fun i -> if i < extra then base + 1 else base)
+
+(* Cut a sequence of request groups into buckets of the given sizes,
+   splitting a group across a bucket boundary when necessary (reads are
+   consumed before writes, arbitrarily but deterministically). *)
+let cut_groups groups sizes =
+  let buckets = ref [] in
+  let remaining = ref groups in
+  List.iter
+    (fun size ->
+      let bucket = ref [] and need = ref size in
+      while !need > 0 do
+        match !remaining with
+        | [] -> invalid_arg "Deletion.cut_groups: sizes exceed requests"
+        | g :: rest ->
+          let w = Nibble.group_weight g in
+          if w = 0 then remaining := rest
+          else if w <= !need then begin
+            bucket := g :: !bucket;
+            need := !need - w;
+            remaining := rest
+          end
+          else begin
+            let take_reads = min g.Nibble.reads !need in
+            let take_writes = !need - take_reads in
+            bucket :=
+              { g with Nibble.reads = take_reads; writes = take_writes }
+              :: !bucket;
+            remaining :=
+              {
+                g with
+                Nibble.reads = g.Nibble.reads - take_reads;
+                writes = g.Nibble.writes - take_writes;
+              }
+              :: rest;
+            need := 0
+          end
+      done;
+      buckets := List.rev !bucket :: !buckets)
+    sizes;
+  List.rev !buckets
+
+let run ~next_id w cs =
+  let tree = Workload.tree w in
+  let kappa = Workload.write_contention w ~obj:cs.Nibble.obj in
+  if kappa <= 0 then invalid_arg "Deletion.run: kappa must be positive";
+  if cs.Nibble.nodes = [] then invalid_arg "Deletion.run: empty copy set";
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let groups = Nibble.served_groups w cs in
+  let table = Array.make (Tree.n tree) None in
+  List.iter
+    (fun v ->
+      table.(v) <-
+        Some (Copy.make ~id:(fresh ()) ~obj:cs.Nibble.obj ~kappa ~node:v
+                groups.(v)))
+    cs.Nibble.nodes;
+  (* Deepest level of T(x) first; the root (gravity center) comes last. *)
+  let depth v = cs.Nibble.rooted.Tree.depth.(v) in
+  let order =
+    List.sort (fun a b -> compare (depth b, b) (depth a, a)) cs.Nibble.nodes
+  in
+  let deletions = ref 0 in
+  let nearest_survivor () =
+    (* BFS from the root of T(x) over the whole tree. *)
+    let seen = Array.make (Tree.n tree) false in
+    let queue = Queue.create () in
+    Queue.add cs.Nibble.gravity queue;
+    seen.(cs.Nibble.gravity) <- true;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      (match table.(v) with
+      | Some c when v <> cs.Nibble.gravity -> found := Some c
+      | Some _ | None ->
+        Array.iter
+          (fun (u, _) ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              Queue.add u queue
+            end)
+          (Tree.neighbors tree v))
+    done;
+    !found
+  in
+  List.iter
+    (fun v ->
+      match table.(v) with
+      | None -> ()
+      | Some copy ->
+        if copy.Copy.served < kappa then begin
+          if v <> cs.Nibble.gravity then begin
+            let parent = cs.Nibble.rooted.Tree.parent.(v) in
+            match table.(parent) with
+            | Some p ->
+              Copy.absorb p ~from:copy;
+              table.(v) <- None;
+              incr deletions
+            | None ->
+              (* The component is connected and parents are processed after
+                 children, so the parent copy still exists. *)
+              assert false
+          end
+          else begin
+            match nearest_survivor () with
+            | Some c ->
+              Copy.absorb c ~from:copy;
+              table.(v) <- None;
+              incr deletions
+            | None ->
+              (* The root is the last copy; it serves every request, and
+                 total requests >= kappa, so it cannot be under-used. *)
+              assert (copy.Copy.served >= kappa)
+          end
+        end)
+    order;
+  let splits = ref 0 in
+  let copies = ref [] in
+  Array.iteri
+    (fun v slot ->
+      match slot with
+      | None -> ()
+      | Some copy ->
+        if copy.Copy.served > 2 * kappa then begin
+          let sizes =
+            split_sizes ~served:copy.Copy.served ~kappa
+          in
+          let buckets = cut_groups copy.Copy.groups sizes in
+          (match buckets with
+          | [] -> assert false
+          | first :: rest ->
+            copy.Copy.groups <- first;
+            copy.Copy.served <-
+              List.fold_left (fun a g -> a + Nibble.group_weight g) 0 first;
+            copies := copy :: !copies;
+            List.iter
+              (fun bucket ->
+                incr splits;
+                copies :=
+                  Copy.make ~id:(fresh ()) ~obj:cs.Nibble.obj ~kappa ~node:v
+                    bucket
+                  :: !copies)
+              rest)
+        end
+        else copies := copy :: !copies)
+    table;
+  { copies = List.rev !copies; deletions = !deletions; splits = !splits }

@@ -1,0 +1,34 @@
+(** Step 2 of the extended-nibble strategy: the deletion algorithm.
+
+    Starting from the nibble placement of one object [x], the algorithm
+    removes rarely used copies: processing the connected copy component
+    [T(x)] level by level from the deepest level towards its root (the
+    gravity center), a copy serving fewer than [κ_x] requests is deleted
+    and its requests are reassigned to the copy on its parent; a deleted
+    root reassigns to the nearest surviving copy. Afterwards, a copy
+    serving more than [2κ_x] requests is split into co-located clones each
+    serving between [κ_x] and [2κ_x] requests (Observation 3.2).
+
+    The resulting "modified nibble placement" at most doubles the load of
+    the nibble placement on every edge. *)
+
+module Workload = Hbn_workload.Workload
+module Nibble = Hbn_nibble.Nibble
+
+type outcome = {
+  copies : Copy.t list;  (** surviving copies (clones share a node) *)
+  deletions : int;
+  splits : int;  (** number of extra clones created *)
+}
+
+val run : next_id:int ref -> Workload.t -> Nibble.copy_set -> outcome
+(** [run ~next_id w cs] executes the deletion algorithm for object
+    [cs.obj]. [next_id] supplies fresh copy identifiers (shared across
+    objects by the strategy driver). Requires [cs.nodes <> []] and
+    [κ_x > 0]; the strategy driver handles the degenerate cases
+    separately. *)
+
+val split_sizes : served:int -> kappa:int -> int list
+(** The bucket sizes used when splitting a copy: [max 1 (served / kappa)]
+    near-equal parts, each in [\[kappa, 2·kappa\]] whenever
+    [served >= kappa > 0]. Exposed for property tests. *)

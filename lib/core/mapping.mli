@@ -1,0 +1,82 @@
+(** Step 3 of the extended-nibble strategy: the mapping algorithm.
+
+    Moves the remaining copies from buses down to processors. Every edge of
+    the canonically rooted tree is treated as two directed edges. The basic
+    load [L_b(ē)] of a directed edge counts the requests of the modified
+    nibble placement whose serving path (copy → requesting processor)
+    traverses [ē]; the acceptable load starts as [L_acc(ē) = 2·L_b(ē)];
+    moving a copy [c] along [ē] adds [s(c) + κ_x(c)] to the mapping load
+    [L_map(ē)], an increment bounded by [τ_max = max_c (s(c) + κ_x(c))].
+
+    The {e upwards phase} processes levels bottom-up: each node moves
+    copies towards its parent while [L_map + τ_max ≤ L_acc] on the upward
+    edge, then the adjustment sets the upward edge's acceptable load to its
+    mapping load and decreases the downward edge's acceptable load by the
+    same slack. The {e downwards phase} processes levels top-down: every
+    bus moves each of its copies along a {e free} child edge
+    ([L_map + s(c) + κ_x(c) ≤ L_acc + τ_max]), which Lemma 4.1 shows always
+    exists, using a heap over child edges to find it in [O(log degree)].
+
+    Invariant 4.2 holds at every internal node throughout — in the
+    corrected form
+    [Σ_out (L_acc − L_map) ≥ Σ_in (L_acc − L_map) + Σ_{c ∈ M(v)} (s(c) + κ_x(c))].
+    The paper prints the last term as [2 Σ s(c)]; that form holds initially
+    but is not preserved when a copy moves {e into} [v] (the right side
+    would grow by [s − κ ≥ 0]). The corrected term changes by exactly the
+    movement's load on both sides, is implied at initialization because
+    [s(c) ≥ κ_x(c)] after Step 2, and still gives Lemma 4.1 (free edges
+    exist, since the sum dominates the weight of any single held copy) and
+    Lemma 4.6. See DESIGN.md, section "Errata". The [verify] flag re-checks the invariant after every round
+    (used by tests and experiment E5). *)
+
+module Tree = Hbn_tree.Tree
+
+type state = {
+  tree : Tree.t;
+  rooted : Tree.rooted;
+  tau_max : int;
+  lacc_up : int array;  (** acceptable load per edge, towards the root *)
+  lacc_down : int array;
+  lmap_up : int array;
+  lmap_down : int array;
+  node_copies : Copy.t list array;  (** [M(v)] *)
+}
+
+type stats = {
+  tau_max : int;
+  moves_up : int;
+  moves_down : int;
+  final : state;
+}
+
+exception No_free_edge of { node : int; copy : Copy.t }
+(** Raised if the downwards phase finds no free child edge — impossible per
+    Lemma 4.1 unless the bookkeeping is corrupted (exercised by the
+    failure-injection tests). *)
+
+val basic_loads : Tree.t -> Copy.t list -> int array * int array
+(** [(up, down)] basic loads per edge induced by the given copies' request
+    groups (paths run from the serving copy to the requesting leaf). *)
+
+val run :
+  ?verify:bool ->
+  ?inject_lacc_error:int ->
+  ?on_round:(state -> unit) ->
+  Tree.t ->
+  basic_up:int array ->
+  basic_down:int array ->
+  movable:Copy.t list ->
+  stats
+(** Executes both phases, mutating the [node] field of each movable copy.
+    All movable copies end on processors. [basic_up]/[basic_down] must
+    come from {!basic_loads} over {e all} copies (movable or not) so that
+    Invariant 4.2 holds initially. [inject_lacc_error] subtracts the given
+    amount from every initial acceptable load — a deliberate corruption
+    used by failure-injection tests to show the free-edge guarantee is not
+    vacuous. [verify] checks Invariant 4.2 after every level and raises
+    [Failure] on violation. [on_round] is called with the live state before
+    the first round and after every level of both phases (instrumentation
+    for tests and experiments; do not mutate the state). *)
+
+val check_invariant : state -> (unit, string) result
+(** Invariant 4.2 at every internal node of the tree. *)

@@ -1,0 +1,136 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+module Nibble = Hbn_nibble.Nibble
+
+type result = {
+  placement : Placement.t;
+  nibble : Placement.t;
+  modified : Placement.t;
+  tau_max : int;
+  mapping : Mapping.stats option;
+  deletions : int;
+  splits : int;
+  mapped_objects : int list;
+  copies : Copy.t list;
+}
+
+(* Per-object intermediate state after Step 2. *)
+type stage =
+  | Unused
+  | Read_only of int list  (* requesting leaves; copies serve locally *)
+  | Copies of Copy.t list
+
+let placement_of_stage w stages =
+  Array.init (Array.length stages) (fun obj ->
+      match stages.(obj) with
+      | Unused -> { Placement.copies = []; assigns = [] }
+      | Read_only leaves ->
+        let assigns =
+          List.map
+            (fun leaf ->
+              {
+                Placement.leaf;
+                server = leaf;
+                reads = Workload.reads w ~obj leaf;
+                writes = Workload.writes w ~obj leaf;
+              })
+            leaves
+        in
+        { Placement.copies = leaves; assigns }
+      | Copies cs ->
+        let copies =
+          List.sort_uniq compare (List.map (fun c -> c.Copy.node) cs)
+        in
+        let assigns =
+          List.concat_map
+            (fun c ->
+              List.filter_map
+                (fun g ->
+                  if Nibble.group_weight g = 0 then None
+                  else
+                    Some
+                      {
+                        Placement.leaf = g.Nibble.leaf;
+                        server = c.Copy.node;
+                        reads = g.Nibble.reads;
+                        writes = g.Nibble.writes;
+                      })
+                c.Copy.groups)
+            cs
+        in
+        { Placement.copies; assigns })
+
+let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
+  let tree = Workload.tree w in
+  let sets = Nibble.place_all w in
+  let nibble_placement =
+    Placement.nearest w ~copies:(Array.map (fun cs -> cs.Nibble.nodes) sets)
+  in
+  let next_id = ref 0 in
+  let deletions = ref 0 and splits = ref 0 in
+  let stages =
+    Array.map
+      (fun cs ->
+        let obj = cs.Nibble.obj in
+        if Workload.total_weight w ~obj = 0 then Unused
+        else if Workload.write_contention w ~obj = 0 then
+          Read_only (Workload.requesting_leaves w ~obj)
+        else begin
+          let outcome = Deletion.run ~next_id w cs in
+          deletions := !deletions + outcome.Deletion.deletions;
+          splits := !splits + outcome.Deletion.splits;
+          Copies outcome.Deletion.copies
+        end)
+      sets
+  in
+  let modified = placement_of_stage w stages in
+  let all_copies =
+    Array.to_list stages
+    |> List.concat_map (function Copies cs -> cs | Unused | Read_only _ -> [])
+  in
+  let has_bus_copy cs =
+    List.exists (fun c -> not (Tree.is_leaf tree c.Copy.node)) cs
+  in
+  let mapped_objects = ref [] in
+  let movable =
+    Array.to_list stages
+    |> List.mapi (fun obj stage -> (obj, stage))
+    |> List.concat_map (fun (obj, stage) ->
+           match stage with
+           | Unused | Read_only _ -> []
+           | Copies cs ->
+             if has_bus_copy cs then begin
+               mapped_objects := obj :: !mapped_objects;
+               if move_leaf_copies then cs
+               else
+                 List.filter
+                   (fun c -> not (Tree.is_leaf tree c.Copy.node))
+                   cs
+             end
+             else [])
+  in
+  let mapping =
+    match movable with
+    | [] -> None
+    | _ :: _ ->
+      let basic_up, basic_down = Mapping.basic_loads tree all_copies in
+      Some
+        (Mapping.run ~verify ?on_round:on_mapping_round tree ~basic_up
+           ~basic_down ~movable)
+  in
+  let placement = placement_of_stage w stages in
+  {
+    placement;
+    nibble = nibble_placement;
+    modified;
+    tau_max = (match mapping with None -> 0 | Some s -> s.Mapping.tau_max);
+    mapping;
+    deletions = !deletions;
+    splits = !splits;
+    mapped_objects = List.rev !mapped_objects;
+    copies = all_copies;
+  }
+
+let congestion ?move_leaf_copies w =
+  Placement.congestion w (run ?move_leaf_copies w).placement

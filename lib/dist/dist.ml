@@ -1,0 +1,119 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+module Nibble = Hbn_nibble.Nibble
+module Strategy = Hbn_core.Strategy
+module Mapping = Hbn_core.Mapping
+
+type stats = { rounds : int; messages : int; max_node_work : int }
+
+let ceil_log2 k =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 (max 1 k)
+
+(* Pipelined convergecast schedule: [send.(v)] for object [x] is the round
+   at which [v] forwards its aggregate for [x] to its parent. A node can
+   forward wave [x] once every child has (previous round) and it has
+   already forwarded wave [x-1] (one message per edge per round). Returns
+   the completion round at the root of the last wave. *)
+let convergecast_rounds tree objects =
+  let r = Tree.rooting tree in
+  let n = Tree.n tree in
+  let prev = Array.make n 0 in
+  let last_done = ref 0 in
+  for x = 0 to objects - 1 do
+    let send = Array.make n 0 in
+    (* Children precede parents when preorder is traversed backwards. *)
+    let pre = r.Tree.preorder in
+    for i = n - 1 downto 0 do
+      let v = pre.(i) in
+      let from_children =
+        Array.fold_left
+          (fun acc c -> max acc (send.(c) + 1))
+          (x + 1) r.Tree.children.(v)
+      in
+      send.(v) <- max from_children (prev.(v) + 1)
+    done;
+    Array.blit send 0 prev 0 n;
+    let root_done =
+      Array.fold_left
+        (fun acc c -> max acc (send.(c) + 1))
+        (x + 1) r.Tree.children.(r.Tree.root)
+    in
+    last_done := max !last_done root_done
+  done;
+  !last_done
+
+(* Pipelined broadcast: wave x leaves the root at round x+1 and reaches
+   depth d at round x+1+d. *)
+let broadcast_rounds tree objects =
+  let r = Tree.rooting tree in
+  let depth = Array.fold_left max 0 r.Tree.depth in
+  objects + depth
+
+let sweep_messages tree objects = objects * (Tree.n tree - 1)
+
+let nibble_rounds w =
+  let tree = Workload.tree w in
+  let objects = Workload.num_objects w in
+  let sets = Nibble.place_all w in
+  let per_object = Array.map (fun cs -> cs.Nibble.nodes) sets in
+  (* Two convergecasts (subtree weights; gravity-candidate election) and
+     two broadcasts (totals and contention; elected center), pipelined
+     over objects within each sweep, sweeps run back to back. *)
+  let rounds =
+    (2 * convergecast_rounds tree objects) + (2 * broadcast_rounds tree objects)
+  in
+  let messages = 4 * sweep_messages tree objects in
+  (* Per round a node handles one message per incident edge per sweep. *)
+  let max_node_work =
+    List.fold_left
+      (fun acc v -> max acc (4 * objects * Tree.degree tree v))
+      0
+      (List.init (Tree.n tree) (fun i -> i))
+  in
+  (per_object, { rounds; messages; max_node_work })
+
+let strategy_rounds w =
+  let tree = Workload.tree w in
+  let height = Tree.height tree in
+  let _, nibble_stats = nibble_rounds w in
+  let res = Strategy.run w in
+  let sets = Nibble.place_all w in
+  (* Deletion: one bottom-up wave per component, pipelined over objects;
+     each deletion forwards the deleted copy's bookkeeping to the parent. *)
+  let deletion_rounds =
+    let component_height cs =
+      List.fold_left
+        (fun acc v -> max acc cs.Nibble.rooted.Tree.depth.(v))
+        0 cs.Nibble.nodes
+    in
+    Array.to_list sets
+    |> List.mapi (fun x cs -> x + 1 + component_height cs)
+    |> List.fold_left max 0
+  in
+  let deletion_messages = res.Strategy.deletions in
+  (* Mapping: height rounds up, height rounds down; every movement is one
+     message and costs the mover O(log degree) heap work. *)
+  let mapping_rounds = 2 * height in
+  let work = Array.make (Tree.n tree) 0 in
+  let mapping_messages =
+    match res.Strategy.mapping with
+    | None -> 0
+    | Some s ->
+      List.iter
+        (fun c ->
+          let v = c.Hbn_core.Copy.node in
+          work.(v) <- work.(v) + ceil_log2 (Tree.degree tree v))
+        res.Strategy.copies;
+      s.Mapping.moves_up + s.Mapping.moves_down
+  in
+  let max_node_work =
+    Array.fold_left max nibble_stats.max_node_work work
+  in
+  ( res.Strategy.placement,
+    {
+      rounds = nibble_stats.rounds + deletion_rounds + mapping_rounds;
+      messages = nibble_stats.messages + deletion_messages + mapping_messages;
+      max_node_work;
+    } )

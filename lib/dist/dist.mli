@@ -1,0 +1,42 @@
+(** Distributed execution of the strategy, emulated with explicit rounds.
+
+    The paper claims the extended-nibble strategy can be executed by the
+    tree network itself in time
+    [O(|X| · |P ∪ B| · log(degree(T)) + height(T))], with the per-object
+    computations pipelined along the tree. This module emulates that
+    execution synchronously — messages travel one edge per round — and
+    counts rounds, messages, and the busiest node's total work, so that
+    experiment E9 can check the claimed shape and the tests can check that
+    the distributed computation reproduces the sequential placement
+    exactly.
+
+    The nibble step is emulated at full message granularity: a pipelined
+    convergecast aggregates per-object subtree weights (object [x]'s wave
+    starts at round [x], so all waves finish in [height + |X|] rounds), a
+    pipelined broadcast distributes totals and the elected gravity
+    centers, and every node then decides locally which copies it holds.
+    Steps 2 and 3 are level-synchronized like the sequential code; their
+    round count is bounded by the component heights and [2·height], and
+    per-node work is accounted as [copies moved × ⌈log₂ degree⌉]. *)
+
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+type stats = {
+  rounds : int;  (** synchronous communication rounds *)
+  messages : int;  (** total point-to-point messages *)
+  max_node_work : int;  (** busiest node's accumulated work units *)
+}
+
+val nibble_rounds : Workload.t -> (int list array * stats)
+(** Emulates the distributed nibble computation; returns the per-object
+    copy sets (as decided locally by each node) and the cost. The test
+    suite asserts the copy sets equal {!Hbn_nibble.Nibble.place_all}'s. *)
+
+val strategy_rounds : Workload.t -> Placement.t * stats
+(** Emulates the full pipeline (nibble + deletion + mapping) and returns
+    the final placement — identical to the sequential
+    {!Hbn_core.Strategy.run} — together with the distributed cost model:
+    nibble rounds, one wave per object for deletion, and [2·height]
+    mapping rounds, with heap-based [⌈log₂ degree⌉] work per copy
+    movement. *)

@@ -1,0 +1,175 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+
+type msg =
+  | Sub of { obj : int; h : int; w : int }
+  | Tot of { obj : int; total_h : int; total_w : int }
+  | Min_cand of { obj : int; cand : int }  (* max_int = no candidate *)
+  | Grav of { obj : int; gravity : int }  (* -1 = object unused *)
+
+type node_state = {
+  parent : int;  (* -1 at the root *)
+  children : int list;
+  (* per-object protocol state *)
+  child_h : int array array;  (* indexed like [children] *)
+  child_w : int array array;
+  subs_missing : int array;
+  h_sub : int array;
+  w_sub : int array;
+  total_h : int array;
+  total_w : int array;
+  child_min : int array array;
+  mins_missing : int array;
+  holds_copy : bool array;
+  decided : bool array;
+  (* outgoing queues, one per neighbor, drained one message per round *)
+  outq : (int * msg Queue.t) list;
+}
+
+let enqueue st target msg = Queue.add msg (List.assoc target st.outq)
+
+(* Candidacy: every component around v carries at most half the total. *)
+let is_candidate st ~obj =
+  let above = st.total_h.(obj) - st.h_sub.(obj) in
+  let worst = Array.fold_left max above st.child_h.(obj) in
+  2 * worst <= st.total_h.(obj)
+
+let child_index st c =
+  let rec go i = function
+    | [] -> invalid_arg "Dist_nibble: unknown child"
+    | x :: rest -> if x = c then i else go (i + 1) rest
+  in
+  go 0 st.children
+
+let decide st ~node ~obj ~gravity =
+  st.decided.(obj) <- true;
+  if gravity < 0 then st.holds_copy.(obj) <- false
+  else if gravity = node then st.holds_copy.(obj) <- true
+  else begin
+    (* Direction to the gravity center: the child whose subtree reported
+       it as its candidate minimum, otherwise the parent. *)
+    let via_child = ref (-1) in
+    List.iteri
+      (fun i c -> if st.child_min.(obj).(i) = gravity then via_child := c)
+      st.children;
+    let subtree_weight =
+      if !via_child >= 0 then
+        st.total_h.(obj) - st.child_h.(obj).(child_index st !via_child)
+      else st.h_sub.(obj)
+    in
+    st.holds_copy.(obj) <- subtree_weight > st.total_w.(obj)
+  end
+
+let maybe_finish_min st ~node ~obj =
+  if st.mins_missing.(obj) = 0 && st.total_h.(obj) > 0 && not st.decided.(obj)
+  then begin
+    let own = if is_candidate st ~obj then node else max_int in
+    let best = Array.fold_left min own st.child_min.(obj) in
+    if st.parent >= 0 then enqueue st st.parent (Min_cand { obj; cand = best })
+    else begin
+      (* The root elects the gravity center and starts the final wave. *)
+      decide st ~node ~obj ~gravity:best;
+      List.iter (fun c -> enqueue st c (Grav { obj; gravity = best })) st.children
+    end
+  end
+
+let finish_sub st ~node ~obj =
+  if st.parent >= 0 then
+    enqueue st st.parent (Sub { obj; h = st.h_sub.(obj); w = st.w_sub.(obj) })
+  else begin
+    (* Root: the totals are now known; start the downward phase. *)
+    st.total_h.(obj) <- st.h_sub.(obj);
+    st.total_w.(obj) <- st.w_sub.(obj);
+    List.iter
+      (fun c ->
+        enqueue st c
+          (Tot { obj; total_h = st.total_h.(obj); total_w = st.total_w.(obj) }))
+      st.children;
+    if st.total_h.(obj) = 0 then begin
+      (* Unused object: nobody holds a copy. *)
+      decide st ~node ~obj ~gravity:(-1);
+      List.iter (fun c -> enqueue st c (Grav { obj; gravity = -1 })) st.children
+    end
+    else maybe_finish_min st ~node ~obj
+  end
+
+let run w =
+  let tree = Workload.tree w in
+  let r = Tree.rooting tree in
+  let objects = Workload.num_objects w in
+  let init v =
+    let children = Array.to_list r.Tree.children.(v) in
+    let nc = List.length children in
+    let neighbors =
+      (if v = r.Tree.root then [] else [ r.Tree.parent.(v) ]) @ children
+    in
+    {
+      parent = r.Tree.parent.(v);
+      children;
+      child_h = Array.init objects (fun _ -> Array.make nc 0);
+      child_w = Array.init objects (fun _ -> Array.make nc 0);
+      subs_missing = Array.make objects nc;
+      h_sub = Array.init objects (fun obj -> Workload.weight w ~obj v);
+      w_sub = Array.init objects (fun obj -> Workload.writes w ~obj v);
+      total_h = Array.make objects (-1);
+      total_w = Array.make objects (-1);
+      child_min = Array.init objects (fun _ -> Array.make nc max_int);
+      mins_missing = Array.make objects nc;
+      holds_copy = Array.make objects false;
+      decided = Array.make objects false;
+      outq = List.map (fun u -> (u, Queue.create ())) neighbors;
+    }
+  in
+  let step ~round ~node st ~inbox =
+    (* Nodes without children (and the single-node network's root) kick
+       off their convergecast contributions in round 1. *)
+    if round = 1 then
+      for obj = 0 to objects - 1 do
+        if st.subs_missing.(obj) = 0 then finish_sub st ~node ~obj
+      done;
+    List.iter
+      (fun (sender, msg) ->
+        match msg with
+        | Sub { obj; h; w = wr } ->
+          let i = child_index st sender in
+          st.child_h.(obj).(i) <- h;
+          st.child_w.(obj).(i) <- wr;
+          st.h_sub.(obj) <- st.h_sub.(obj) + h;
+          st.w_sub.(obj) <- st.w_sub.(obj) + wr;
+          st.subs_missing.(obj) <- st.subs_missing.(obj) - 1;
+          if st.subs_missing.(obj) = 0 then finish_sub st ~node ~obj
+        | Tot { obj; total_h; total_w } ->
+          st.total_h.(obj) <- total_h;
+          st.total_w.(obj) <- total_w;
+          List.iter
+            (fun c -> enqueue st c (Tot { obj; total_h; total_w }))
+            st.children;
+          maybe_finish_min st ~node ~obj
+        | Min_cand { obj; cand } ->
+          let i = child_index st sender in
+          st.child_min.(obj).(i) <- cand;
+          st.mins_missing.(obj) <- st.mins_missing.(obj) - 1;
+          maybe_finish_min st ~node ~obj
+        | Grav { obj; gravity } ->
+          decide st ~node ~obj ~gravity;
+          List.iter (fun c -> enqueue st c (Grav { obj; gravity })) st.children)
+      inbox;
+    (* Drain at most one queued message per incident edge. *)
+    let sends =
+      List.filter_map
+        (fun (u, q) ->
+          match Queue.take_opt q with Some m -> Some (u, m) | None -> None)
+        st.outq
+    in
+    (st, sends)
+  in
+  let states, stats = Runtime.run tree ~init ~step in
+  let result = Array.make objects [] in
+  for obj = objects - 1 downto 0 do
+    for v = Tree.n tree - 1 downto 0 do
+      if not states.(v).decided.(obj) then
+        failwith "Dist_nibble.run: a node never decided";
+      if states.(v).holds_copy.(obj) then result.(obj) <- v :: result.(obj)
+    done
+  done;
+  (result, stats)

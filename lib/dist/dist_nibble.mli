@@ -1,0 +1,22 @@
+(** The nibble placement computed by the network itself.
+
+    Runs the distributed nibble computation on the synchronous
+    message-passing model of {!Runtime}: a pipelined convergecast of
+    per-object subtree weights, a broadcast of totals and write
+    contentions, a second convergecast electing the smallest-index center
+    of gravity, and a final broadcast after which {e every node decides
+    locally} whether it holds a copy of each object — exactly the
+    protocol sketched in Section 3.1 of the paper ("the placement can be
+    calculated efficiently by the processors of the tree network in a
+    distributed fashion", with pipelining over the objects).
+
+    The tests assert that the local decisions coincide with the
+    sequential {!Hbn_nibble.Nibble.place_all} on every instance, and that
+    the round count stays [O(|X| + height)] — the pipelined bound. *)
+
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+
+val run : Workload.t -> int list array * Runtime.stats
+(** [run w] executes the protocol; result [i] holds the nodes that
+    decided to keep a copy of object [i] (ascending). *)

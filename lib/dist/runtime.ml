@@ -1,0 +1,71 @@
+module Tree = Hbn_tree.Tree
+
+type ('state, 'msg) node_fn =
+  round:int ->
+  node:int ->
+  'state ->
+  inbox:(int * 'msg) list ->
+  'state * (int * 'msg) list
+
+type stats = {
+  rounds : int;
+  messages : int;
+  max_inbox : int;
+  max_node_messages : int;
+}
+
+let run ?(max_rounds = 100_000) tree ~init ~step =
+  let n = Tree.n tree in
+  let states = Array.init n init in
+  let inboxes = Array.make n [] in
+  let next_inboxes = Array.make n [] in
+  let through = Array.make n 0 in
+  let rounds = ref 0 and messages = ref 0 and max_inbox = ref 0 in
+  let quiescent = ref false in
+  let is_neighbor v u =
+    Array.exists (fun (x, _) -> x = u) (Tree.neighbors tree v)
+  in
+  while not !quiescent do
+    if !rounds >= max_rounds then failwith "Runtime.run: round limit reached";
+    incr rounds;
+    let any_sent = ref false in
+    for v = 0 to n - 1 do
+      let inbox = List.rev inboxes.(v) in
+      inboxes.(v) <- [];
+      let k = List.length inbox in
+      if k > !max_inbox then max_inbox := k;
+      let state, sends = step ~round:!rounds ~node:v states.(v) ~inbox in
+      states.(v) <- state;
+      let used = Hashtbl.create 4 in
+      List.iter
+        (fun (target, msg) ->
+          if not (is_neighbor v target) then
+            invalid_arg
+              (Printf.sprintf "Runtime.run: node %d is no neighbor of %d"
+                 target v);
+          if Hashtbl.mem used target then
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime.run: node %d sent twice over edge to %d in round %d"
+                 v target !rounds);
+          Hashtbl.add used target ();
+          any_sent := true;
+          incr messages;
+          through.(v) <- through.(v) + 1;
+          through.(target) <- through.(target) + 1;
+          next_inboxes.(target) <- (v, msg) :: next_inboxes.(target))
+        sends
+    done;
+    for v = 0 to n - 1 do
+      inboxes.(v) <- next_inboxes.(v);
+      next_inboxes.(v) <- []
+    done;
+    if not !any_sent then quiescent := true
+  done;
+  ( states,
+    {
+      rounds = !rounds;
+      messages = !messages;
+      max_inbox = !max_inbox;
+      max_node_messages = Array.fold_left max 0 through;
+    } )

@@ -1,0 +1,43 @@
+(** Synchronous message-passing execution on a tree network.
+
+    The distributed claims of the paper assume the standard synchronous
+    model: in every round, each node reads the messages its neighbors
+    sent in the previous round, updates local state, and sends at most
+    one message per incident edge. This module is that model, generic in
+    the per-node state and message types; {!Dist_nibble} runs the actual
+    distributed nibble computation on it and the tests compare every
+    node's local decision with the sequential algorithm.
+
+    The engine enforces the model: a node may only address its tree
+    neighbors, and sending two messages over one edge in one round is an
+    error (that is what pipelining has to work around). *)
+
+module Tree = Hbn_tree.Tree
+
+type ('state, 'msg) node_fn =
+  round:int ->
+  node:int ->
+  'state ->
+  inbox:(int * 'msg) list ->
+  'state * (int * 'msg) list
+(** One round of one node: consumes the inbox (sender, message) pairs
+    from the previous round and returns the new state plus outgoing
+    (neighbor, message) pairs. *)
+
+type stats = {
+  rounds : int;
+  messages : int;
+  max_inbox : int;  (** largest inbox any node saw in one round *)
+  max_node_messages : int;  (** most messages through a single node *)
+}
+
+val run :
+  ?max_rounds:int ->
+  Tree.t ->
+  init:(int -> 'state) ->
+  step:('state, 'msg) node_fn ->
+  'state array * stats
+(** Runs rounds until quiescence — a round in which no node sends
+    anything — or [max_rounds] (default 100_000; reaching it raises
+    [Failure]). Returns the final states. Raises [Invalid_argument] if a
+    node addresses a non-neighbor or doubles up on an edge. *)

@@ -1,0 +1,59 @@
+(** Exact optimal placements for small instances.
+
+    The congestion couples objects only through per-edge load sums, so the
+    optimum factorizes: enumerate, per object, the Pareto-minimal
+    edge-load vectors over all copy sets and reference assignments, then
+    search the cross product with branch-and-bound. This makes the true
+    optimum computable for the instance sizes used by experiments E2, E3
+    and E7 (up to roughly 6 processors and a handful of objects).
+
+    Candidate copy locations select the model: [`Leaves] is the paper's
+    hierarchical bus network (copies on processors only), [`All_nodes] is
+    the tree model of [MMVW97] that the nibble strategy solves optimally —
+    comparing the two quantifies the price of the bus restriction. *)
+
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+type candidates = [ `Leaves | `All_nodes ]
+
+exception Too_large of string
+(** Raised when the enumeration would exceed the safety budget. *)
+
+val object_vectors :
+  ?budget:int -> Workload.t -> obj:int -> candidates:candidates ->
+  int array list
+(** Pareto-minimal edge-load vectors of one object over every nonempty
+    copy set and every (strict, per-processor) reference assignment. An
+    object without requests yields the single all-zero vector. [budget]
+    bounds the number of enumerated configurations (default [2_000_000]). *)
+
+type optimum = {
+  congestion : float;
+  edge_loads : int array;  (** loads of one optimal configuration *)
+}
+
+val optimum :
+  ?budget:int ->
+  ?upper_bound:float ->
+  Workload.t ->
+  candidates:candidates ->
+  optimum
+(** The exact optimal congestion. [upper_bound] (e.g. the congestion of a
+    known placement) accelerates pruning but never changes the result. *)
+
+val min_total_load :
+  ?budget:int -> Workload.t -> candidates:candidates -> optimum
+(** The placement minimizing the {e total communication load}
+    [Σ_e L(e)] — the objective the paper's introduction argues against.
+    The total decomposes per object, so this is exact and cheap; the
+    returned [congestion] is the congestion that the total-load-optimal
+    placement {e suffers}, which experiment E15 compares against the true
+    congestion optimum to reproduce the "bottleneck" motivation. *)
+
+val min_edge_loads :
+  ?budget:int -> Workload.t -> candidates:candidates -> int array
+(** Per-edge minima: for each edge, the minimum load achievable by {e any}
+    placement (optimizing each edge separately). Theorem 3.1 asserts the
+    nibble placement attains all of them simultaneously when
+    [candidates = `All_nodes]. *)

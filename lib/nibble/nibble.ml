@@ -1,0 +1,98 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+type copy_set = {
+  obj : int;
+  nodes : int list;
+  gravity : int;
+  rooted : Tree.rooted;
+}
+
+let gravity_center t ~weights =
+  let r = Tree.rooting t in
+  let total = Array.fold_left ( + ) 0 weights in
+  let sums = Tree.subtree_sums r weights in
+  (* Removing v leaves the children subtrees and the rest of the tree;
+     v is a center of gravity iff the heaviest such component carries at
+     most half the total weight. *)
+  let heaviest v =
+    let above = total - sums.(v) in
+    Array.fold_left (fun acc c -> max acc sums.(c)) above r.Tree.children.(v)
+  in
+  let rec search v =
+    if v >= Tree.n t then
+      invalid_arg "Nibble.gravity_center: no center found (impossible)"
+    else if 2 * heaviest v <= total then v
+    else search (v + 1)
+  in
+  search 0
+
+type group = { leaf : int; reads : int; writes : int }
+
+let group_weight g = g.reads + g.writes
+
+let place w ~obj =
+  let tree = Workload.tree w in
+  let weights = Workload.weight_vector w ~obj in
+  let total = Array.fold_left ( + ) 0 weights in
+  if total = 0 then
+    { obj; nodes = []; gravity = 0; rooted = Tree.rooting tree }
+  else begin
+    let gravity = gravity_center tree ~weights in
+    let rooted = Tree.reroot tree gravity in
+    let kappa = Workload.write_contention w ~obj in
+    let sums = Tree.subtree_sums rooted weights in
+    let nodes = ref [] in
+    for v = Tree.n tree - 1 downto 0 do
+      if v = gravity || sums.(v) > kappa then nodes := v :: !nodes
+    done;
+    { obj; nodes = !nodes; gravity; rooted }
+  end
+
+let place_all w = Array.init (Workload.num_objects w) (fun obj -> place w ~obj)
+
+let placement w =
+  let sets = place_all w in
+  let copies = Array.map (fun cs -> cs.nodes) sets in
+  Placement.nearest w ~copies
+
+let edge_loads w = Placement.edge_loads w (placement w)
+
+let served_groups w cs =
+  let tree = Workload.tree w in
+  let in_set = Array.make (Tree.n tree) false in
+  List.iter (fun v -> in_set.(v) <- true) cs.nodes;
+  let out = Array.make (Tree.n tree) [] in
+  List.iter
+    (fun leaf ->
+      match Tree.first_on_path cs.rooted ~member:(fun v -> in_set.(v)) leaf with
+      | None ->
+        invalid_arg "Nibble.served_groups: request with no copy on its path"
+      | Some server ->
+        let g =
+          {
+            leaf;
+            reads = Workload.reads w ~obj:cs.obj leaf;
+            writes = Workload.writes w ~obj:cs.obj leaf;
+          }
+        in
+        out.(server) <- g :: out.(server))
+    (Workload.requesting_leaves w ~obj:cs.obj);
+  out
+
+let is_connected tree nodes =
+  match nodes with
+  | [] -> true
+  | first :: _ ->
+    let in_set = Array.make (Tree.n tree) false in
+    List.iter (fun v -> in_set.(v) <- true) nodes;
+    let seen = Array.make (Tree.n tree) false in
+    let rec dfs v =
+      seen.(v) <- true;
+      Array.iter
+        (fun (u, _) -> if in_set.(u) && not seen.(u) then dfs u)
+        (Tree.neighbors tree v)
+    in
+    dfs first;
+    List.for_all (fun v -> seen.(v)) nodes

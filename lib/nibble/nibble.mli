@@ -1,0 +1,64 @@
+(** Step 1 of the extended-nibble strategy: the nibble placement.
+
+    The nibble strategy (Maggs, Meyer auf der Heide, Vöcking, Westermann,
+    FOCS 1997) computes, per object [x], a placement of copies on the nodes
+    of a tree — inner nodes included — that minimizes the load on {e very}
+    edge simultaneously (Theorem 3.1). With the weight
+    [h(v) = h_r(v,x) + h_w(v,x)] and the write contention
+    [κ_x = Σ_v h_w(v,x)], the rule is: root the tree at a center of gravity
+    [g(T)] of the weights; node [v] receives a copy iff [v = g(T)] or the
+    weight of the subtree of [v] exceeds [κ_x]. The copies form a connected
+    subtree [T(x)] containing [g(T)]; each processor's reference copy is
+    its nearest copy. *)
+
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+type copy_set = {
+  obj : int;
+  nodes : int list;  (** nodes of [T(x)], ascending; empty for unused objects *)
+  gravity : int;  (** the chosen center of gravity [g(T)] *)
+  rooted : Tree.rooted;  (** the tree rooted at [gravity] *)
+}
+
+val gravity_center : Tree.t -> weights:int array -> int
+(** [gravity_center t ~weights] is the smallest-index node whose removal
+    splits the tree into components each of weight at most half the total
+    (such a node always exists; for total weight 0 every node qualifies). *)
+
+val place : Workload.t -> obj:int -> copy_set
+(** The nibble copy set for one object. [nodes = []] iff the object has no
+    requests. *)
+
+val place_all : Workload.t -> copy_set array
+
+val placement : Workload.t -> Placement.t
+(** Nibble placement over all objects with nearest-copy reference
+    assignment — the optimal tree-model placement that Step 2 and Step 3
+    start from, and the per-edge lower bound [L_nib] of the analysis. *)
+
+val edge_loads : Workload.t -> int array
+(** [L_nib(e)] for every edge: the loads of {!placement}. *)
+
+(** {1 Request service accounting}
+
+    Step 2 needs to know, per copy, which requests it serves. A request
+    group is all of one processor's reads and writes for the object; with
+    nearest-copy assignment the group is served by the first copy on the
+    processor's path towards the gravity center. *)
+
+type group = { leaf : int; reads : int; writes : int }
+
+val served_groups : Workload.t -> copy_set -> group list array
+(** [served_groups w cs] maps each node of [cs.nodes] to the request groups
+    its copy serves (empty lists elsewhere). Every requesting leaf appears
+    in exactly one group. *)
+
+val group_weight : group -> int
+(** [reads + writes]. *)
+
+(** {1 Structure checks (used by tests and the E3 experiment)} *)
+
+val is_connected : Tree.t -> int list -> bool
+(** Whether the node set induces a connected subgraph of the tree. *)

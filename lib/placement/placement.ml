@@ -1,0 +1,281 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+
+type assignment = { leaf : int; server : int; reads : int; writes : int }
+
+type obj_placement = { copies : int list; assigns : assignment list }
+
+type t = obj_placement array
+
+let dedup_sorted xs = List.sort_uniq compare xs
+
+let nearest w ~copies =
+  let tree = Workload.tree w in
+  Array.init (Workload.num_objects w) (fun obj ->
+      let cs = dedup_sorted copies.(obj) in
+      let leaves = Workload.requesting_leaves w ~obj in
+      if leaves <> [] && cs = [] then
+        invalid_arg "Placement.nearest: requests but no copies";
+      let closest leaf =
+        let best = ref (-1) and best_d = ref max_int in
+        List.iter
+          (fun c ->
+            let d = Tree.path_length tree leaf c in
+            if d < !best_d then begin
+              best := c;
+              best_d := d
+            end)
+          cs;
+        !best
+      in
+      let assigns =
+        List.map
+          (fun leaf ->
+            {
+              leaf;
+              server = closest leaf;
+              reads = Workload.reads w ~obj leaf;
+              writes = Workload.writes w ~obj leaf;
+            })
+          leaves
+      in
+      { copies = cs; assigns })
+
+let single w obj_to_node =
+  let n = Workload.num_objects w in
+  let copies = Array.make n [] in
+  List.iter
+    (fun (obj, node) ->
+      if obj < 0 || obj >= n then invalid_arg "Placement.single: bad object";
+      if copies.(obj) <> [] then
+        invalid_arg "Placement.single: duplicate object";
+      copies.(obj) <- [ node ])
+    obj_to_node;
+  Array.iteri
+    (fun obj c ->
+      if c = [] && Workload.requesting_leaves w ~obj <> [] then
+        invalid_arg "Placement.single: object missing a copy")
+    copies;
+  nearest w ~copies
+
+let full_replication w =
+  let tree = Workload.tree w in
+  let all = Tree.leaves tree in
+  let copies =
+    Array.init (Workload.num_objects w) (fun _ -> all)
+  in
+  nearest w ~copies
+
+let copies t ~obj = t.(obj).copies
+
+let is_strict t =
+  Array.for_all
+    (fun op ->
+      let seen = Hashtbl.create 16 in
+      List.for_all
+        (fun a ->
+          if Hashtbl.mem seen a.leaf then false
+          else begin
+            Hashtbl.add seen a.leaf ();
+            true
+          end)
+        op.assigns)
+    t
+
+let to_strict t =
+  Array.map
+    (fun op ->
+      let by_leaf = Hashtbl.create 16 in
+      List.iter
+        (fun a ->
+          let prev = try Hashtbl.find by_leaf a.leaf with Not_found -> [] in
+          Hashtbl.replace by_leaf a.leaf (a :: prev))
+        op.assigns;
+      let assigns =
+        Hashtbl.fold
+          (fun leaf parts acc ->
+            let reads = List.fold_left (fun s a -> s + a.reads) 0 parts in
+            let writes = List.fold_left (fun s a -> s + a.writes) 0 parts in
+            let server =
+              (* majority server; ties to the lowest node id *)
+              let best = ref (-1) and best_w = ref (-1) in
+              List.iter
+                (fun a ->
+                  let wgt = a.reads + a.writes in
+                  if
+                    wgt > !best_w
+                    || (wgt = !best_w && a.server < !best)
+                  then begin
+                    best := a.server;
+                    best_w := wgt
+                  end)
+                parts;
+              !best
+            in
+            { leaf; server; reads; writes } :: acc)
+          by_leaf []
+      in
+      { op with assigns = List.sort compare assigns })
+    t
+
+let leaf_only tree t =
+  Array.for_all
+    (fun op -> List.for_all (fun c -> Tree.is_leaf tree c) op.copies)
+    t
+
+let validate w t =
+  let tree = Workload.tree w in
+  let problem = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  if Array.length t <> Workload.num_objects w then
+    fail "placement has %d objects, workload %d" (Array.length t)
+      (Workload.num_objects w);
+  Array.iteri
+    (fun obj op ->
+      if List.length (dedup_sorted op.copies) <> List.length op.copies then
+        fail "object %d: duplicate copies" obj;
+      List.iter
+        (fun c ->
+          if c < 0 || c >= Tree.n tree then fail "object %d: bad copy node" obj)
+        op.copies;
+      let reads = Array.make (Tree.n tree) 0 in
+      let writes = Array.make (Tree.n tree) 0 in
+      List.iter
+        (fun a ->
+          if a.reads < 0 || a.writes < 0 then
+            fail "object %d: negative assignment" obj;
+          if not (List.mem a.server op.copies) then
+            fail "object %d: server %d holds no copy" obj a.server;
+          if not (Tree.is_leaf tree a.leaf) then
+            fail "object %d: requests from non-processor %d" obj a.leaf;
+          reads.(a.leaf) <- reads.(a.leaf) + a.reads;
+          writes.(a.leaf) <- writes.(a.leaf) + a.writes)
+        op.assigns;
+      for v = 0 to Tree.n tree - 1 do
+        let hr = if Tree.is_leaf tree v then Workload.reads w ~obj v else 0 in
+        let hw = if Tree.is_leaf tree v then Workload.writes w ~obj v else 0 in
+        if reads.(v) <> hr then
+          fail "object %d: node %d reads %d assigned, %d required" obj v
+            reads.(v) hr;
+        if writes.(v) <> hw then
+          fail "object %d: node %d writes %d assigned, %d required" obj v
+            writes.(v) hw
+      done)
+    t;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let object_edge_loads w t ~obj =
+  let tree = Workload.tree w in
+  let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+  let op = t.(obj) in
+  List.iter
+    (fun a ->
+      let amount = a.reads + a.writes in
+      if amount > 0 && a.leaf <> a.server then
+        List.iter
+          (fun e -> loads.(e) <- loads.(e) + amount)
+          (Tree.path_edges tree a.leaf a.server))
+    op.assigns;
+  let total_writes = List.fold_left (fun s a -> s + a.writes) 0 op.assigns in
+  if total_writes > 0 then
+    List.iter
+      (fun e -> loads.(e) <- loads.(e) + total_writes)
+      (Tree.steiner_edges tree op.copies);
+  loads
+
+let edge_loads w t =
+  let tree = Workload.tree w in
+  let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+  Array.iteri
+    (fun obj _ ->
+      let o = object_edge_loads w t ~obj in
+      Array.iteri (fun e l -> loads.(e) <- loads.(e) + l) o)
+    t;
+  loads
+
+type congestion = {
+  value : float;
+  edge_loads : int array;
+  bus_loads2 : int array;
+  bottleneck : [ `Edge of int | `Bus of int ];
+}
+
+let congestion_of_edge_loads tree loads =
+  let bus_loads2 = Array.make (Tree.n tree) 0 in
+  for e = 0 to Tree.num_edges tree - 1 do
+    let u, v = Tree.edge_endpoints tree e in
+    if not (Tree.is_leaf tree u) then
+      bus_loads2.(u) <- bus_loads2.(u) + loads.(e);
+    if not (Tree.is_leaf tree v) then
+      bus_loads2.(v) <- bus_loads2.(v) + loads.(e)
+  done;
+  let best = ref 0. and arg = ref (`Edge 0) in
+  for e = 0 to Tree.num_edges tree - 1 do
+    let rel = float_of_int loads.(e) /. float_of_int (Tree.edge_bandwidth tree e) in
+    if rel > !best then begin
+      best := rel;
+      arg := `Edge e
+    end
+  done;
+  List.iter
+    (fun b ->
+      let rel =
+        float_of_int bus_loads2.(b)
+        /. (2. *. float_of_int (Tree.bus_bandwidth tree b))
+      in
+      if rel > !best then begin
+        best := rel;
+        arg := `Bus b
+      end)
+    (Tree.buses tree);
+  { value = !best; edge_loads = loads; bus_loads2; bottleneck = !arg }
+
+let evaluate w t =
+  congestion_of_edge_loads (Workload.tree w) (edge_loads w t)
+
+let congestion w t = (evaluate w t).value
+
+let total_load w t = Array.fold_left ( + ) 0 (edge_loads w t)
+
+let to_dot tree t =
+  let held = Array.make (Tree.n tree) [] in
+  Array.iteri
+    (fun obj op ->
+      List.iter (fun v -> held.(v) <- obj :: held.(v)) op.copies)
+    t;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph hbn_placement {\n";
+  for v = 0 to Tree.n tree - 1 do
+    if Tree.is_leaf tree v then begin
+      let label =
+        match List.rev held.(v) with
+        | [] -> Printf.sprintf "P%d" v
+        | objs ->
+          Printf.sprintf "P%d\\nx%s" v
+            (String.concat ",x" (List.map string_of_int objs))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=circle,label=\"%s\"];\n" v label)
+    end
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=box,label=\"bus %d\"];\n" v v)
+  done;
+  for e = 0 to Tree.num_edges tree - 1 do
+    let u, v = Tree.edge_endpoints tree e in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d -- n%d [label=\"%d\"];\n" u v
+         (Tree.edge_bandwidth tree e))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>placement of %d objects@," (Array.length t);
+  Array.iteri
+    (fun obj op ->
+      Format.fprintf ppf "  object %d: copies [%s], %d assignment groups@," obj
+        (String.concat "; " (List.map string_of_int op.copies))
+        (List.length op.assigns))
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,107 @@
+(** Placements of shared data objects and their induced loads.
+
+    A placement fixes, per object [x], the set [P_x] of nodes holding
+    copies and a (possibly split) reference-copy assignment: each
+    processor's requests to [x] are served by nodes of [P_x]. The paper's
+    model assigns one reference copy [c(P, x)] per processor; the
+    extended-nibble strategy may split one processor's requests between
+    co-located clones that the mapping step then moves apart, so the
+    representation allows one processor's requests to be divided among
+    servers ({!is_strict} tells the two cases apart, {!to_strict} collapses
+    a split assignment).
+
+    Loads follow Section 1.1 verbatim:
+    - a read by [P] loads every edge on the path [P → c(P,x)] by 1;
+    - a write by [P] loads the path [P → c(P,x)] and every edge of the
+      Steiner tree connecting [P_x] by 1;
+    - the load of a bus is half the sum of the loads of its incident
+      edges; relative load divides by bandwidth; congestion is the maximum
+      relative load over all edges and buses. *)
+
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+
+type assignment = {
+  leaf : int;  (** the requesting processor *)
+  server : int;  (** node of [P_x] serving these requests *)
+  reads : int;
+  writes : int;
+}
+
+type obj_placement = {
+  copies : int list;  (** distinct nodes holding copies of the object *)
+  assigns : assignment list;
+}
+
+type t = obj_placement array
+(** Indexed by object. *)
+
+(** {1 Constructors} *)
+
+val nearest : Workload.t -> copies:int list array -> t
+(** [nearest w ~copies] assigns every requesting processor to its closest
+    copy (ties to the lowest node id) — the reference-copy rule used by
+    the nibble strategy. Raises [Invalid_argument] if an object with
+    requests has no copies. *)
+
+val single : Workload.t -> (int * int) list -> t
+(** [single w obj_to_node] places exactly one copy per object as listed
+    (every object of [w] must appear exactly once) and assigns all
+    requests to it. *)
+
+val full_replication : Workload.t -> t
+(** One copy on every processor; every processor serves itself (writes
+    still pay the full Steiner tree). *)
+
+(** {1 Inspection} *)
+
+val copies : t -> obj:int -> int list
+
+val is_strict : t -> bool
+(** No processor's requests for one object are split between servers. *)
+
+val to_strict : t -> t
+(** Reassigns each (processor, object) wholly to the server that handled
+    the majority of its requests. *)
+
+val leaf_only : Tree.t -> t -> bool
+(** All copies are on processors — required of hierarchical bus networks. *)
+
+val validate : Workload.t -> t -> (unit, string) result
+(** Checks that assignments exactly cover the workload's frequencies, that
+    servers hold copies, and that copy lists are duplicate-free. *)
+
+(** {1 Loads and congestion} *)
+
+type congestion = {
+  value : float;  (** the congestion [C] *)
+  edge_loads : int array;  (** absolute load per edge *)
+  bus_loads2 : int array;  (** per node, twice the bus load (integral) *)
+  bottleneck : [ `Edge of int | `Bus of int ];
+}
+
+val edge_loads : Workload.t -> t -> int array
+(** Absolute load per edge, summed over objects. *)
+
+val object_edge_loads : Workload.t -> t -> obj:int -> int array
+(** Load per edge induced by a single object. *)
+
+val evaluate : Workload.t -> t -> congestion
+(** Full congestion accounting. *)
+
+val congestion : Workload.t -> t -> float
+(** [= (evaluate w p).value]. *)
+
+val total_load : Workload.t -> t -> int
+(** Sum of all edge loads (the "total communication load" objective the
+    paper contrasts congestion with). *)
+
+val congestion_of_edge_loads : Tree.t -> int array -> congestion
+(** Recomputes bus loads and congestion from raw edge loads (used by the
+    exact solver which manipulates edge-load vectors directly). *)
+
+val to_dot : Tree.t -> t -> string
+(** Graphviz rendering of the network with each processor labeled by the
+    objects it holds copies of (buses as boxes, as in {!Tree.to_dot}). *)
+
+val pp : Format.formatter -> t -> unit

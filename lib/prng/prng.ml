@@ -1,0 +1,86 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 output mixing (Steele, Lea & Flood 2014). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = bits64 g in
+  { state = mix64 seed }
+
+let copy g = { state = g.state }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bias is < 2^-40 for the bounds used
+     in workload synthesis. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  v mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let geometric g ~p =
+  if p <= 0. || p > 1. then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p = 1. then 0
+  else
+    let u = float g 1.0 in
+    let u = if u = 0. then epsilon_float else u in
+    int_of_float (floor (log u /. log (1. -. p)))
+
+let zipf_cdf ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (1. /. (float_of_int (i + 1) ** s));
+    cdf.(i) <- !total
+  done;
+  Array.iteri (fun i v -> cdf.(i) <- v /. !total) cdf;
+  cdf
+
+let search_cdf cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let zipf g ~n ~s =
+  let cdf = zipf_cdf ~n ~s in
+  search_cdf cdf (float g 1.0)
+
+let zipf_sampler ~n ~s =
+  let cdf = zipf_cdf ~n ~s in
+  fun g -> search_cdf cdf (float g 1.0)
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))

@@ -1,0 +1,56 @@
+(** Deterministic splittable pseudo-random number generation.
+
+    All experiment workloads are generated from explicit seeds so that every
+    table in EXPERIMENTS.md is reproducible bit-for-bit; nothing in this
+    library reads the clock. The generator is SplitMix64 (Steele, Lea &
+    Flood, OOPSLA 2014), which is adequate for workload synthesis and cheap
+    to split into independent streams. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] is a generator deterministically derived from [seed]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent child
+    generator. Useful for giving each object or each trial its own stream
+    so adding trials does not perturb earlier ones. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state (same future outputs). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val geometric : t -> p:float -> int
+(** [geometric g ~p] is the number of failures before the first success of a
+    Bernoulli([p]) process, i.e. support [{0, 1, ...}]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf g ~n ~s] samples from a Zipf distribution with exponent [s] over
+    ranks [\[0, n)] by inverse-CDF over the precomputed normalizer (linear
+    scan; fine for the [n] used in workloads). *)
+
+val zipf_sampler : n:int -> s:float -> t -> int
+(** [zipf_sampler ~n ~s] precomputes the CDF once and returns a sampling
+    function using binary search; use when drawing many samples. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)

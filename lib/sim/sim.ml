@@ -1,0 +1,182 @@
+module Tree = Hbn_tree.Tree
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+type outcome = {
+  makespan : int;
+  packets : int;
+  transmissions : int;
+  edge_traffic : int array;
+  max_dilation : int;
+}
+
+(* One edge traversal of one packet. [dep] is the index (into the global
+   transmission array) of the traversal that must complete first, or -1. *)
+type hop = { edge : int; dep : int }
+
+let scale_up amount scale = if amount = 0 then 0 else ((amount - 1) / scale) + 1
+
+type policy = Fifo | Round_robin | Reversed
+
+let run ?(scale = 1) ?(policy = Fifo) w placement =
+  if scale < 1 then invalid_arg "Sim.run: scale must be >= 1";
+  let tree = Workload.tree w in
+  let m = max 1 (Tree.num_edges tree) in
+  let hops_rev = ref [] in
+  let count = ref 0 in
+  let packets = ref 0 in
+  let push edge dep =
+    hops_rev := { edge; dep } :: !hops_rev;
+    incr count;
+    !count - 1
+  in
+  let add_unicast ~from ~target =
+    let last = ref (-1) in
+    List.iter
+      (fun edge -> last := push edge !last)
+      (Tree.path_edges tree from target);
+    !last
+  in
+  (* Multicast from [source] over the Steiner tree of [nodes], gated on
+     [dep]: BFS orientation away from the source. *)
+  let add_multicast ~source ~nodes ~dep =
+    let steiner = Tree.steiner_edges tree nodes in
+    if steiner <> [] then begin
+      let incident = Hashtbl.create 16 in
+      List.iter
+        (fun e ->
+          let u, v = Tree.edge_endpoints tree e in
+          Hashtbl.replace incident u
+            (e :: (try Hashtbl.find incident u with Not_found -> []));
+          Hashtbl.replace incident v
+            (e :: (try Hashtbl.find incident v with Not_found -> [])))
+        steiner;
+      let visited_edge = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Queue.add (source, dep) queue;
+      while not (Queue.is_empty queue) do
+        let node, d = Queue.pop queue in
+        List.iter
+          (fun e ->
+            if not (Hashtbl.mem visited_edge e) then begin
+              Hashtbl.add visited_edge e ();
+              let u, v = Tree.edge_endpoints tree e in
+              let next = if u = node then v else u in
+              let idx = push e d in
+              Queue.add (next, idx) queue
+            end)
+          (try Hashtbl.find incident node with Not_found -> [])
+      done
+    end
+  in
+  Array.iteri
+    (fun _obj (op : Placement.obj_placement) ->
+      List.iter
+        (fun (a : Placement.assignment) ->
+          let reads = scale_up a.Placement.reads scale in
+          let writes = scale_up a.Placement.writes scale in
+          for _ = 1 to reads do
+            incr packets;
+            ignore (add_unicast ~from:a.Placement.leaf ~target:a.Placement.server)
+          done;
+          for _ = 1 to writes do
+            incr packets;
+            let arrival =
+              add_unicast ~from:a.Placement.leaf ~target:a.Placement.server
+            in
+            add_multicast ~source:a.Placement.server ~nodes:op.Placement.copies
+              ~dep:arrival
+          done)
+        op.Placement.assigns)
+    placement;
+  let hops = Array.of_list (List.rev !hops_rev) in
+  let n_hops = Array.length hops in
+  let edge_traffic = Array.make m 0 in
+  Array.iter (fun h -> edge_traffic.(h.edge) <- edge_traffic.(h.edge) + 1) hops;
+  (* Dependency depth = packet dilation. *)
+  let depth = Array.make (max 1 n_hops) 0 in
+  let max_dilation = ref 0 in
+  Array.iteri
+    (fun i h ->
+      depth.(i) <- (if h.dep >= 0 then depth.(h.dep) + 1 else 1);
+      if depth.(i) > !max_dilation then max_dilation := depth.(i))
+    hops;
+  (* Synchronous greedy FIFO rounds. *)
+  let edge_cap = Array.init m (fun e ->
+      if Tree.num_edges tree = 0 then 1 else Tree.edge_bandwidth tree e)
+  in
+  let bus_cap = Array.make (Tree.n tree) 0 in
+  List.iter (fun b -> bus_cap.(b) <- 2 * Tree.bus_bandwidth tree b) (Tree.buses tree);
+  let is_bus = Array.init (Tree.n tree) (fun v -> not (Tree.is_leaf tree v)) in
+  let edge_left = Array.make m 0 in
+  let bus_left = Array.make (Tree.n tree) 0 in
+  let frontier = ref [] in
+  (* Hops whose dependency is already done enter the frontier in index
+     order (FIFO by injection). *)
+  let blocked_children = Array.make (max 1 n_hops) [] in
+  for i = n_hops - 1 downto 0 do
+    let h = hops.(i) in
+    if h.dep < 0 then frontier := i :: !frontier
+    else blocked_children.(h.dep) <- i :: blocked_children.(h.dep)
+  done;
+  let remaining = ref n_hops in
+  let rounds = ref 0 in
+  while !remaining > 0 do
+    incr rounds;
+    Array.blit edge_cap 0 edge_left 0 m;
+    Array.iteri (fun v c -> bus_left.(v) <- c) bus_cap;
+    let next = ref [] in
+    let newly = ref [] in
+    let scheduled =
+      (* The scheduling policy permutes the service order of the ready
+         hops; any order is work-conserving, experiment E16 measures how
+         little it matters. *)
+      match policy with
+      | Fifo -> !frontier
+      | Reversed -> List.rev !frontier
+      | Round_robin ->
+        let len = List.length !frontier in
+        if len = 0 then []
+        else begin
+          let k = !rounds mod len in
+          (* Rotate the frontier by k positions. *)
+          let rec split i acc = function
+            | rest when i = k -> rest @ List.rev acc
+            | x :: rest -> split (i + 1) (x :: acc) rest
+            | [] -> List.rev acc
+          in
+          split 0 [] !frontier
+        end
+    in
+    List.iter
+      (fun i ->
+        let h = hops.(i) in
+        let u, v = Tree.edge_endpoints tree h.edge in
+        let bus_ok b = (not is_bus.(b)) || bus_left.(b) > 0 in
+        if edge_left.(h.edge) > 0 && bus_ok u && bus_ok v then begin
+          edge_left.(h.edge) <- edge_left.(h.edge) - 1;
+          if is_bus.(u) then bus_left.(u) <- bus_left.(u) - 1;
+          if is_bus.(v) then bus_left.(v) <- bus_left.(v) - 1;
+          decr remaining;
+          (* Children become ready next round (store-and-forward). *)
+          List.iter (fun c -> newly := c :: !newly) blocked_children.(i)
+        end
+        else next := i :: !next)
+      scheduled;
+    frontier := List.rev_append !next (List.sort compare !newly)
+  done;
+  {
+    makespan = !rounds;
+    packets = !packets;
+    transmissions = n_hops;
+    edge_traffic;
+    max_dilation = !max_dilation;
+  }
+
+let lower_bound w _placement outcome =
+  let tree = Workload.tree w in
+  let cong =
+    (Placement.congestion_of_edge_loads tree outcome.edge_traffic)
+      .Placement.value
+  in
+  Float.max cong (float_of_int outcome.max_dilation)

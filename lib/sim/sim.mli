@@ -1,0 +1,57 @@
+(** Store-and-forward packet simulator for hierarchical bus networks.
+
+    The paper motivates congestion as the objective because network
+    throughput is governed by it (its [8], an experimental SPAA'99 study
+    on SCI clusters, shows application run time tracking the congestion of
+    the data management strategy). The authors' hardware is not available,
+    so this module substitutes a synchronous store-and-forward simulator
+    of the same tree-of-buses model — experiment E10 uses it to reproduce
+    the qualitative claim on synthetic traffic (see DESIGN.md §4).
+
+    Traffic: every read request becomes a packet traversing the unique
+    path from the requesting processor to its reference copy (SCI
+    request-response transactions collapse into one packet, exactly as in
+    the paper's Figure 1→2 argument); every write becomes a packet to the
+    reference copy followed by a multicast over the Steiner tree of the
+    copy set, whose first hops wait for the request to arrive.
+
+    Mechanics: per round, an edge [e] transmits at most [b(e)] packets and
+    the packet-hops on edges incident to a bus [B] are limited to
+    [2·b(B)] (matching the bus-load definition, which charges each
+    crossing message to two incident edges). Scheduling is greedy FIFO and
+    deterministic. Every transmission moves one hop per round
+    (store-and-forward). With all bandwidths 1 this is the standard
+    [Ω(congestion + dilation)] routing regime.
+
+    With [scale = 1] the simulator performs exactly one transmission per
+    unit of analytic load, so its per-edge traffic equals
+    {!Hbn_placement.Placement.edge_loads} — a consistency check the test
+    suite exploits. *)
+
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+type outcome = {
+  makespan : int;  (** rounds until every packet is delivered *)
+  packets : int;  (** messages injected (multicasts count once) *)
+  transmissions : int;  (** total edge traversals *)
+  edge_traffic : int array;  (** traversals per edge *)
+  max_dilation : int;  (** longest dependency chain over all packets *)
+}
+
+type policy =
+  | Fifo  (** serve ready hops oldest-first (default) *)
+  | Round_robin  (** rotate the service order every round *)
+  | Reversed  (** youngest-first — the most unfair work-conserving order *)
+
+val run : ?scale:int -> ?policy:policy -> Workload.t -> Placement.t -> outcome
+(** Simulates the workload under the placement. [scale] divides all
+    frequencies (rounding up) to bound simulation cost on large workloads;
+    default 1. [policy] picks the service order of ready transmissions —
+    every policy is work-conserving, and experiment E16 shows the makespan
+    (and hence the congestion-predicts-performance conclusion of E10) is
+    robust to the choice. *)
+
+val lower_bound : Workload.t -> Placement.t -> outcome -> float
+(** [max(congestion, dilation)] for the simulated traffic — no schedule
+    can beat it; used to sanity-check simulator results. *)

@@ -1,0 +1,205 @@
+type bandwidth_profile =
+  | Uniform of int
+  | Scaled_by_subtree of int
+  | Custom of (depth:int -> subtree_leaves:int -> int)
+
+type ring = { ring_bandwidth : int; members : member list }
+
+and member = Ring_processor | Sub_ring of int * ring
+
+(* Builders produce a skeleton first (all bandwidths 1) and then re-make the
+   tree with profile-derived bandwidths, which need depths and per-subtree
+   leaf counts of the finished structure. *)
+
+let profile_value profile ~depth ~subtree_leaves =
+  match profile with
+  | Uniform k -> k
+  | Scaled_by_subtree m -> max 1 (m * subtree_leaves)
+  | Custom f -> max 1 (f ~depth ~subtree_leaves)
+
+let apply_profile profile ~kinds ~edges ~root =
+  let skeleton =
+    Tree.make ~kinds ~edges:(List.map (fun (u, v) -> (u, v, 1)) edges)
+      ~bus_bandwidth:(fun _ -> 1) ~root ()
+  in
+  let r = Tree.rooting skeleton in
+  let leaf_indicator =
+    Array.init (Tree.n skeleton) (fun v ->
+        if Tree.is_leaf skeleton v then 1 else 0)
+  in
+  let leaves_below = Tree.subtree_sums r leaf_indicator in
+  let edge_bw (u, v) =
+    let child = if r.Tree.parent.(u) = v then u else v in
+    if Tree.is_leaf skeleton u || Tree.is_leaf skeleton v then 1
+    else
+      profile_value profile ~depth:r.Tree.depth.(child)
+        ~subtree_leaves:leaves_below.(child)
+  in
+  let bus_bandwidth v =
+    profile_value profile ~depth:r.Tree.depth.(v)
+      ~subtree_leaves:leaves_below.(v)
+  in
+  Tree.make ~kinds
+    ~edges:(List.map (fun (u, v) -> (u, v, edge_bw (u, v))) edges)
+    ~bus_bandwidth ~root ()
+
+let star ~leaves ~profile =
+  if leaves < 2 then invalid_arg "Builders.star: need at least 2 leaves";
+  let kinds =
+    Array.init (leaves + 1) (fun v -> if v = 0 then Tree.Bus else Tree.Processor)
+  in
+  let edges = List.init leaves (fun i -> (0, i + 1)) in
+  apply_profile profile ~kinds ~edges ~root:0
+
+let balanced ~arity ~height ~profile =
+  if arity < 2 then invalid_arg "Builders.balanced: arity must be >= 2";
+  if height < 1 then invalid_arg "Builders.balanced: height must be >= 1";
+  (* Allocate nodes level by level; level [height] holds the processors. *)
+  let kinds = ref [] and edges = ref [] and counter = ref 0 in
+  let fresh k =
+    let id = !counter in
+    incr counter;
+    kinds := k :: !kinds;
+    id
+  in
+  let rec build depth =
+    if depth = height then fresh Tree.Processor
+    else begin
+      let v = fresh Tree.Bus in
+      for _ = 1 to arity do
+        let c = build (depth + 1) in
+        edges := (v, c) :: !edges
+      done;
+      v
+    end
+  in
+  let root = build 0 in
+  let kinds = Array.of_list (List.rev !kinds) in
+  apply_profile profile ~kinds ~edges:!edges ~root
+
+let caterpillar ~spine ~leaves_per_bus ~profile =
+  if spine < 1 then invalid_arg "Builders.caterpillar: spine must be >= 1";
+  if leaves_per_bus < 1 then
+    invalid_arg "Builders.caterpillar: leaves_per_bus must be >= 1";
+  let kinds = ref [] and edges = ref [] and counter = ref 0 in
+  let fresh k =
+    let id = !counter in
+    incr counter;
+    kinds := k :: !kinds;
+    id
+  in
+  let prev = ref (-1) in
+  for i = 0 to spine - 1 do
+    let b = fresh Tree.Bus in
+    if !prev >= 0 then edges := (!prev, b) :: !edges;
+    prev := b;
+    let extra =
+      (* End buses of a single-leaf caterpillar would have degree 1 plus a
+         spine neighbor; guarantee degree >= 2 for every bus. *)
+      if leaves_per_bus = 1 && (i = 0 || i = spine - 1) && spine > 1 then 1
+      else 0
+    in
+    for _ = 1 to leaves_per_bus + extra do
+      let p = fresh Tree.Processor in
+      edges := (b, p) :: !edges
+    done
+  done;
+  let kinds = Array.of_list (List.rev !kinds) in
+  (* A 1-bus caterpillar with one leaf is invalid (bus of degree 1). *)
+  if spine = 1 && leaves_per_bus = 1 then
+    invalid_arg "Builders.caterpillar: a single bus needs >= 2 leaves";
+  apply_profile profile ~kinds ~edges:!edges ~root:0
+
+let random ~prng ~buses ~leaves ~profile =
+  if buses < 1 then invalid_arg "Builders.random: need at least one bus";
+  if leaves < 2 then invalid_arg "Builders.random: need at least two leaves";
+  let edges = ref [] in
+  (* Random recursive tree over the bus skeleton. *)
+  for b = 1 to buses - 1 do
+    let p = Hbn_prng.Prng.int prng b in
+    edges := (p, b) :: !edges
+  done;
+  let attach = Array.make buses 0 in
+  for _ = 1 to leaves do
+    let b = Hbn_prng.Prng.int prng buses in
+    attach.(b) <- attach.(b) + 1
+  done;
+  (* Skeleton leaves must not stay childless buses. *)
+  let skeleton_degree = Array.make buses 0 in
+  List.iter
+    (fun (u, v) ->
+      skeleton_degree.(u) <- skeleton_degree.(u) + 1;
+      skeleton_degree.(v) <- skeleton_degree.(v) + 1)
+    !edges;
+  for b = 0 to buses - 1 do
+    let needed = if buses = 1 then 2 else 2 - skeleton_degree.(b) in
+    if attach.(b) < needed then attach.(b) <- needed
+  done;
+  let kinds = ref (List.init buses (fun _ -> Tree.Bus)) in
+  let counter = ref buses in
+  for b = 0 to buses - 1 do
+    for _ = 1 to attach.(b) do
+      let p = !counter in
+      incr counter;
+      kinds := !kinds @ [ Tree.Processor ];
+      edges := (b, p) :: !edges
+    done
+  done;
+  let kinds = Array.of_list !kinds in
+  apply_profile profile ~kinds ~edges:!edges ~root:0
+
+let of_ring ring =
+  let kinds = ref [] and edges = ref [] and counter = ref 0 in
+  let bandwidths = ref [] in
+  let fresh k bw =
+    let id = !counter in
+    incr counter;
+    kinds := k :: !kinds;
+    bandwidths := (id, bw) :: !bandwidths;
+    id
+  in
+  let rec build r =
+    if r.members = [] then
+      invalid_arg "Builders.of_ring: rings must have at least one member";
+    let bus = fresh Tree.Bus r.ring_bandwidth in
+    List.iter
+      (fun m ->
+        match m with
+        | Ring_processor ->
+          let p = fresh Tree.Processor 1 in
+          edges := (bus, p, 1) :: !edges
+        | Sub_ring (switch_bw, sub) ->
+          if switch_bw < 1 then
+            invalid_arg "Builders.of_ring: switch bandwidth must be >= 1";
+          let child = build sub in
+          edges := (bus, child, switch_bw) :: !edges)
+      r.members;
+    bus
+  in
+  let root = build ring in
+  let kinds = Array.of_list (List.rev !kinds) in
+  let bw_table = Array.make (Array.length kinds) 1 in
+  List.iter (fun (id, bw) -> bw_table.(id) <- bw) !bandwidths;
+  (* A ring with a single sub-ring and no processors would be a degree-1
+     bus after conversion; give such rings a monitoring processor. *)
+  Tree.make ~kinds ~edges:!edges ~bus_bandwidth:(fun v -> bw_table.(v)) ~root ()
+
+let rec sample_ring_of_rings ~prng ~depth ~fanout ~procs_per_ring =
+  let open Hbn_prng in
+  let procs = max 1 (Prng.int_in prng 1 (max 1 procs_per_ring)) in
+  let sub_count =
+    if depth <= 0 then 0 else Prng.int_in prng 0 (max 0 fanout)
+  in
+  (* Every ring needs >= 2 tree neighbors after conversion so that its bus
+     is a genuine inner node even at the root of the hierarchy. *)
+  let procs = if procs + sub_count < 2 then 2 - sub_count else procs in
+  let members =
+    List.init procs (fun _ -> Ring_processor)
+    @ List.init sub_count (fun _ ->
+          let switch_bw = Prng.int_in prng 1 4 in
+          Sub_ring
+            ( switch_bw,
+              sample_ring_of_rings ~prng ~depth:(depth - 1) ~fanout
+                ~procs_per_ring ))
+  in
+  { ring_bandwidth = Prng.int_in prng 1 8; members }

@@ -1,0 +1,67 @@
+(** Topology generators for hierarchical bus networks.
+
+    All builders respect the paper's modeling assumptions: processors are
+    leaves, buses are inner nodes, processor switches have bandwidth 1, and
+    every other bandwidth is at least 1. Bandwidths of buses and of
+    bus-to-bus switches are controlled by a {!bandwidth_profile}. *)
+
+type bandwidth_profile =
+  | Uniform of int
+      (** every bus and bus-to-bus switch has this bandwidth *)
+  | Scaled_by_subtree of int
+      (** bandwidth = max 1 (multiplier × number of processors below), a
+          fat-tree-like profile where capacity grows towards the root *)
+  | Custom of (depth:int -> subtree_leaves:int -> int)
+      (** arbitrary function of the position in the tree *)
+
+val star : leaves:int -> profile:bandwidth_profile -> Tree.t
+(** One bus with [leaves] processors attached; the Theorem 2.1 gadget shape
+    when [leaves = 4]. Requires [leaves >= 2]. *)
+
+val balanced : arity:int -> height:int -> profile:bandwidth_profile -> Tree.t
+(** Complete [arity]-ary tree of buses of the given [height]; nodes at depth
+    [height] are processors. Requires [arity >= 2] and [height >= 1]. *)
+
+val caterpillar :
+  spine:int -> leaves_per_bus:int -> profile:bandwidth_profile -> Tree.t
+(** A path of [spine] buses, each with [leaves_per_bus] processors — the
+    maximum-height topology family. Requires [spine >= 1] and
+    [leaves_per_bus >= 1] (end buses get one extra leaf when needed to keep
+    every bus an inner node). *)
+
+val random :
+  prng:Hbn_prng.Prng.t ->
+  buses:int ->
+  leaves:int ->
+  profile:bandwidth_profile ->
+  Tree.t
+(** Random recursive tree over [buses] bus nodes; the [leaves] processors
+    are attached to uniformly random buses, and every bus that would
+    otherwise be a leaf of the skeleton receives one processor (so the
+    result may have slightly more than [leaves] processors). Requires
+    [buses >= 1] and [leaves >= 2]. *)
+
+(** {1 SCI ring-of-rings topologies (Figures 1 and 2 of the paper)} *)
+
+type ring = { ring_bandwidth : int; members : member list }
+(** An SCI ringlet: processors and sub-rings connected by switches. *)
+
+and member =
+  | Ring_processor
+  | Sub_ring of int * ring
+      (** [Sub_ring (switch_bandwidth, r)]: a switch of the given bandwidth
+          leading to the sub-ringlet [r] *)
+
+val of_ring : ring -> Tree.t
+(** [of_ring r] performs the paper's Figure 1 → Figure 2 conversion: each
+    ringlet becomes a bus whose bandwidth is the ring's bandwidth (each
+    request-response transaction on a unidirectional ringlet is a single
+    packet traveling the whole ring, so the ring is load-wise a bus), each
+    switch becomes a tree edge, and each processor a leaf with a
+    bandwidth-1 switch. *)
+
+val sample_ring_of_rings :
+  prng:Hbn_prng.Prng.t -> depth:int -> fanout:int -> procs_per_ring:int -> ring
+(** A randomized ring-of-rings specification: rings nest up to [depth]
+    levels, each ring containing up to [fanout] sub-rings and
+    [procs_per_ring] processors (at least one member each). *)

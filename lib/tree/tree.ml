@@ -1,0 +1,303 @@
+type kind = Processor | Bus
+
+type rooted = {
+  root : int;
+  parent : int array;
+  parent_edge : int array;
+  children : int array array;
+  depth : int array;
+  preorder : int array;
+}
+
+type t = {
+  size : int;
+  kinds : kind array;
+  adj : (int * int) array array;
+  edge_ends : (int * int) array;
+  edge_bw : int array;
+  bus_bw : int array; (* -1 on processors *)
+  canonical : rooted;
+}
+
+let compute_rooting ~size ~adj root =
+  let parent = Array.make size (-1) in
+  let parent_edge = Array.make size (-1) in
+  let depth = Array.make size 0 in
+  let preorder = Array.make size root in
+  let visited = Array.make size false in
+  (* Iterative DFS producing a preorder where parents precede children. *)
+  let stack = ref [ root ] in
+  let pos = ref 0 in
+  visited.(root) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      preorder.(!pos) <- v;
+      incr pos;
+      Array.iter
+        (fun (u, e) ->
+          if not visited.(u) then begin
+            visited.(u) <- true;
+            parent.(u) <- v;
+            parent_edge.(u) <- e;
+            depth.(u) <- depth.(v) + 1;
+            stack := u :: !stack
+          end)
+        adj.(v)
+  done;
+  if !pos <> size then invalid_arg "Tree.make: edges do not connect all nodes";
+  let child_count = Array.make size 0 in
+  Array.iter
+    (fun p -> if p >= 0 then child_count.(p) <- child_count.(p) + 1)
+    parent;
+  let children = Array.map (fun c -> Array.make c (-1)) child_count in
+  let fill = Array.make size 0 in
+  (* Follow preorder so children arrays are in a deterministic order. *)
+  Array.iter
+    (fun v ->
+      let p = parent.(v) in
+      if p >= 0 then begin
+        children.(p).(fill.(p)) <- v;
+        fill.(p) <- fill.(p) + 1
+      end)
+    preorder;
+  { root; parent; parent_edge; children; depth; preorder }
+
+let make ~kinds ~edges ~bus_bandwidth ?root () =
+  let size = Array.length kinds in
+  if size = 0 then invalid_arg "Tree.make: empty node set";
+  let m = List.length edges in
+  if m <> size - 1 then invalid_arg "Tree.make: a tree needs exactly n-1 edges";
+  let edge_ends = Array.make (max m 1) (0, 0) in
+  let edge_bw = Array.make (max m 1) 1 in
+  let deg = Array.make size 0 in
+  List.iteri
+    (fun i (u, v, bw) ->
+      if u < 0 || u >= size || v < 0 || v >= size || u = v then
+        invalid_arg "Tree.make: bad edge endpoints";
+      if bw < 1 then invalid_arg "Tree.make: bandwidths must be at least 1";
+      edge_ends.(i) <- (u, v);
+      edge_bw.(i) <- bw;
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.map (fun d -> Array.make d (-1, -1)) deg in
+  let fill = Array.make size 0 in
+  List.iteri
+    (fun i (u, v, _) ->
+      adj.(u).(fill.(u)) <- (v, i);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, i);
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iteri
+    (fun v k ->
+      match (k, deg.(v)) with
+      | Processor, d when d > 1 ->
+        invalid_arg "Tree.make: processors must be leaves"
+      | Bus, d when d <= 1 && size > 1 ->
+        invalid_arg "Tree.make: buses must be inner nodes"
+      | (Processor | Bus), _ -> ())
+    kinds;
+  if size = 1 && kinds.(0) <> Processor then
+    invalid_arg "Tree.make: a single-node network is one processor";
+  let bus_bw =
+    Array.mapi
+      (fun v k ->
+        match k with
+        | Bus ->
+          let bw = bus_bandwidth v in
+          if bw < 1 then invalid_arg "Tree.make: bandwidths must be at least 1";
+          bw
+        | Processor -> -1)
+      kinds
+  in
+  let root =
+    match root with
+    | Some r ->
+      if r < 0 || r >= size then invalid_arg "Tree.make: root out of range";
+      r
+    | None ->
+      let rec first_bus v = if v >= size then 0 else
+          match kinds.(v) with Bus -> v | Processor -> first_bus (v + 1)
+      in
+      first_bus 0
+  in
+  let canonical = compute_rooting ~size ~adj root in
+  { size; kinds; adj; edge_ends; edge_bw; bus_bw; canonical }
+
+let n t = t.size
+
+let num_edges t = t.size - 1
+
+let kind t v = t.kinds.(v)
+
+let is_leaf t v = t.kinds.(v) = Processor
+
+let leaves t =
+  List.filter (is_leaf t) (List.init t.size (fun i -> i))
+
+let buses t =
+  List.filter (fun v -> not (is_leaf t v)) (List.init t.size (fun i -> i))
+
+let num_leaves t = List.length (leaves t)
+
+let edge_endpoints t e = t.edge_ends.(e)
+
+let edge_bandwidth t e = t.edge_bw.(e)
+
+let bus_bandwidth t v =
+  match t.kinds.(v) with
+  | Bus -> t.bus_bw.(v)
+  | Processor -> invalid_arg "Tree.bus_bandwidth: node is a processor"
+
+let neighbors t v = t.adj.(v)
+
+let degree t v = Array.length t.adj.(v)
+
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.size - 1 do
+    best := max !best (degree t v)
+  done;
+  !best
+
+let rooting t = t.canonical
+
+let reroot t r = compute_rooting ~size:t.size ~adj:t.adj r
+
+let height t =
+  Array.fold_left max 0 t.canonical.depth
+
+let edge_towards_root r v =
+  if v = r.root then invalid_arg "Tree.edge_towards_root: at the root"
+  else r.parent_edge.(v)
+
+let lca r u v =
+  let u = ref u and v = ref v in
+  while r.depth.(!u) > r.depth.(!v) do u := r.parent.(!u) done;
+  while r.depth.(!v) > r.depth.(!u) do v := r.parent.(!v) done;
+  while !u <> !v do
+    u := r.parent.(!u);
+    v := r.parent.(!v)
+  done;
+  !u
+
+let path_edges t u v =
+  let r = t.canonical in
+  let a = lca r u v in
+  let rec climb x acc =
+    if x = a then acc else climb r.parent.(x) (r.parent_edge.(x) :: acc)
+  in
+  let up = List.rev (climb u []) in
+  (* climb builds v->a in reverse; we need a->v order for the second half. *)
+  let down = climb v [] in
+  up @ down
+
+let path_length t u v =
+  let r = t.canonical in
+  let a = lca r u v in
+  r.depth.(u) + r.depth.(v) - (2 * r.depth.(a))
+
+let subtree_sums r w =
+  let size = Array.length r.parent in
+  let acc = Array.copy w in
+  for i = size - 1 downto 1 do
+    let v = r.preorder.(i) in
+    let p = r.parent.(v) in
+    acc.(p) <- acc.(p) + acc.(v)
+  done;
+  acc
+
+let steiner_edges t nodes =
+  match nodes with
+  | [] | [ _ ] -> []
+  | _ ->
+    let mark = Array.make t.size 0 in
+    let total = ref 0 in
+    List.iter
+      (fun v ->
+        if mark.(v) = 0 then begin
+          mark.(v) <- 1;
+          incr total
+        end)
+      nodes;
+    if !total < 2 then []
+    else begin
+      let r = t.canonical in
+      let counts = subtree_sums r mark in
+      let result = ref [] in
+      for i = Array.length r.preorder - 1 downto 1 do
+        let v = r.preorder.(i) in
+        if counts.(v) > 0 && counts.(v) < !total then
+          result := r.parent_edge.(v) :: !result
+      done;
+      !result
+    end
+
+let first_on_path r ~member v =
+  let rec walk x =
+    if member x then Some x
+    else if x = r.root then None
+    else walk r.parent.(x)
+  in
+  walk v
+
+let nodes_by_level_bottom_up r =
+  let size = Array.length r.parent in
+  let h = Array.fold_left max 0 r.depth in
+  let levels = Array.make (h + 1) [] in
+  (* Paper convention: root on level height(T); node at depth d on level
+     height - d; index 0 is the deepest level. *)
+  for v = size - 1 downto 0 do
+    let l = h - r.depth.(v) in
+    levels.(l) <- v :: levels.(l)
+  done;
+  levels
+
+let validate_paper_assumptions t =
+  let offending = ref None in
+  for e = 0 to num_edges t - 1 do
+    let u, v = t.edge_ends.(e) in
+    if (is_leaf t u || is_leaf t v) && t.edge_bw.(e) <> 1 then
+      offending := Some e
+  done;
+  match !offending with
+  | None -> Ok ()
+  | Some e ->
+    Error
+      (Printf.sprintf
+         "edge %d touches a processor but has bandwidth %d (paper assumes 1)"
+         e t.edge_bw.(e))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>hierarchical bus network: %d nodes (%d processors, %d buses), height %d, degree %d@,"
+    t.size (num_leaves t) (t.size - num_leaves t) (height t) (max_degree t);
+  for e = 0 to num_edges t - 1 do
+    let u, v = t.edge_ends.(e) in
+    Format.fprintf ppf "  edge %d: %d -- %d (bw %d)@," e u v t.edge_bw.(e)
+  done;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph hbn {\n";
+  for v = 0 to t.size - 1 do
+    (match t.kinds.(v) with
+     | Bus ->
+       Buffer.add_string buf
+         (Printf.sprintf "  n%d [shape=box,label=\"bus %d\\nbw %d\"];\n" v v
+            t.bus_bw.(v))
+     | Processor ->
+       Buffer.add_string buf
+         (Printf.sprintf "  n%d [shape=circle,label=\"P%d\"];\n" v v))
+  done;
+  for e = 0 to num_edges t - 1 do
+    let u, v = t.edge_ends.(e) in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d -- n%d [label=\"%d\"];\n" u v t.edge_bw.(e))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,138 @@
+(** Hierarchical bus networks modeled as weighted trees.
+
+    Following the paper, a hierarchical bus network is a tree
+    [T = (P ∪ B, E, b)]: processors [P] are the leaves, buses [B] are the
+    inner nodes, edges are switches. [b] assigns bandwidths to edges and to
+    buses; switches connecting processors to buses are the slowest part of
+    the system and have bandwidth 1, all other bandwidths are at least 1.
+
+    Nodes are dense integers [0 .. n-1]; edges are dense integers
+    [0 .. n-2]. The tree stores a canonical rooting (used by the mapping
+    algorithm and the evaluator); algorithms that need a different root
+    (e.g. the nibble strategy roots at a per-object center of gravity)
+    build a {!rooted} view with {!reroot}. *)
+
+type kind = Processor | Bus
+
+type rooted = {
+  root : int;
+  parent : int array;  (** [parent.(root) = -1] *)
+  parent_edge : int array;  (** edge id towards the parent; [-1] at root *)
+  children : int array array;
+  depth : int array;
+  preorder : int array;
+      (** permutation of nodes such that parents precede children *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+val make :
+  kinds:kind array ->
+  edges:(int * int * int) list ->
+  bus_bandwidth:(int -> int) ->
+  ?root:int ->
+  unit ->
+  t
+(** [make ~kinds ~edges ~bus_bandwidth ()] builds a network with node [i] of
+    kind [kinds.(i)] and undirected edges [(u, v, bandwidth)].
+    [bus_bandwidth] gives the bandwidth of each bus node. [root] defaults to
+    the lowest-numbered bus (or node 0 if there is no bus).
+
+    Raises [Invalid_argument] if the edges do not form a tree, if any leaf
+    is not a [Processor], if any inner node is not a [Bus], or if any
+    bandwidth is below 1. A single-node network must be one processor. *)
+
+(** {1 Basic accessors} *)
+
+val n : t -> int
+(** Number of nodes, [|P ∪ B|]. *)
+
+val num_edges : t -> int
+
+val kind : t -> int -> kind
+
+val is_leaf : t -> int -> bool
+(** [is_leaf t v] is [kind t v = Processor]. *)
+
+val leaves : t -> int list
+(** All processor nodes, ascending. *)
+
+val buses : t -> int list
+(** All bus nodes, ascending. *)
+
+val num_leaves : t -> int
+
+val edge_endpoints : t -> int -> int * int
+
+val edge_bandwidth : t -> int -> int
+
+val bus_bandwidth : t -> int -> int
+(** Defined for bus nodes; raises [Invalid_argument] on processors. *)
+
+val neighbors : t -> int -> (int * int) array
+(** [neighbors t v] are [(neighbor, edge_id)] pairs. Do not mutate. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+(** [degree(T)]: maximum degree over all nodes. *)
+
+val height : t -> int
+(** [height(T)]: maximum depth of the canonical rooting. *)
+
+(** {1 Rootings} *)
+
+val rooting : t -> rooted
+(** The canonical rooting chosen at construction. *)
+
+val reroot : t -> int -> rooted
+(** [reroot t r] computes parent/children/depth arrays for root [r]. *)
+
+val edge_towards_root : rooted -> int -> int
+(** [edge_towards_root r v] is the edge from [v] to its parent;
+    raises [Invalid_argument] at the root. *)
+
+(** {1 Paths and Steiner trees} *)
+
+val path_edges : t -> int -> int -> int list
+(** [path_edges t u v] are the edges of the unique path from [u] to [v]
+    in order of traversal (empty when [u = v]). Uses the canonical rooting. *)
+
+val path_length : t -> int -> int -> int
+
+val lca : rooted -> int -> int -> int
+(** Lowest common ancestor in the given rooting. *)
+
+val steiner_edges : t -> int list -> int list
+(** [steiner_edges t nodes] are the edges of the minimal subtree connecting
+    [nodes] (empty for fewer than two distinct nodes). *)
+
+val first_on_path : rooted -> member:(int -> bool) -> int -> int option
+(** [first_on_path r ~member v] walks from [v] towards the root and returns
+    the first node satisfying [member], if any. *)
+
+(** {1 Aggregation helpers} *)
+
+val subtree_sums : rooted -> int array -> int array
+(** [subtree_sums r w] gives, for each node [v], the sum of [w] over the
+    subtree of [v] in rooting [r] (linear time, no recursion). *)
+
+val nodes_by_level_bottom_up : rooted -> int list array
+(** [nodes_by_level_bottom_up r] groups nodes by level where, following the
+    paper's convention, the root is on level [height] and children of level
+    [i+1] nodes are on level [i]; index 0 = deepest level. *)
+
+(** {1 Validation and output} *)
+
+val validate_paper_assumptions : t -> (unit, string) result
+(** Checks the additional modeling assumption from Section 1.1 that every
+    processor-to-bus switch has bandwidth exactly 1. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line description. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (buses as boxes, processors as circles, edges
+    labeled with bandwidths). *)

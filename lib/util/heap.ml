@@ -1,0 +1,96 @@
+type 'a entry = { mutable key : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).key < h.data.(parent).key then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.data.(l).key < h.data.(!smallest).key then smallest := l;
+  if r < h.size && h.data.(r).key < h.data.(!smallest).key then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let ensure_capacity h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let dummy = h.data.(0) in
+    let fresh = Array.make (max 4 (2 * cap)) dummy in
+    Array.blit h.data 0 fresh 0 h.size;
+    h.data <- fresh
+  end
+
+let add h ~key value =
+  let entry = { key; value } in
+  if Array.length h.data = 0 then h.data <- Array.make 4 entry
+  else ensure_capacity h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min_elt h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.key, e.value)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (e.key, e.value)
+  end
+
+let update_key h pred key =
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < h.size do
+    if pred h.data.(!i).value then found := true else incr i
+  done;
+  if !found then begin
+    let old = h.data.(!i).key in
+    h.data.(!i).key <- key;
+    if key < old then sift_up h !i else sift_down h !i
+  end;
+  !found
+
+let of_list kvs =
+  let h = create () in
+  List.iter (fun (key, value) -> add h ~key value) kvs;
+  h
+
+let fold f h init =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    let e = h.data.(i) in
+    acc := f e.key e.value !acc
+  done;
+  !acc
+
+let to_list h = fold (fun k v acc -> (k, v) :: acc) h []

@@ -1,0 +1,44 @@
+(** Mutable binary min-heaps over integer-keyed elements.
+
+    Used by the mapping algorithm of the extended-nibble strategy to locate a
+    free downward child edge in [O(log degree)] time, matching the runtime
+    bound claimed in Theorem 4.3 of the paper. Keys may be updated in place
+    ({!update_key}); the heap keeps track of element positions to support
+    this in logarithmic time. *)
+
+type 'a t
+(** A min-heap whose elements carry a mutable integer key. *)
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty heap. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently stored in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key]. *)
+
+val min_elt : 'a t -> (int * 'a) option
+(** [min_elt h] is the minimum-key binding, or [None] when empty. The heap
+    is left unchanged. *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** [pop_min h] removes and returns the minimum-key binding. *)
+
+val update_key : 'a t -> ('a -> bool) -> int -> bool
+(** [update_key h pred key] finds the first element satisfying [pred]
+    (linear scan) and re-keys it to [key], restoring the heap order.
+    Returns [false] when no element matches. Intended for small heaps
+    (children of one node); for the hot path use {!add} / {!pop_min}. *)
+
+val of_list : (int * 'a) list -> 'a t
+(** [of_list kvs] builds a heap from key/value pairs in [O(n)]. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** [to_list h] is all bindings in unspecified order. *)
+
+val fold : (int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** [fold f h init] folds over all bindings in unspecified order. *)

@@ -1,0 +1,110 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> nan
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let median = function
+  | [] -> nan
+  | xs ->
+    let sorted = List.sort compare xs in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+let percentile p = function
+  | [] -> nan
+  | xs ->
+    let sorted = Array.of_list (List.sort compare xs) in
+    let n = Array.length sorted in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let lo = max 0 (min (n - 1) lo) and hi = max 0 (min (n - 1) hi) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let min_max = function
+  | [] -> (nan, nan)
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let pearson pairs =
+  let n = List.length pairs in
+  if n < 2 then nan
+  else begin
+    let nf = float_of_int n in
+    let xs = List.map fst pairs and ys = List.map snd pairs in
+    let mx = mean xs and my = mean ys in
+    let cov =
+      List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0. pairs
+    in
+    let sx = stddev xs and sy = stddev ys in
+    if sx = 0. || sy = 0. then nan else cov /. (nf *. sx *. sy)
+  end
+
+(* Average ranks so that ties get the mean of the positions they occupy. *)
+let ranks xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare arr.(a) arr.(b)) idx;
+  let rank = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && arr.(idx.(!j + 1)) = arr.(idx.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2. in
+    for k = !i to !j do rank.(idx.(k)) <- avg done;
+    i := !j + 1
+  done;
+  Array.to_list rank
+
+let spearman pairs =
+  if List.length pairs < 2 then nan
+  else
+    let rx = ranks (List.map fst pairs) and ry = ranks (List.map snd pairs) in
+    pearson (List.combine rx ry)
+
+let linear_fit pairs =
+  let n = List.length pairs in
+  if n < 2 then (nan, nan)
+  else begin
+    let nf = float_of_int n in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pairs in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pairs in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pairs in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pairs in
+    let denom = (nf *. sxx) -. (sx *. sx) in
+    if denom = 0. then (nan, nan)
+    else
+      let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. nf in
+      (slope, intercept)
+  end
+
+let histogram ~bins xs =
+  match xs with
+  | [] -> [||]
+  | _ ->
+    let lo, hi = min_max xs in
+    let width = if hi = lo then 1. else (hi -. lo) /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    let bucket x =
+      let b = int_of_float ((x -. lo) /. width) in
+      max 0 (min (bins - 1) b)
+    in
+    List.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+    Array.init bins (fun b ->
+        let blo = lo +. (float_of_int b *. width) in
+        (blo, blo +. width, counts.(b)))

@@ -1,0 +1,34 @@
+(** Small descriptive-statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; [nan] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; [nan] on the empty list. *)
+
+val median : float list -> float
+(** Median (average of the two middle elements for even lengths);
+    [nan] on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile of [xs] for [p] in [0, 100],
+    using nearest-rank interpolation; [nan] on the empty list. *)
+
+val min_max : float list -> float * float
+(** Minimum and maximum; [(nan, nan)] on the empty list. *)
+
+val pearson : (float * float) list -> float
+(** Pearson correlation coefficient of paired samples; [nan] when fewer than
+    two pairs or when either marginal is constant. *)
+
+val spearman : (float * float) list -> float
+(** Spearman rank correlation (Pearson on average ranks, so ties are
+    handled); [nan] under the same conditions as {!pearson}. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] is the least-squares [(slope, intercept)];
+    [(nan, nan)] with fewer than two points. *)
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] buckets [xs] into [bins] equal-width bins over
+    [[min xs, max xs]]; each cell is [(lo, hi, count)]. *)

@@ -1,0 +1,105 @@
+module Tree = Hbn_tree.Tree
+module Prng = Hbn_prng.Prng
+
+let uniform ~prng tree ~objects ~max_rate =
+  let w = Workload.empty tree ~objects in
+  let leaves = Tree.leaves tree in
+  for x = 0 to objects - 1 do
+    List.iter
+      (fun v ->
+        Workload.set_read w ~obj:x v (Prng.int_in prng 0 max_rate);
+        Workload.set_write w ~obj:x v (Prng.int_in prng 0 max_rate))
+      leaves
+  done;
+  w
+
+let zipf_popularity ~prng tree ~objects ~requests_per_leaf ~exponent
+    ~write_fraction =
+  if objects <= 0 then invalid_arg "Generators.zipf_popularity: no objects";
+  let w = Workload.empty tree ~objects in
+  let sample = Prng.zipf_sampler ~n:objects ~s:exponent in
+  List.iter
+    (fun v ->
+      for _ = 1 to requests_per_leaf do
+        let x = sample prng in
+        if Prng.float prng 1.0 < write_fraction then
+          Workload.set_write w ~obj:x v (Workload.writes w ~obj:x v + 1)
+        else Workload.set_read w ~obj:x v (Workload.reads w ~obj:x v + 1)
+      done)
+    (Tree.leaves tree);
+  w
+
+let hotspot ~prng tree ~objects ~writers_per_object ~write_rate ~read_rate =
+  let w = Workload.empty tree ~objects in
+  let leaves = Array.of_list (Tree.leaves tree) in
+  for x = 0 to objects - 1 do
+    Array.iter
+      (fun v -> Workload.set_read w ~obj:x v (Prng.int_in prng 0 read_rate))
+      leaves;
+    let order = Array.copy leaves in
+    Prng.shuffle prng order;
+    let writers = min writers_per_object (Array.length order) in
+    for i = 0 to writers - 1 do
+      Workload.set_write w ~obj:x order.(i) write_rate
+    done
+  done;
+  w
+
+let producer_consumer ~prng tree ~objects ~consumers ~rate =
+  let w = Workload.empty tree ~objects in
+  let leaves = Array.of_list (Tree.leaves tree) in
+  for x = 0 to objects - 1 do
+    let order = Array.copy leaves in
+    Prng.shuffle prng order;
+    Workload.set_write w ~obj:x order.(0) rate;
+    let k = min consumers (Array.length order - 1) in
+    for i = 1 to k do
+      Workload.set_read w ~obj:x order.(i) rate
+    done
+  done;
+  w
+
+let read_only ~prng tree ~objects ~max_rate =
+  let w = Workload.empty tree ~objects in
+  for x = 0 to objects - 1 do
+    List.iter
+      (fun v -> Workload.set_read w ~obj:x v (Prng.int_in prng 0 max_rate))
+      (Tree.leaves tree)
+  done;
+  w
+
+let local_with_background ~prng tree ~objects ~local_rate ~background_rate =
+  let w = Workload.empty tree ~objects in
+  let leaves = Array.of_list (Tree.leaves tree) in
+  for x = 0 to objects - 1 do
+    Array.iter
+      (fun v ->
+        Workload.set_read w ~obj:x v (Prng.int_in prng 0 background_rate);
+        Workload.set_write w ~obj:x v (Prng.int_in prng 0 background_rate))
+      leaves;
+    let home = leaves.(Prng.int prng (Array.length leaves)) in
+    Workload.set_read w ~obj:x home local_rate;
+    Workload.set_write w ~obj:x home local_rate
+  done;
+  w
+
+let bsp_neighbor_exchange tree ~supersteps ~neighbors =
+  if supersteps < 1 then
+    invalid_arg "Generators.bsp_neighbor_exchange: supersteps must be >= 1";
+  if neighbors < 0 then
+    invalid_arg "Generators.bsp_neighbor_exchange: negative neighbors";
+  let leaves = Array.of_list (Tree.leaves tree) in
+  let n = Array.length leaves in
+  let w = Workload.empty tree ~objects:n in
+  for i = 0 to n - 1 do
+    Workload.set_write w ~obj:i leaves.(i) supersteps;
+    for d = 1 to min neighbors (n - 1) do
+      let reader = leaves.((i + d) mod n) in
+      Workload.set_read w ~obj:i reader
+        (Workload.reads w ~obj:i reader + supersteps);
+      let reader' = leaves.(((i - d) + n) mod n) in
+      Workload.set_read w ~obj:i reader'
+        (Workload.reads w ~obj:i reader' + supersteps)
+    done
+  done;
+  w

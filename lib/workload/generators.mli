@@ -1,0 +1,82 @@
+(** Synthetic workload families for the experiments.
+
+    Each generator is deterministic in its PRNG so tables regenerate
+    exactly. The families mirror the applications named in the paper's
+    introduction: global variables of a parallel program (uniform and
+    hotspot), pages of a virtual shared memory (producer–consumer), and
+    WWW pages (Zipf popularity, read-mostly). *)
+
+open Hbn_prng
+
+val uniform :
+  prng:Prng.t ->
+  Hbn_tree.Tree.t ->
+  objects:int ->
+  max_rate:int ->
+  Workload.t
+(** Every (processor, object) pair independently draws read and write rates
+    uniformly from [\[0, max_rate\]]. *)
+
+val zipf_popularity :
+  prng:Prng.t ->
+  Hbn_tree.Tree.t ->
+  objects:int ->
+  requests_per_leaf:int ->
+  exponent:float ->
+  write_fraction:float ->
+  Workload.t
+(** Each processor issues [requests_per_leaf] requests; the target object of
+    each request is Zipf-distributed with the given [exponent] and each
+    request is a write with probability [write_fraction]. Models WWW-page
+    or cache-line popularity skew. *)
+
+val hotspot :
+  prng:Prng.t ->
+  Hbn_tree.Tree.t ->
+  objects:int ->
+  writers_per_object:int ->
+  write_rate:int ->
+  read_rate:int ->
+  Workload.t
+(** Per object, a random set of [writers_per_object] processors write with
+    rate [write_rate]; every processor reads with a rate uniform in
+    [\[0, read_rate\]]. High write contention concentrated on few leaves. *)
+
+val producer_consumer :
+  prng:Prng.t ->
+  Hbn_tree.Tree.t ->
+  objects:int ->
+  consumers:int ->
+  rate:int ->
+  Workload.t
+(** Per object, one random producer writes [rate] times and [consumers]
+    random processors read [rate] times each. *)
+
+val read_only :
+  prng:Prng.t ->
+  Hbn_tree.Tree.t ->
+  objects:int ->
+  max_rate:int ->
+  Workload.t
+(** Uniform reads, zero writes — the [κ_x = 0] degenerate family. *)
+
+val local_with_background :
+  prng:Prng.t ->
+  Hbn_tree.Tree.t ->
+  objects:int ->
+  local_rate:int ->
+  background_rate:int ->
+  Workload.t
+(** Per object, one "home" processor accesses with [local_rate] reads and
+    writes while all others access with rates up to [background_rate]:
+    strong locality, the regime where the nibble strategy places copies
+    deep in the tree. *)
+
+val bsp_neighbor_exchange :
+  Hbn_tree.Tree.t -> supersteps:int -> neighbors:int -> Workload.t
+(** A deterministic BSP-style parallel program: one object per processor
+    (its halo/boundary data). Per superstep each processor writes its own
+    object once and reads the objects of its [neighbors] nearest
+    index-neighbors (in leaf order, wrapping around) — the classic
+    stencil exchange pattern of the paper's "global variables in a
+    parallel program" application. *)

@@ -1,0 +1,152 @@
+module Tree = Hbn_tree.Tree
+module Prng = Hbn_prng.Prng
+
+type instance = { items : int array }
+
+let make items =
+  if items = [] then invalid_arg "Partition.make: empty instance";
+  List.iter
+    (fun k -> if k <= 0 then invalid_arg "Partition.make: items must be positive")
+    items;
+  { items = Array.of_list items }
+
+let sum i = Array.fold_left ( + ) 0 i.items
+
+let half i =
+  let s = sum i in
+  if s mod 2 = 0 then Some (s / 2) else None
+
+let reachable i =
+  (* reachable.(v) = can some subset sum to v *)
+  let s = sum i in
+  let dp = Array.make (s + 1) false in
+  dp.(0) <- true;
+  Array.iter
+    (fun k ->
+      for v = s downto k do
+        if dp.(v - k) then dp.(v) <- true
+      done)
+    i.items;
+  dp
+
+let achievable_sums = reachable
+
+let solvable i =
+  match half i with
+  | None -> false
+  | Some k -> (reachable i).(k)
+
+let find_subset i =
+  match half i with
+  | None -> None
+  | Some k ->
+    let n = Array.length i.items in
+    (* dp.(v) = index of the last item used to first reach v, or -2 for
+       unreached, -1 for the empty subset. *)
+    let dp = Array.make (sum i + 1) (-2) in
+    dp.(0) <- -1;
+    for idx = 0 to n - 1 do
+      let item = i.items.(idx) in
+      for v = sum i downto item do
+        if dp.(v) = -2 && dp.(v - item) <> -2 && dp.(v - item) < idx then
+          dp.(v) <- idx
+      done
+    done;
+    if dp.(k) = -2 then None
+    else begin
+      let rec collect v acc =
+        if v = 0 then acc
+        else
+          let idx = dp.(v) in
+          collect (v - i.items.(idx)) (idx :: acc)
+      in
+      Some (collect k [])
+    end
+
+let random_yes ~prng ~items ~max_item =
+  if items < 2 then invalid_arg "Partition.random_yes: need >= 2 items";
+  (* Pairs of equal items split one per half, so the instance is always
+     solvable; an odd count uses one balanced triple (2w, w, w) instead of
+     its last pair. *)
+  let pairs = if items mod 2 = 0 then items / 2 else (items - 3) / 2 in
+  let values = ref [] in
+  for _ = 1 to pairs do
+    let v = Prng.int_in prng 1 max_item in
+    values := v :: v :: !values
+  done;
+  if items mod 2 = 1 then begin
+    let w = Prng.int_in prng 1 (max 1 (max_item / 2)) in
+    values := (2 * w) :: w :: w :: !values
+  end;
+  let arr = Array.of_list !values in
+  Prng.shuffle prng arr;
+  { items = arr }
+
+let random ~prng ~items ~max_item =
+  if items < 1 then invalid_arg "Partition.random: need >= 1 item";
+  let arr = Array.init items (fun _ -> Prng.int_in prng 1 max_item) in
+  let s = Array.fold_left ( + ) 0 arr in
+  if s mod 2 = 0 then { items = arr }
+  else { items = Array.append arr [| 1 |] }
+
+type gadget = {
+  tree : Tree.t;
+  workload : Workload.t;
+  k : int;
+  node_a : int;
+  node_b : int;
+  node_s : int;
+  node_sbar : int;
+  object_y : int;
+}
+
+let gadget i =
+  let k =
+    match half i with
+    | Some k -> k
+    | None -> invalid_arg "Partition.gadget: item sum must be even"
+  in
+  let n = Array.length i.items in
+  (* Node 0 is the bus; processors: 1 = a, 2 = b, 3 = s, 4 = s̄. The bus
+     bandwidth exceeds any possible bus load so edges dominate, matching
+     the proof ("the bandwidth of the inner node is sufficiently large"). *)
+  let big = (16 * k) + (8 * n) + 64 in
+  let kinds =
+    Array.init 5 (fun v -> if v = 0 then Tree.Bus else Tree.Processor)
+  in
+  let edges = List.init 4 (fun p -> (0, p + 1, 1)) in
+  let tree = Tree.make ~kinds ~edges ~bus_bandwidth:(fun _ -> big) () in
+  let workload = Workload.empty tree ~objects:(n + 1) in
+  let object_y = n in
+  Workload.set_write workload ~obj:object_y 1 ((4 * k) + 1);
+  Workload.set_write workload ~obj:object_y 2 (2 * k);
+  Array.iteri
+    (fun idx ki ->
+      List.iter
+        (fun v -> Workload.set_write workload ~obj:idx v ki)
+        [ 1; 2; 3; 4 ])
+    i.items;
+  {
+    tree;
+    workload;
+    k;
+    node_a = 1;
+    node_b = 2;
+    node_s = 3;
+    node_sbar = 4;
+    object_y;
+  }
+
+let yes_placement g subset =
+  let n = Workload.num_objects g.workload - 1 in
+  let in_subset = Array.make n false in
+  List.iter
+    (fun idx ->
+      if idx < 0 || idx >= n then invalid_arg "Partition.yes_placement: index";
+      in_subset.(idx) <- true)
+    subset;
+  let xs =
+    List.init n (fun idx ->
+        (idx, if in_subset.(idx) then g.node_s else g.node_sbar))
+  in
+  (g.object_y, g.node_a) :: xs

@@ -1,0 +1,62 @@
+(** PARTITION instances and the Theorem 2.1 reduction gadget.
+
+    Theorem 2.1 of the paper reduces PARTITION to static placement on a
+    4-ary tree of height 1: given items [k_1 .. k_n] with [Σ k_i = 2k], the
+    gadget has processors [a], [b], [s], [s̄] around one bus, objects
+    [x_1 .. x_n] and [y] with frequencies [h_w(a,y) = 4k+1],
+    [h_w(b,y) = 2k], and [h_w(v, x_i) = k_i] for every processor [v]. A
+    placement of congestion at most [4k] exists iff some subset of the
+    items sums to exactly [k]. *)
+
+type instance = { items : int array }
+
+val make : int list -> instance
+(** Raises [Invalid_argument] on an empty list or non-positive items. *)
+
+val sum : instance -> int
+
+val half : instance -> int option
+(** [half i] is [Some k] when [sum i = 2k], [None] for odd sums. *)
+
+val achievable_sums : instance -> bool array
+(** [achievable_sums i] has index [v] true iff some subset of the items
+    sums to [v]; length [sum i + 1]. *)
+
+val solvable : instance -> bool
+(** Exact subset-sum DP: does a subset sum to [sum/2]? [false] for odd
+    sums. *)
+
+val find_subset : instance -> int list option
+(** Indices of a subset summing to [sum/2], when one exists. *)
+
+val random_yes : prng:Hbn_prng.Prng.t -> items:int -> max_item:int -> instance
+(** A random instance guaranteed solvable: items are drawn in pairs of
+    equal values and shuffled (each pair splits across the two halves). *)
+
+val random : prng:Hbn_prng.Prng.t -> items:int -> max_item:int -> instance
+(** Unconstrained random instance with an even sum (a padding item is added
+    when needed). May or may not be solvable; classify with {!solvable}. *)
+
+(** {1 The reduction gadget} *)
+
+type gadget = {
+  tree : Hbn_tree.Tree.t;
+  workload : Workload.t;
+  k : int;  (** half of the item sum *)
+  node_a : int;
+  node_b : int;
+  node_s : int;
+  node_sbar : int;
+  object_y : int;  (** index of object [y]; items are objects [0 .. n-1] *)
+}
+
+val gadget : instance -> gadget
+(** Builds the Theorem 2.1 gadget. Raises [Invalid_argument] for odd sums.
+    The bus bandwidth is made large enough that edge loads dominate, per
+    the proof. *)
+
+val yes_placement : gadget -> int list -> (int * int) list
+(** [yes_placement g subset] is the paper's witness placement for a solving
+    [subset]: object [x_i] on [s] if [i ∈ subset] else on [s̄], and [y] on
+    [a]. Returned as [(object, leaf)] pairs; its congestion is exactly
+    [4k]. *)

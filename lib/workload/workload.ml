@@ -1,0 +1,97 @@
+module Tree = Hbn_tree.Tree
+
+type t = {
+  tree : Tree.t;
+  reads : int array array;
+  writes : int array array;
+}
+
+let check_matrix tree label m =
+  Array.iteri
+    (fun x row ->
+      if Array.length row <> Tree.n tree then
+        invalid_arg
+          (Printf.sprintf "Workload.make: %s row %d has wrong length" label x);
+      Array.iteri
+        (fun v rate ->
+          if rate < 0 then
+            invalid_arg
+              (Printf.sprintf "Workload.make: negative %s rate at (%d, %d)"
+                 label x v);
+          if rate > 0 && not (Tree.is_leaf tree v) then
+            invalid_arg
+              (Printf.sprintf
+                 "Workload.make: %s rate on non-processor node %d (object %d)"
+                 label v x))
+        row)
+    m
+
+let make tree ~reads ~writes =
+  if Array.length reads <> Array.length writes then
+    invalid_arg "Workload.make: reads/writes object counts differ";
+  check_matrix tree "read" reads;
+  check_matrix tree "write" writes;
+  { tree; reads; writes }
+
+let empty tree ~objects =
+  if objects < 0 then invalid_arg "Workload.empty: negative object count";
+  {
+    tree;
+    reads = Array.init objects (fun _ -> Array.make (Tree.n tree) 0);
+    writes = Array.init objects (fun _ -> Array.make (Tree.n tree) 0);
+  }
+
+let tree t = t.tree
+
+let num_objects t = Array.length t.reads
+
+let reads t ~obj v = t.reads.(obj).(v)
+
+let writes t ~obj v = t.writes.(obj).(v)
+
+let weight t ~obj v = t.reads.(obj).(v) + t.writes.(obj).(v)
+
+let check_update t v rate =
+  if rate < 0 then invalid_arg "Workload.set: negative rate";
+  if not (Tree.is_leaf t.tree v) then
+    invalid_arg "Workload.set: only processors issue requests"
+
+let set_read t ~obj v rate =
+  check_update t v rate;
+  t.reads.(obj).(v) <- rate
+
+let set_write t ~obj v rate =
+  check_update t v rate;
+  t.writes.(obj).(v) <- rate
+
+let write_contention t ~obj = Array.fold_left ( + ) 0 t.writes.(obj)
+
+let total_weight t ~obj =
+  Array.fold_left ( + ) 0 t.reads.(obj) + Array.fold_left ( + ) 0 t.writes.(obj)
+
+let total_requests t =
+  let sum = ref 0 in
+  for x = 0 to num_objects t - 1 do
+    sum := !sum + total_weight t ~obj:x
+  done;
+  !sum
+
+let read_vector t ~obj = Array.copy t.reads.(obj)
+
+let write_vector t ~obj = Array.copy t.writes.(obj)
+
+let weight_vector t ~obj =
+  Array.mapi (fun v r -> r + t.writes.(obj).(v)) t.reads.(obj)
+
+let requesting_leaves t ~obj =
+  List.filter (fun v -> weight t ~obj v > 0) (Tree.leaves t.tree)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>workload: %d objects on %d nodes@," (num_objects t)
+    (Tree.n t.tree);
+  for x = 0 to num_objects t - 1 do
+    Format.fprintf ppf "  object %d: kappa=%d, weight=%d, leaves=%d@," x
+      (write_contention t ~obj:x) (total_weight t ~obj:x)
+      (List.length (requesting_leaves t ~obj:x))
+  done;
+  Format.fprintf ppf "@]"

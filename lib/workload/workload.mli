@@ -1,0 +1,55 @@
+(** Shared data objects and access frequencies.
+
+    A workload pairs a hierarchical bus network with the read and write
+    frequency functions [h_r, h_w : P × X → N] of the static data
+    management problem. Only processors (leaves) issue requests. *)
+
+type t
+
+val make : Hbn_tree.Tree.t -> reads:int array array -> writes:int array array -> t
+(** [make tree ~reads ~writes] with [reads.(x).(v)] the read frequency of
+    node [v] for object [x] (same shape for [writes]). Raises
+    [Invalid_argument] if shapes disagree with the tree, any rate is
+    negative, or a non-leaf node has a nonzero rate. *)
+
+val empty : Hbn_tree.Tree.t -> objects:int -> t
+(** All-zero frequencies for [objects] shared objects. *)
+
+val tree : t -> Hbn_tree.Tree.t
+
+val num_objects : t -> int
+
+val reads : t -> obj:int -> int -> int
+(** [reads t ~obj v] is [h_r(v, obj)]. *)
+
+val writes : t -> obj:int -> int -> int
+
+val weight : t -> obj:int -> int -> int
+(** [weight t ~obj v] is [h(v) = h_r(v, obj) + h_w(v, obj)]. *)
+
+val set_read : t -> obj:int -> int -> int -> unit
+(** [set_read t ~obj v rate] updates a frequency in place. Raises
+    [Invalid_argument] on non-leaves or negative rates. *)
+
+val set_write : t -> obj:int -> int -> int -> unit
+
+val write_contention : t -> obj:int -> int
+(** [write_contention t ~obj] is [κ_x = Σ_P h_w(P, x)]. *)
+
+val total_weight : t -> obj:int -> int
+(** [Σ_P (h_r + h_w)(P, x)]. *)
+
+val total_requests : t -> int
+(** Total over all objects and processors. *)
+
+val read_vector : t -> obj:int -> int array
+(** Per-node read frequencies (a fresh copy). *)
+
+val write_vector : t -> obj:int -> int array
+
+val weight_vector : t -> obj:int -> int array
+
+val requesting_leaves : t -> obj:int -> int list
+(** Leaves with nonzero weight for the object, ascending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+module Tree = Hbn_tree.Tree
+
+let to_string w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# workload\n";
+  Buffer.add_string buf (Printf.sprintf "objects %d\n" (Workload.num_objects w));
+  for obj = 0 to Workload.num_objects w - 1 do
+    List.iter
+      (fun v ->
+        let r = Workload.reads w ~obj v and wr = Workload.writes w ~obj v in
+        if r > 0 || wr > 0 then
+          Buffer.add_string buf (Printf.sprintf "rate %d %d %d %d\n" obj v r wr))
+      (Tree.leaves (Workload.tree w))
+  done;
+  Buffer.contents buf
+
+let of_string tree s =
+  let objects = ref (-1) in
+  let rates = ref [] in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let words =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun w -> w <> "")
+    in
+    let int_arg w =
+      match int_of_string_opt w with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "line %d: not an integer: %s" lineno w)
+    in
+    let ( let* ) r f = Result.bind r f in
+    match words with
+    | [] -> Ok ()
+    | [ "objects"; n ] ->
+      let* n = int_arg n in
+      if !objects >= 0 then error lineno "duplicate objects declaration"
+      else begin
+        objects := n;
+        Ok ()
+      end
+    | [ "rate"; obj; node; r; wr ] ->
+      let* obj = int_arg obj in
+      let* node = int_arg node in
+      let* r = int_arg r in
+      let* wr = int_arg wr in
+      rates := (lineno, obj, node, r, wr) :: !rates;
+      Ok ()
+    | w :: _ -> error lineno (Printf.sprintf "unknown directive %S" w)
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Ok () -> go (lineno + 1) rest
+      | Error _ as e -> e)
+  in
+  match go 1 (String.split_on_char '\n' s) with
+  | Error _ as e -> e
+  | Ok () ->
+    if !objects < 0 then Error "missing objects declaration"
+    else begin
+      let w = Workload.empty tree ~objects:!objects in
+      let problem = ref None in
+      List.iter
+        (fun (lineno, obj, node, r, wr) ->
+          if !problem = None then
+            if obj < 0 || obj >= !objects then
+              problem := Some (Printf.sprintf "line %d: object %d out of range" lineno obj)
+            else if node < 0 || node >= Tree.n tree then
+              problem := Some (Printf.sprintf "line %d: node %d out of range" lineno node)
+            else
+              match
+                Workload.set_read w ~obj node (Workload.reads w ~obj node + r);
+                Workload.set_write w ~obj node (Workload.writes w ~obj node + wr)
+              with
+              | () -> ()
+              | exception Invalid_argument msg ->
+                problem := Some (Printf.sprintf "line %d: %s" lineno msg))
+        (List.rev !rates);
+      match !problem with None -> Ok w | Some msg -> Error msg
+    end
+
+let save w ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string w))
+
+let load tree ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string tree (In_channel.input_all ic))

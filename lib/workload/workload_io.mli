@@ -1,0 +1,23 @@
+(** Textual serialization of workloads.
+
+    Line-oriented, paired with {!Hbn_tree.Topology_io}:
+
+    {v
+    # comments and blank lines are ignored
+    objects 3
+    rate 0 5 12 4    # rate <object> <processor> <reads> <writes>
+    rate 2 6 0 9
+    v}
+
+    Unlisted (object, processor) pairs have zero frequencies. Parsing
+    validates against the tree: rates on non-processors or out-of-range
+    ids are rejected. *)
+
+val to_string : Workload.t -> string
+(** Render; only nonzero rates are emitted. *)
+
+val of_string : Hbn_tree.Tree.t -> string -> (Workload.t, string) result
+
+val save : Workload.t -> path:string -> unit
+
+val load : Hbn_tree.Tree.t -> path:string -> (Workload.t, string) result

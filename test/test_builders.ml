@@ -1,0 +1,153 @@
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Prng = Hbn_prng.Prng
+
+let test_star () =
+  let t = Builders.star ~leaves:5 ~profile:(Builders.Uniform 3) in
+  Alcotest.(check int) "n" 6 (Tree.n t);
+  Alcotest.(check int) "leaves" 5 (Tree.num_leaves t);
+  Alcotest.(check int) "height" 1 (Tree.height t);
+  Alcotest.(check int) "bus bandwidth" 3 (Tree.bus_bandwidth t 0);
+  List.iter
+    (fun e -> Alcotest.(check int) "leaf switch bw" 1 (Tree.edge_bandwidth t e))
+    (List.init (Tree.num_edges t) (fun i -> i));
+  Helpers.check_ok "assumptions" (Tree.validate_paper_assumptions t)
+
+let test_star_too_small () =
+  Alcotest.check_raises "one leaf"
+    (Invalid_argument "Builders.star: need at least 2 leaves") (fun () ->
+      ignore (Builders.star ~leaves:1 ~profile:(Builders.Uniform 1)))
+
+let test_balanced () =
+  let t = Builders.balanced ~arity:2 ~height:3 ~profile:(Builders.Uniform 2) in
+  Alcotest.(check int) "nodes" 15 (Tree.n t);
+  Alcotest.(check int) "leaves" 8 (Tree.num_leaves t);
+  Alcotest.(check int) "height" 3 (Tree.height t);
+  Alcotest.(check int) "max degree" 3 (Tree.max_degree t)
+
+let test_balanced_arity3 () =
+  let t = Builders.balanced ~arity:3 ~height:2 ~profile:(Builders.Uniform 1) in
+  Alcotest.(check int) "nodes" 13 (Tree.n t);
+  Alcotest.(check int) "leaves" 9 (Tree.num_leaves t)
+
+let test_scaled_profile_monotone () =
+  let t =
+    Builders.balanced ~arity:2 ~height:3 ~profile:(Builders.Scaled_by_subtree 1)
+  in
+  (* Root bus covers 8 processors, depth-1 buses 4, depth-2 buses 2. *)
+  let r = Tree.rooting t in
+  Alcotest.(check int) "root bw" 8 (Tree.bus_bandwidth t r.Tree.root);
+  let child = r.Tree.children.(r.Tree.root).(0) in
+  Alcotest.(check int) "child bw" 4 (Tree.bus_bandwidth t child)
+
+let test_custom_profile () =
+  let profile = Builders.Custom (fun ~depth ~subtree_leaves:_ -> 10 - depth) in
+  let t = Builders.balanced ~arity:2 ~height:2 ~profile in
+  let r = Tree.rooting t in
+  Alcotest.(check int) "root bw" 10 (Tree.bus_bandwidth t r.Tree.root)
+
+let test_caterpillar () =
+  let t =
+    Builders.caterpillar ~spine:4 ~leaves_per_bus:2 ~profile:(Builders.Uniform 2)
+  in
+  Alcotest.(check int) "nodes" 12 (Tree.n t);
+  Alcotest.(check int) "leaves" 8 (Tree.num_leaves t);
+  Alcotest.(check int) "height" 4 (Tree.height t)
+
+let test_caterpillar_single_leaf_ends () =
+  (* leaves_per_bus = 1 forces an extra processor at each end bus. *)
+  let t =
+    Builders.caterpillar ~spine:3 ~leaves_per_bus:1 ~profile:(Builders.Uniform 1)
+  in
+  Alcotest.(check int) "leaves" 5 (Tree.num_leaves t);
+  List.iter
+    (fun b ->
+      if Tree.degree t b < 2 then Alcotest.failf "bus %d has degree < 2" b)
+    (Tree.buses t)
+
+let test_caterpillar_invalid () =
+  Alcotest.check_raises "1x1"
+    (Invalid_argument "Builders.caterpillar: a single bus needs >= 2 leaves")
+    (fun () ->
+      ignore
+        (Builders.caterpillar ~spine:1 ~leaves_per_bus:1
+           ~profile:(Builders.Uniform 1)))
+
+let test_ring_conversion_figure1 () =
+  (* The paper's Figure 1: a top ring with two sub-rings linked by
+     switches; Figure 2 is the corresponding bus network. *)
+  let sub n = { Builders.ring_bandwidth = 2; members = List.init n (fun _ -> Builders.Ring_processor) } in
+  let top =
+    {
+      Builders.ring_bandwidth = 4;
+      members =
+        [
+          Builders.Ring_processor;
+          Builders.Sub_ring (3, sub 3);
+          Builders.Sub_ring (2, sub 2);
+        ];
+    }
+  in
+  let t = Builders.of_ring top in
+  Alcotest.(check int) "buses" 3 (List.length (Tree.buses t));
+  Alcotest.(check int) "processors" 6 (Tree.num_leaves t);
+  Alcotest.(check int) "top bus bandwidth" 4 (Tree.bus_bandwidth t 0);
+  Alcotest.(check int) "height" 2 (Tree.height t);
+  (* Switch bandwidths survive the conversion. *)
+  let bws =
+    List.init (Tree.num_edges t) (fun e -> Tree.edge_bandwidth t e)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "edge bandwidths" [ 1; 1; 1; 1; 1; 1; 2; 3 ] bws
+
+let test_ring_empty_rejected () =
+  Alcotest.check_raises "empty ring"
+    (Invalid_argument "Builders.of_ring: rings must have at least one member")
+    (fun () ->
+      ignore (Builders.of_ring { Builders.ring_bandwidth = 1; members = [] }))
+
+let prop_random_builder_valid seed =
+  let prng = Prng.create seed in
+  let t =
+    Builders.random ~prng
+      ~buses:(Prng.int_in prng 1 8)
+      ~leaves:(Prng.int_in prng 2 15)
+      ~profile:(Helpers.profile_of prng)
+  in
+  (* Tree.make validates structure; spot-check the paper assumption too. *)
+  Tree.validate_paper_assumptions t = Ok ()
+
+let prop_ring_sampler_valid seed =
+  let prng = Prng.create seed in
+  let ring =
+    Builders.sample_ring_of_rings ~prng ~depth:3 ~fanout:2 ~procs_per_ring:3
+  in
+  let t = Builders.of_ring ring in
+  Tree.n t >= 3 && Tree.validate_paper_assumptions t = Ok ()
+
+let prop_balanced_counts seed =
+  let arity = 2 + (seed mod 2) in
+  let height = 1 + (seed mod 3) in
+  let t = Builders.balanced ~arity ~height ~profile:(Builders.Uniform 1) in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  Tree.num_leaves t = pow arity height
+
+let suite =
+  [
+    Helpers.tc "star" test_star;
+    Helpers.tc "star too small" test_star_too_small;
+    Helpers.tc "balanced binary" test_balanced;
+    Helpers.tc "balanced ternary" test_balanced_arity3;
+    Helpers.tc "scaled profile monotone" test_scaled_profile_monotone;
+    Helpers.tc "custom profile" test_custom_profile;
+    Helpers.tc "caterpillar" test_caterpillar;
+    Helpers.tc "caterpillar end buses stay inner" test_caterpillar_single_leaf_ends;
+    Helpers.tc "caterpillar invalid" test_caterpillar_invalid;
+    Helpers.tc "figure 1 to 2 ring conversion" test_ring_conversion_figure1;
+    Helpers.tc "empty ring rejected" test_ring_empty_rejected;
+    Helpers.qt "random builder yields valid networks" Helpers.seed_arb
+      prop_random_builder_valid;
+    Helpers.qt "ring sampler yields valid networks" Helpers.seed_arb
+      prop_ring_sampler_valid;
+    Helpers.qt "balanced leaf counts" Helpers.seed_arb prop_balanced_counts;
+  ]

@@ -1,0 +1,127 @@
+(* Integration tests driving the built CLI binary end-to-end. *)
+
+let cli_path () =
+  (* test_main.exe lives in _build/default/test/; the CLI next door. *)
+  let dir = Filename.dirname Sys.executable_name in
+  let candidate = Filename.concat dir "../bin/hbn_cli.exe" in
+  if Sys.file_exists candidate then Some candidate else None
+
+let run_cli args =
+  match cli_path () with
+  | None -> None
+  | Some bin ->
+    let cmd = Filename.quote_command bin args in
+    let ic = Unix.open_process_in cmd in
+    let buf = Buffer.create 256 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    let status = Unix.close_process_in ic in
+    Some (status, Buffer.contents buf)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_run name args expectations =
+  match run_cli args with
+  | None -> () (* binary not built in this configuration; skip *)
+  | Some (status, out) ->
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.failf "%s: non-zero exit\n%s" name out);
+    List.iter
+      (fun sub ->
+        if not (contains out sub) then
+          Alcotest.failf "%s: missing %S in output:\n%s" name sub out)
+      expectations
+
+let test_topology () =
+  check_run "topology"
+    [ "topology"; "--kind"; "star"; "--leaves"; "4" ]
+    [ "5 nodes (4 processors, 1 buses)"; "paper assumptions: ok" ]
+
+let test_topology_dot () =
+  check_run "topology --dot"
+    [ "topology"; "--kind"; "star"; "--leaves"; "3"; "--dot" ]
+    [ "graph hbn {"; "shape=box" ]
+
+let test_place () =
+  check_run "place"
+    [ "place"; "--kind"; "balanced"; "--arity"; "2"; "--height"; "2";
+      "--objects"; "4"; "--workload"; "hotspot"; "--seed"; "7" ]
+    [ "congestion:"; "certificates: all hold" ]
+
+let test_place_deterministic () =
+  let args =
+    [ "place"; "--kind"; "random"; "--buses"; "4"; "--leaves"; "8";
+      "--objects"; "5"; "--seed"; "99" ]
+  in
+  match (run_cli args, run_cli args) with
+  | Some (_, a), Some (_, b) ->
+    Alcotest.(check string) "identical output" a b
+  | _ -> ()
+
+let test_compare () =
+  check_run "compare"
+    [ "compare"; "--kind"; "star"; "--leaves"; "6"; "--workload"; "zipf" ]
+    [ "extended-nibble"; "owner"; "full-replication"; "lower bound" ]
+
+let test_gadget () =
+  check_run "gadget"
+    [ "gadget"; "3"; "1"; "1"; "2"; "3"; "2" ]
+    [ "PARTITION solvable: true"; "optimal congestion: 24 (4k = 24)" ]
+
+let test_gadget_unsolvable () =
+  check_run "gadget unsolvable"
+    [ "gadget"; "1"; "1"; "4" ]
+    [ "PARTITION solvable: false"; "(4k = 12)" ]
+
+let test_gadget_odd () =
+  check_run "gadget odd"
+    [ "gadget"; "1"; "2" ]
+    [ "odd: PARTITION trivially unsolvable" ]
+
+let test_dynamic () =
+  check_run "dynamic"
+    [ "dynamic"; "--kind"; "star"; "--leaves"; "5"; "--objects"; "3";
+      "--workload"; "prodcons" ]
+    [ "worst edge ratio"; "competitive ratio 3" ]
+
+let test_simulate () =
+  check_run "simulate"
+    [ "simulate"; "--kind"; "balanced"; "--arity"; "3"; "--height"; "2";
+      "--objects"; "4" ]
+    [ "makespan:"; "distributed computation" ]
+
+let test_save_load_roundtrip () =
+  let tmp = Filename.temp_file "hbn_cli" ".hbn" in
+  (match
+     run_cli
+       [ "topology"; "--kind"; "caterpillar"; "--spine"; "3"; "--leaves"; "6";
+         "--save"; tmp ]
+   with
+  | None -> ()
+  | Some _ ->
+    check_run "load round trip"
+      [ "topology"; "--load"; tmp ]
+      [ "hierarchical bus network" ];
+    Sys.remove tmp)
+
+let suite =
+  [
+    Helpers.tc "cli topology" test_topology;
+    Helpers.tc "cli topology dot" test_topology_dot;
+    Helpers.tc "cli place" test_place;
+    Helpers.tc "cli place deterministic" test_place_deterministic;
+    Helpers.tc "cli compare" test_compare;
+    Helpers.tc "cli gadget solvable" test_gadget;
+    Helpers.tc "cli gadget unsolvable" test_gadget_unsolvable;
+    Helpers.tc "cli gadget odd sum" test_gadget_odd;
+    Helpers.tc "cli dynamic" test_dynamic;
+    Helpers.tc "cli simulate" test_simulate;
+    Helpers.tc "cli save/load round trip" test_save_load_roundtrip;
+  ]

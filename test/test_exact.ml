@@ -1,0 +1,230 @@
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Partition = Hbn_workload.Partition
+module Placement = Hbn_placement.Placement
+module Brute_force = Hbn_exact.Brute_force
+module Gadget_opt = Hbn_exact.Gadget_opt
+module Lower_bounds = Hbn_exact.Lower_bounds
+module Prng = Hbn_prng.Prng
+
+let star_instance () =
+  let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 2) in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_read w ~obj:0 1 2;
+  Workload.set_write w ~obj:0 1 3;
+  Workload.set_read w ~obj:0 2 1;
+  Workload.set_write w ~obj:0 3 4;
+  (t, w)
+
+let test_optimum_simple () =
+  (* Single object on a star: enumerate by hand. Placing the copy on the
+     heaviest processor... the optimum here is placing on processor 1 or
+     3; brute force must match the best congestion over all our candidate
+     placements. *)
+  let _, w = star_instance () in
+  let opt = Brute_force.optimum w ~candidates:`Leaves in
+  let best_single =
+    List.fold_left
+      (fun acc leaf ->
+        min acc (Placement.congestion w (Placement.single w [ (0, leaf) ])))
+      infinity [ 1; 2; 3 ]
+  in
+  Alcotest.(check bool) "optimum <= best single" true
+    (opt.Brute_force.congestion <= best_single +. 1e-9);
+  Alcotest.(check bool) "optimum > 0" true (opt.Brute_force.congestion > 0.)
+
+let test_object_vectors_pareto () =
+  let _, w = star_instance () in
+  let vs = Brute_force.object_vectors w ~obj:0 ~candidates:`Leaves in
+  Alcotest.(check bool) "nonempty" true (vs <> []);
+  (* No vector dominates another. *)
+  let dominates a b =
+    Array.for_all2 (fun x y -> x <= y) a b && a <> b
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j && dominates a b then
+            Alcotest.fail "dominated vector kept")
+        vs)
+    vs
+
+let test_object_vectors_no_requests () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  let w = Workload.empty t ~objects:1 in
+  let vs = Brute_force.object_vectors w ~obj:0 ~candidates:`Leaves in
+  Alcotest.(check int) "single zero vector" 1 (List.length vs);
+  Alcotest.(check (array int)) "zeros" [| 0; 0 |] (List.hd vs)
+
+let test_budget_exceeded () =
+  let t = Builders.star ~leaves:6 ~profile:(Builders.Uniform 1) in
+  let prng = Prng.create 1 in
+  let w =
+    Hbn_workload.Generators.uniform ~prng t ~objects:1 ~max_rate:3
+  in
+  (try
+     ignore (Brute_force.object_vectors ~budget:10 w ~obj:0 ~candidates:`Leaves);
+     Alcotest.fail "budget not enforced"
+   with Brute_force.Too_large _ -> ())
+
+let test_upper_bound_does_not_change_result () =
+  let _, w = star_instance () in
+  let a = Brute_force.optimum w ~candidates:`Leaves in
+  let b =
+    Brute_force.optimum w ~candidates:`Leaves
+      ~upper_bound:a.Brute_force.congestion
+  in
+  Alcotest.(check (float 1e-9)) "same congestion" a.Brute_force.congestion
+    b.Brute_force.congestion
+
+let test_all_nodes_beats_leaves () =
+  (* Allowing copies on buses can only improve the optimum. *)
+  let _, w = star_instance () in
+  let leaves = Brute_force.optimum w ~candidates:`Leaves in
+  let all = Brute_force.optimum w ~candidates:`All_nodes in
+  Alcotest.(check bool) "tree model at least as good" true
+    (all.Brute_force.congestion <= leaves.Brute_force.congestion +. 1e-9)
+
+let test_gadget_yes_instance () =
+  let inst = Partition.make [ 3; 1; 1; 2; 3; 2 ] in
+  let g = Partition.gadget inst in
+  Alcotest.(check int) "family optimum is 4k" (4 * g.Partition.k)
+    (Gadget_opt.family_optimum inst);
+  let bf = Brute_force.optimum g.Partition.workload ~candidates:`Leaves in
+  Alcotest.(check (float 1e-9)) "brute force agrees"
+    (float_of_int (4 * g.Partition.k))
+    bf.Brute_force.congestion
+
+let test_gadget_no_instance () =
+  let inst = Partition.make [ 1; 1; 4 ] in
+  let g = Partition.gadget inst in
+  let fam = Gadget_opt.family_optimum inst in
+  Alcotest.(check bool) "strictly above 4k" true (fam > 4 * g.Partition.k);
+  let bf = Brute_force.optimum g.Partition.workload ~candidates:`Leaves in
+  Alcotest.(check (float 1e-9)) "brute force agrees" (float_of_int fam)
+    bf.Brute_force.congestion
+
+let prop_gadget_family_matches_brute_force seed =
+  (* The closed form equals the true optimum on random small instances,
+     yes or no alike — the empirical content of Theorem 2.1. *)
+  let prng = Prng.create seed in
+  let inst = Partition.random ~prng ~items:(Prng.int_in prng 2 5) ~max_item:4 in
+  let g = Partition.gadget inst in
+  let fam = Gadget_opt.family_optimum inst in
+  match Brute_force.optimum g.Partition.workload ~candidates:`Leaves with
+  | bf -> Float.abs (bf.Brute_force.congestion -. float_of_int fam) < 1e-9
+  | exception Brute_force.Too_large _ -> QCheck.assume_fail ()
+
+let prop_gadget_threshold seed =
+  (* 4k achievable iff PARTITION solvable. *)
+  let prng = Prng.create seed in
+  let inst =
+    if seed mod 2 = 0 then Partition.random_yes ~prng ~items:6 ~max_item:6
+    else Partition.random ~prng ~items:5 ~max_item:6
+  in
+  let g = Partition.gadget inst in
+  let fam = Gadget_opt.family_optimum inst in
+  Partition.solvable inst = (fam = 4 * g.Partition.k)
+
+let prop_min_edge_loads_pointwise seed =
+  (* min_edge_loads lower-bounds the loads of any single-copy placement. *)
+  let _, w = Helpers.small_instance seed in
+  let prng = Prng.create (seed + 5) in
+  match Brute_force.min_edge_loads w ~candidates:`Leaves with
+  | exception Brute_force.Too_large _ -> QCheck.assume_fail ()
+  | mins ->
+    let t = Workload.tree w in
+    let leaves = Array.of_list (Tree.leaves t) in
+    let placement =
+      Placement.nearest w
+        ~copies:
+          (Array.init (Workload.num_objects w) (fun _ ->
+               [ leaves.(Prng.int prng (Array.length leaves)) ]))
+    in
+    let loads = Placement.edge_loads w placement in
+    Array.for_all2 ( <= ) mins loads
+
+let prop_optimum_below_any_heuristic seed =
+  let _, w = Helpers.small_instance seed in
+  match Brute_force.optimum w ~candidates:`Leaves with
+  | exception Brute_force.Too_large _ -> QCheck.assume_fail ()
+  | opt ->
+    let owner = Hbn_baselines.Baselines.owner w in
+    let full = Placement.full_replication w in
+    opt.Brute_force.congestion <= Placement.congestion w owner +. 1e-9
+    && opt.Brute_force.congestion <= Placement.congestion w full +. 1e-9
+
+let suite =
+  [
+    Helpers.tc "optimum on a star" test_optimum_simple;
+    Helpers.tc "object vectors are Pareto-minimal" test_object_vectors_pareto;
+    Helpers.tc "no requests gives zero vector" test_object_vectors_no_requests;
+    Helpers.tc "budget enforced" test_budget_exceeded;
+    Helpers.tc "upper bound keeps the result" test_upper_bound_does_not_change_result;
+    Helpers.tc "tree model beats bus model" test_all_nodes_beats_leaves;
+    Helpers.tc "gadget yes instance optimum 4k" test_gadget_yes_instance;
+    Helpers.tc "gadget no instance above 4k" test_gadget_no_instance;
+    Helpers.qt ~count:25 "gadget closed form = brute force" Helpers.seed_arb
+      prop_gadget_family_matches_brute_force;
+    Helpers.qt ~count:100 "gadget 4k threshold iff solvable" Helpers.seed_arb
+      prop_gadget_threshold;
+    Helpers.qt ~count:30 "min edge loads pointwise bound" Helpers.seed_arb
+      prop_min_edge_loads_pointwise;
+    Helpers.qt ~count:30 "optimum below heuristics" Helpers.seed_arb
+      prop_optimum_below_any_heuristic;
+  ]
+
+(* --- non-redundancy of write-only optima (Section 2's remark) ---------- *)
+
+let prop_write_only_optimum_non_redundant seed =
+  (* "every optimal placement is non-redundant if all requests are write
+     requests": the unrestricted optimum equals the best placement with a
+     single copy per object. *)
+  let prng = Prng.create (seed + 909) in
+  let tree = Builders.star ~leaves:(Prng.int_in prng 2 4) ~profile:(Builders.Uniform 2) in
+  let objects = Prng.int_in prng 1 2 in
+  let w = Workload.empty tree ~objects in
+  List.iter
+    (fun leaf ->
+      for obj = 0 to objects - 1 do
+        Workload.set_write w ~obj leaf (Prng.int prng 5)
+      done)
+    (Tree.leaves tree);
+  match Brute_force.optimum w ~candidates:`Leaves with
+  | exception Brute_force.Too_large _ -> QCheck.assume_fail ()
+  | opt ->
+    (* Best single-copy-per-object placement by direct enumeration. *)
+    let leaves = Array.of_list (Tree.leaves tree) in
+    let nl = Array.length leaves in
+    let best = ref infinity in
+    let choice = Array.make objects 0 in
+    let rec enumerate obj =
+      if obj = objects then begin
+        let assignment =
+          List.filter_map
+            (fun o ->
+              if Workload.requesting_leaves w ~obj:o = [] then None
+              else Some (o, leaves.(choice.(o))))
+            (List.init objects Fun.id)
+        in
+        let p = Placement.single w assignment in
+        best := Float.min !best (Placement.congestion w p)
+      end
+      else
+        for i = 0 to nl - 1 do
+          choice.(obj) <- i;
+          enumerate (obj + 1)
+        done
+    in
+    enumerate 0;
+    Float.abs (!best -. opt.Brute_force.congestion) < 1e-9
+
+let non_redundant_suite =
+  [
+    Helpers.qt ~count:40 "write-only optima are non-redundant"
+      Helpers.seed_arb prop_write_only_optimum_non_redundant;
+  ]
+
+let suite = suite @ non_redundant_suite

@@ -1,0 +1,52 @@
+(* Smoke tests running every example binary end-to-end. *)
+
+let example_path name =
+  let dir = Filename.dirname Sys.executable_name in
+  let candidate = Filename.concat dir (Printf.sprintf "../examples/%s.exe" name) in
+  if Sys.file_exists candidate then Some candidate else None
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let check_example name expectations () =
+  match example_path name with
+  | None -> () (* not built in this configuration *)
+  | Some bin ->
+    let ic = Unix.open_process_in (Filename.quote_command bin []) in
+    let buf = Buffer.create 1024 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    let status = Unix.close_process_in ic in
+    let out = Buffer.contents buf in
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.failf "%s exited non-zero:\n%s" name out);
+    List.iter
+      (fun sub ->
+        if not (contains out sub) then
+          Alcotest.failf "%s: missing %S in output:\n%s" name sub out)
+      expectations
+
+let suite =
+  [
+    Helpers.tc "quickstart"
+      (check_example "quickstart" [ "congestion:"; "tree-model lower bound" ]);
+    Helpers.tc "sci_cluster"
+      (check_example "sci_cluster"
+         [ "SCI cluster"; "extended-nibble"; "graph hbn {" ]);
+    Helpers.tc "web_replication"
+      (check_example "web_replication" [ "provider tree"; "write%" ]);
+    Helpers.tc "partition_gadget"
+      (check_example "partition_gadget"
+         [ "Theorem 2.1"; "PARTITION solvable"; "ratio" ]);
+    Helpers.tc "dynamic_adaptation"
+      (check_example "dynamic_adaptation"
+         [ "producer"; "online/OPT"; "factor 3" ]);
+    Helpers.tc "capacity_planning"
+      (check_example "capacity_planning" [ "shared pages"; "capacity" ]);
+  ]

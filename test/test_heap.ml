@@ -1,0 +1,88 @@
+module Heap = Hbn_util.Heap
+
+let pop_all h =
+  let rec go acc =
+    match Heap.pop_min h with
+    | None -> List.rev acc
+    | Some (k, _) -> go (k :: acc)
+  in
+  go []
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "min of empty" true (Heap.min_elt h = None);
+  Alcotest.(check bool) "pop of empty" true (Heap.pop_min h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k (string_of_int k)) [ 5; 1; 9; 3; 7; 1 ];
+  Alcotest.(check int) "length" 6 (Heap.length h);
+  Alcotest.(check (list int)) "sorted pops" [ 1; 1; 3; 5; 7; 9 ] (pop_all h)
+
+let test_min_elt_preserves () =
+  let h = Heap.of_list [ (4, "d"); (2, "b"); (3, "c") ] in
+  (match Heap.min_elt h with
+  | Some (2, "b") -> ()
+  | _ -> Alcotest.fail "min_elt wrong");
+  Alcotest.(check int) "length unchanged" 3 (Heap.length h)
+
+let test_update_key () =
+  let h = Heap.of_list [ (10, "a"); (20, "b"); (30, "c") ] in
+  Alcotest.(check bool) "found" true (Heap.update_key h (fun v -> v = "c") 5);
+  (match Heap.pop_min h with
+  | Some (5, "c") -> ()
+  | _ -> Alcotest.fail "re-keyed element should be first");
+  Alcotest.(check bool) "missing" false (Heap.update_key h (fun v -> v = "zz") 1)
+
+let test_update_key_down () =
+  let h = Heap.of_list [ (1, "a"); (2, "b"); (3, "c") ] in
+  Alcotest.(check bool) "found" true (Heap.update_key h (fun v -> v = "a") 99);
+  Alcotest.(check (list int)) "order" [ 2; 3; 99 ] (pop_all h)
+
+let test_fold_to_list () =
+  let h = Heap.of_list [ (1, "x"); (2, "y") ] in
+  let sum = Heap.fold (fun k _ acc -> acc + k) h 0 in
+  Alcotest.(check int) "fold sum" 3 sum;
+  Alcotest.(check int) "to_list length" 2 (List.length (Heap.to_list h))
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.add h ~key:3 3;
+  Heap.add h ~key:1 1;
+  (match Heap.pop_min h with Some (1, 1) -> () | _ -> Alcotest.fail "pop 1");
+  Heap.add h ~key:0 0;
+  Heap.add h ~key:2 2;
+  Alcotest.(check (list int)) "rest" [ 0; 2; 3 ] (pop_all h)
+
+let prop_sorted_pops seed =
+  let prng = Hbn_prng.Prng.create seed in
+  let n = Hbn_prng.Prng.int_in prng 1 200 in
+  let keys = List.init n (fun _ -> Hbn_prng.Prng.int_in prng (-50) 50) in
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k k) keys;
+  let popped = pop_all h in
+  popped = List.sort compare keys
+
+let prop_growth seed =
+  (* Exercise resizing across the initial capacity boundary. *)
+  let n = 4 + (seed mod 60) in
+  let h = Heap.create () in
+  for i = n downto 1 do
+    Heap.add h ~key:i i
+  done;
+  Heap.length h = n && pop_all h = List.init n (fun i -> i + 1)
+
+let suite =
+  [
+    Helpers.tc "empty heap" test_empty;
+    Helpers.tc "pops come out sorted" test_ordering;
+    Helpers.tc "min_elt does not remove" test_min_elt_preserves;
+    Helpers.tc "update_key re-sorts upward" test_update_key;
+    Helpers.tc "update_key re-sorts downward" test_update_key_down;
+    Helpers.tc "fold and to_list" test_fold_to_list;
+    Helpers.tc "interleaved add/pop" test_interleaved;
+    Helpers.qt "random keys pop sorted" Helpers.seed_arb prop_sorted_pops;
+    Helpers.qt "capacity growth" Helpers.seed_arb prop_growth;
+  ]

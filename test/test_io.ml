@@ -1,0 +1,152 @@
+module Tree = Hbn_tree.Tree
+module Topology_io = Hbn_tree.Topology_io
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Workload_io = Hbn_workload.Workload_io
+module Prng = Hbn_prng.Prng
+
+let trees_equal a b =
+  Tree.n a = Tree.n b
+  && Tree.num_edges a = Tree.num_edges b
+  && List.init (Tree.n a) (fun v -> Tree.kind a v)
+     = List.init (Tree.n b) (fun v -> Tree.kind b v)
+  && List.init (Tree.num_edges a) (fun e ->
+         (Tree.edge_endpoints a e, Tree.edge_bandwidth a e))
+     = List.init (Tree.num_edges b) (fun e ->
+           (Tree.edge_endpoints b e, Tree.edge_bandwidth b e))
+  && List.for_all
+       (fun v -> Tree.bus_bandwidth a v = Tree.bus_bandwidth b v)
+       (Tree.buses a)
+  && (Tree.rooting a).Tree.root = (Tree.rooting b).Tree.root
+
+let test_topology_round_trip_example () =
+  let t = Builders.balanced ~arity:2 ~height:2 ~profile:(Builders.Scaled_by_subtree 2) in
+  match Topology_io.of_string (Topology_io.to_string t) with
+  | Ok t' -> Alcotest.(check bool) "round trip" true (trees_equal t t')
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_topology_parse_handwritten () =
+  let s =
+    "# tiny network\n\
+     nodes 3\n\
+     bus 0 7\n\
+     proc 1\n\
+     proc 2\n\
+     edge 0 1 1\n\
+     edge 0 2 1\n"
+  in
+  match Topology_io.of_string s with
+  | Ok t ->
+    Alcotest.(check int) "n" 3 (Tree.n t);
+    Alcotest.(check int) "bus bw" 7 (Tree.bus_bandwidth t 0);
+    Alcotest.(check (list int)) "leaves" [ 1; 2 ] (Tree.leaves t)
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let expect_error what s =
+  match Topology_io.of_string s with
+  | Ok _ -> Alcotest.failf "%s: expected parse error" what
+  | Error _ -> ()
+
+let test_topology_parse_errors () =
+  expect_error "missing nodes" "bus 0 1\n";
+  expect_error "garbage" "nodes 2\nfrobnicate 1\n";
+  expect_error "bad int" "nodes x\n";
+  expect_error "undeclared node" "nodes 3\nbus 0 1\nproc 1\nedge 0 1 1\nedge 0 2 1\n";
+  expect_error "duplicate node" "nodes 2\nproc 0\nproc 0\nproc 1\nedge 0 1 1\n";
+  expect_error "out of range id" "nodes 2\nproc 0\nproc 5\nedge 0 1 1\n";
+  (* structural errors surface from Tree.make *)
+  expect_error "bus as leaf" "nodes 2\nbus 0 1\nproc 1\nedge 0 1 1\n";
+  expect_error "not a tree" "nodes 3\nbus 0 1\nproc 1\nproc 2\nedge 0 1 1\n"
+
+let test_workload_round_trip_example () =
+  let t = Builders.star ~leaves:4 ~profile:(Builders.Uniform 2) in
+  let w = Workload.empty t ~objects:3 in
+  Workload.set_read w ~obj:0 1 5;
+  Workload.set_write w ~obj:2 3 7;
+  match Workload_io.of_string t (Workload_io.to_string w) with
+  | Ok w' ->
+    Alcotest.(check int) "objects" 3 (Workload.num_objects w');
+    Alcotest.(check int) "read" 5 (Workload.reads w' ~obj:0 1);
+    Alcotest.(check int) "write" 7 (Workload.writes w' ~obj:2 3);
+    Alcotest.(check int) "totals" (Workload.total_requests w)
+      (Workload.total_requests w')
+  | Error m -> Alcotest.failf "parse failed: %s" m
+
+let test_workload_parse_errors () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  let err s =
+    match Workload_io.of_string t s with
+    | Ok _ -> Alcotest.failf "expected error for %S" s
+    | Error _ -> ()
+  in
+  err "rate 0 1 1 1\n";
+  err "objects 1\nrate 5 1 1 1\n";
+  err "objects 1\nrate 0 99 1 1\n";
+  err "objects 1\nrate 0 0 1 1\n";
+  (* node 0 is the bus *)
+  err "objects 1\nrate 0 1 -2 0\n"
+
+let test_file_round_trip () =
+  let dir = Filename.temp_file "hbn" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let t = Builders.caterpillar ~spine:3 ~leaves_per_bus:2 ~profile:(Builders.Uniform 3) in
+  let tp = Filename.concat dir "net.hbn" in
+  Topology_io.save t ~path:tp;
+  (match Topology_io.load ~path:tp with
+  | Ok t' -> Alcotest.(check bool) "tree file round trip" true (trees_equal t t')
+  | Error m -> Alcotest.failf "load failed: %s" m);
+  let prng = Prng.create 4 in
+  let w = Hbn_workload.Generators.uniform ~prng t ~objects:4 ~max_rate:7 in
+  let wp = Filename.concat dir "load.hbn" in
+  Workload_io.save w ~path:wp;
+  (match Workload_io.load t ~path:wp with
+  | Ok w' ->
+    Alcotest.(check int) "workload file round trip"
+      (Workload.total_requests w) (Workload.total_requests w')
+  | Error m -> Alcotest.failf "load failed: %s" m);
+  Sys.remove tp;
+  Sys.remove wp;
+  Unix.rmdir dir
+
+let test_load_missing_file () =
+  match Topology_io.load ~path:"/nonexistent/net.hbn" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let prop_topology_round_trip seed =
+  let prng = Prng.create seed in
+  let t = Helpers.random_tree prng in
+  match Topology_io.of_string (Topology_io.to_string t) with
+  | Ok t' -> trees_equal t t'
+  | Error _ -> false
+
+let prop_workload_round_trip seed =
+  let _, w = Helpers.instance seed in
+  let t = Workload.tree w in
+  match Workload_io.of_string t (Workload_io.to_string w) with
+  | Ok w' ->
+    List.for_all
+      (fun v ->
+        List.for_all
+          (fun obj ->
+            Workload.reads w ~obj v = Workload.reads w' ~obj v
+            && Workload.writes w ~obj v = Workload.writes w' ~obj v)
+          (List.init (Workload.num_objects w) Fun.id))
+      (Tree.leaves t)
+  | Error _ -> false
+
+let suite =
+  [
+    Helpers.tc "topology round trip" test_topology_round_trip_example;
+    Helpers.tc "topology handwritten parse" test_topology_parse_handwritten;
+    Helpers.tc "topology parse errors" test_topology_parse_errors;
+    Helpers.tc "workload round trip" test_workload_round_trip_example;
+    Helpers.tc "workload parse errors" test_workload_parse_errors;
+    Helpers.tc "file round trips" test_file_round_trip;
+    Helpers.tc "missing file" test_load_missing_file;
+    Helpers.qt "random topologies round trip" Helpers.seed_arb
+      prop_topology_round_trip;
+    Helpers.qt "random workloads round trip" Helpers.seed_arb
+      prop_workload_round_trip;
+  ]

@@ -1,0 +1,32 @@
+(* Aggregates all suites. Run with `dune runtest`; individual suites can be
+   selected with e.g. `dune exec test/test_main.exe -- test strategy`. *)
+
+let () =
+  Alcotest.run "hbn"
+    [
+      ("heap", Test_heap.suite);
+      ("stats", Test_stats.suite);
+      ("table", Test_table.suite);
+      ("prng", Test_prng.suite);
+      ("tree", Test_tree.suite);
+      ("builders", Test_builders.suite);
+      ("workload", Test_workload.suite);
+      ("partition", Test_partition.suite);
+      ("placement", Test_placement.suite);
+      ("nibble", Test_nibble.suite);
+      ("deletion", Test_deletion.suite);
+      ("mapping", Test_mapping.suite);
+      ("strategy", Test_strategy.suite);
+      ("exact", Test_exact.suite);
+      ("baselines", Test_baselines.suite);
+      ("sim", Test_sim.suite);
+      ("dist", Test_dist.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("capacitated", Test_capacitated.suite);
+      ("ablation", Test_ablation.suite);
+      ("io", Test_io.suite);
+      ("runtime", Test_runtime.suite);
+      ("certificates", Test_certificates.suite);
+      ("cli", Test_cli.suite);
+      ("examples", Test_examples.suite);
+    ]

@@ -1,0 +1,241 @@
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+module Nibble = Hbn_nibble.Nibble
+module Copy = Hbn_core.Copy
+module Mapping = Hbn_core.Mapping
+module Strategy = Hbn_core.Strategy
+module Prng = Hbn_prng.Prng
+
+let test_basic_loads_directions () =
+  (* Balanced binary tree of height 2; a copy on the root serving a leaf
+     loads only downward directions; a copy on a leaf serving a leaf in
+     the other subtree loads up on its side and down on the other. *)
+  let t = Builders.balanced ~arity:2 ~height:2 ~profile:(Builders.Uniform 1) in
+  let r = Tree.rooting t in
+  let leaves = Tree.leaves t in
+  let l0 = List.nth leaves 0 and l3 = List.nth leaves 3 in
+  let c_root =
+    Copy.make ~id:0 ~obj:0 ~kappa:1 ~node:r.Tree.root
+      [ { Nibble.leaf = l0; reads = 2; writes = 1 } ]
+  in
+  let up, down = Mapping.basic_loads t [ c_root ] in
+  Alcotest.(check int) "no upward load" 0 (Array.fold_left ( + ) 0 up);
+  Alcotest.(check int) "downward load on the two path edges" 6
+    (Array.fold_left ( + ) 0 down);
+  let c_leaf =
+    Copy.make ~id:1 ~obj:0 ~kappa:1 ~node:l0
+      [ { Nibble.leaf = l3; reads = 1; writes = 0 } ]
+  in
+  let up2, down2 = Mapping.basic_loads t [ c_leaf ] in
+  Alcotest.(check int) "two upward hops" 2 (Array.fold_left ( + ) 0 up2);
+  Alcotest.(check int) "two downward hops" 2 (Array.fold_left ( + ) 0 down2)
+
+let test_self_serving_copy_no_load () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  let leaf = List.hd (Tree.leaves t) in
+  let c =
+    Copy.make ~id:0 ~obj:0 ~kappa:1 ~node:leaf
+      [ { Nibble.leaf; reads = 5; writes = 5 } ]
+  in
+  let up, down = Mapping.basic_loads t [ c ] in
+  Alcotest.(check int) "no load" 0
+    (Array.fold_left ( + ) 0 up + Array.fold_left ( + ) 0 down)
+
+(* Run the full strategy with verification on: Invariant 4.2 is checked
+   after every round internally. *)
+let prop_invariant_throughout seed =
+  let _, w = Helpers.instance seed in
+  match Strategy.run ~verify:true w with
+  | _ -> true
+  | exception Failure msg -> QCheck.Test.fail_report msg
+
+let prop_movable_end_on_leaves seed =
+  let _, w = Helpers.instance seed in
+  let tree = Workload.tree w in
+  let res = Strategy.run w in
+  List.for_all (fun c -> Tree.is_leaf tree c.Copy.node) res.Strategy.copies
+
+let prop_observation_3_3 seed =
+  (* After the run: on every downward edge either L_map <= L_acc + tau, or
+     L_map = 0 and L_acc < -tau (Observation 3.3). *)
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  match res.Strategy.mapping with
+  | None -> true
+  | Some stats ->
+    let st = stats.Mapping.final in
+    let tau = stats.Mapping.tau_max in
+    let ok = ref true in
+    Array.iteri
+      (fun e lmap ->
+        let lacc = st.Mapping.lacc_down.(e) in
+        if not (lmap <= lacc + tau || (lmap = 0 && lacc < -tau)) then
+          ok := false)
+      st.Mapping.lmap_down;
+    !ok
+
+let prop_upward_lmap_matches_lacc seed =
+  (* After the upwards phase the mapping load on every upward edge equals
+     its acceptable load (the adjustment enforces it); this persists since
+     the downwards phase never touches upward edges. *)
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  match res.Strategy.mapping with
+  | None -> true
+  | Some stats ->
+    let st = stats.Mapping.final in
+    let ok = ref true in
+    let r = st.Mapping.rooted in
+    Array.iteri
+      (fun v p ->
+        if p >= 0 then begin
+          let e = r.Tree.parent_edge.(v) in
+          if st.Mapping.lmap_up.(e) <> st.Mapping.lacc_up.(e) then ok := false
+        end)
+      r.Tree.parent;
+    !ok
+
+let prop_lemma_4_4 seed =
+  (* L_acc(up) + L_acc(down) <= 2 L_nib(e) for every edge, at the end (the
+     acceptable loads only ever decrease from 2 L_b). *)
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  match res.Strategy.mapping with
+  | None -> true
+  | Some stats ->
+    let st = stats.Mapping.final in
+    let nib = Placement.edge_loads w res.Strategy.nibble in
+    let ok = ref true in
+    Array.iteri
+      (fun e l ->
+        if st.Mapping.lacc_up.(e) + st.Mapping.lacc_down.(e) > 2 * l then
+          ok := false)
+      nib;
+    !ok
+
+let test_check_invariant_detects_corruption () =
+  let _, w = Helpers.instance 4242 in
+  let res = Strategy.run w in
+  match res.Strategy.mapping with
+  | None -> ()  (* nothing mapped; nothing to corrupt *)
+  | Some stats ->
+    let st = stats.Mapping.final in
+    Helpers.check_ok "final state passes" (Mapping.check_invariant st);
+    (* Corrupt: pretend a node still holds a heavy copy. *)
+    let tree = st.Mapping.tree in
+    let bus = List.hd (Tree.buses tree) in
+    let heavy =
+      Copy.make ~id:999 ~obj:0 ~kappa:1000000 ~node:bus
+        [ { Nibble.leaf = List.hd (Tree.leaves tree); reads = 1000000; writes = 0 } ]
+    in
+    st.Mapping.node_copies.(bus) <- [ heavy ];
+    (match Mapping.check_invariant st with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "corruption not detected");
+    st.Mapping.node_copies.(bus) <- []
+
+let test_failure_injection () =
+  (* Shrinking every acceptable load must eventually break the free-edge
+     guarantee or the invariant: shows the checks are not vacuous. *)
+  let t = Builders.balanced ~arity:2 ~height:2 ~profile:(Builders.Uniform 1) in
+  let w = Workload.empty t ~objects:1 in
+  List.iter
+    (fun leaf ->
+      Workload.set_read w ~obj:0 leaf 3;
+      Workload.set_write w ~obj:0 leaf 2)
+    (Tree.leaves t);
+  (* The mapping mutates copy positions, so each run rebuilds Step 2's
+     output from scratch. *)
+  let fresh () =
+    let cs = Nibble.place w ~obj:0 in
+    let out = Hbn_core.Deletion.run ~next_id:(ref 0) w cs in
+    let movable =
+      List.filter
+        (fun c -> not (Tree.is_leaf t c.Copy.node))
+        out.Hbn_core.Deletion.copies
+    in
+    if movable = [] then Alcotest.fail "test needs bus copies to move";
+    let basic_up, basic_down =
+      Mapping.basic_loads t out.Hbn_core.Deletion.copies
+    in
+    (basic_up, basic_down, movable)
+  in
+  (* Uncorrupted run succeeds. *)
+  let basic_up, basic_down, movable = fresh () in
+  ignore (Mapping.run ~verify:true t ~basic_up ~basic_down ~movable);
+  (* Heavy corruption: all acceptable loads very negative. *)
+  let basic_up, basic_down, movable = fresh () in
+  let failed =
+    try
+      ignore
+        (Mapping.run ~inject_lacc_error:1_000_000 t ~basic_up ~basic_down
+           ~movable);
+      false
+    with Mapping.No_free_edge _ | Failure _ -> true
+  in
+  Alcotest.(check bool) "corrupted bookkeeping fails" true failed
+
+let test_papers_printed_invariant_is_too_strong () =
+  (* DESIGN.md erratum: find an instance where the paper's literal
+     "+ 2 Σ s(c)" form is violated at some point of the mapping while the
+     corrected "+ Σ (s + κ)" form (checked by verify) always holds. *)
+  let printed_form_violated = ref false in
+  let check_printed (st : Mapping.state) =
+    let r = st.Mapping.rooted in
+    List.iter
+      (fun v ->
+        let out = ref 0 and inc = ref 0 in
+        if v <> r.Tree.root then begin
+          let e = r.Tree.parent_edge.(v) in
+          out := !out + st.Mapping.lacc_up.(e) - st.Mapping.lmap_up.(e);
+          inc := !inc + st.Mapping.lacc_down.(e) - st.Mapping.lmap_down.(e)
+        end;
+        Array.iter
+          (fun c ->
+            let e = r.Tree.parent_edge.(c) in
+            out := !out + st.Mapping.lacc_down.(e) - st.Mapping.lmap_down.(e);
+            inc := !inc + st.Mapping.lacc_up.(e) - st.Mapping.lmap_up.(e))
+          r.Tree.children.(v);
+        let served =
+          List.fold_left (fun a c -> a + c.Copy.served) 0
+            st.Mapping.node_copies.(v)
+        in
+        if !out < !inc + (2 * served) then printed_form_violated := true)
+      (Tree.buses st.Mapping.tree)
+  in
+  let seed = ref 0 in
+  while (not !printed_form_violated) && !seed < 200 do
+    let _, w = Helpers.instance !seed in
+    ignore (Strategy.run ~verify:true ~on_mapping_round:check_printed w);
+    incr seed
+  done;
+  Alcotest.(check bool)
+    "printed invariant violated on some instance while corrected form held"
+    true !printed_form_violated
+
+let test_empty_movable_is_noop () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  let stats =
+    Mapping.run t ~basic_up:[| 0; 0 |] ~basic_down:[| 0; 0 |] ~movable:[]
+  in
+  Alcotest.(check int) "no moves" 0
+    (stats.Mapping.moves_up + stats.Mapping.moves_down);
+  Alcotest.(check int) "tau 0" 0 stats.Mapping.tau_max
+
+let suite =
+  [
+    Helpers.tc "basic load directions" test_basic_loads_directions;
+    Helpers.tc "self-serving copies add no load" test_self_serving_copy_no_load;
+    Helpers.tc "check_invariant detects corruption" test_check_invariant_detects_corruption;
+    Helpers.tc "failure injection breaks the run" test_failure_injection;
+    Helpers.slow "paper's printed Invariant 4.2 is too strong (erratum)"
+      test_papers_printed_invariant_is_too_strong;
+    Helpers.tc "empty movable set is a no-op" test_empty_movable_is_noop;
+    Helpers.qt "Invariant 4.2 holds throughout" Helpers.seed_arb prop_invariant_throughout;
+    Helpers.qt "all movable copies end on processors" Helpers.seed_arb prop_movable_end_on_leaves;
+    Helpers.qt "Observation 3.3" Helpers.seed_arb prop_observation_3_3;
+    Helpers.qt "upward L_map = L_acc after adjustment" Helpers.seed_arb prop_upward_lmap_matches_lacc;
+    Helpers.qt "Lemma 4.4 acceptable-load bound" Helpers.seed_arb prop_lemma_4_4;
+  ]

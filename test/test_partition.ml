@@ -1,0 +1,125 @@
+module Partition = Hbn_workload.Partition
+module Workload = Hbn_workload.Workload
+module Tree = Hbn_tree.Tree
+module Placement = Hbn_placement.Placement
+module Prng = Hbn_prng.Prng
+
+let test_solvable_known () =
+  Alcotest.(check bool) "yes" true (Partition.solvable (Partition.make [ 1; 1 ]));
+  Alcotest.(check bool) "yes 2" true
+    (Partition.solvable (Partition.make [ 3; 1; 1; 2; 3; 2 ]));
+  Alcotest.(check bool) "no (odd sum)" false
+    (Partition.solvable (Partition.make [ 1; 2 ]));
+  Alcotest.(check bool) "no (even sum)" false
+    (Partition.solvable (Partition.make [ 1; 1; 4 ]))
+
+let test_find_subset () =
+  let i = Partition.make [ 3; 1; 1; 2; 3; 2 ] in
+  (match Partition.find_subset i with
+  | None -> Alcotest.fail "should find a subset"
+  | Some idxs ->
+    let sum = List.fold_left (fun a idx -> a + i.Partition.items.(idx)) 0 idxs in
+    Alcotest.(check int) "sums to half" 6 sum;
+    Alcotest.(check int) "indices distinct" (List.length idxs)
+      (List.length (List.sort_uniq compare idxs)));
+  Alcotest.(check bool) "none for unsolvable" true
+    (Partition.find_subset (Partition.make [ 1; 1; 4 ]) = None)
+
+let test_achievable_sums () =
+  let a = Partition.achievable_sums (Partition.make [ 2; 3 ]) in
+  Alcotest.(check (list bool)) "sums 0..5"
+    [ true; false; true; true; false; true ]
+    (Array.to_list a)
+
+let test_half () =
+  Alcotest.(check (option int)) "even" (Some 3) (Partition.half (Partition.make [ 2; 4 ]));
+  Alcotest.(check (option int)) "odd" None (Partition.half (Partition.make [ 2; 3 ]))
+
+let test_make_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Partition.make: empty instance")
+    (fun () -> ignore (Partition.make []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Partition.make: items must be positive") (fun () ->
+      ignore (Partition.make [ 1; 0 ]))
+
+let test_gadget_frequencies () =
+  (* The reduction of Theorem 2.1, checked against the paper verbatim. *)
+  let i = Partition.make [ 2; 3; 1 ] in
+  let g = Partition.gadget i in
+  let w = g.Partition.workload in
+  Alcotest.(check int) "k" 3 g.Partition.k;
+  Alcotest.(check int) "objects = n+1" 4 (Workload.num_objects w);
+  Alcotest.(check int) "hw(a,y) = 4k+1" 13
+    (Workload.writes w ~obj:g.Partition.object_y g.Partition.node_a);
+  Alcotest.(check int) "hw(b,y) = 2k" 6
+    (Workload.writes w ~obj:g.Partition.object_y g.Partition.node_b);
+  Alcotest.(check int) "hw(s,y) = 0" 0
+    (Workload.writes w ~obj:g.Partition.object_y g.Partition.node_s);
+  List.iteri
+    (fun idx ki ->
+      List.iter
+        (fun v ->
+          Alcotest.(check int) "hw(v,xi) = ki" ki (Workload.writes w ~obj:idx v);
+          Alcotest.(check int) "hr = 0" 0 (Workload.reads w ~obj:idx v))
+        [ g.Partition.node_a; g.Partition.node_b; g.Partition.node_s;
+          g.Partition.node_sbar ])
+    [ 2; 3; 1 ];
+  (* The gadget is the paper's 4-ary height-1 tree. *)
+  Alcotest.(check int) "5 nodes" 5 (Tree.n g.Partition.tree);
+  Alcotest.(check int) "height 1" 1 (Tree.height g.Partition.tree);
+  Alcotest.(check int) "4 processors" 4 (Tree.num_leaves g.Partition.tree)
+
+let test_gadget_odd_sum () =
+  Alcotest.check_raises "odd sum"
+    (Invalid_argument "Partition.gadget: item sum must be even") (fun () ->
+      ignore (Partition.gadget (Partition.make [ 1; 2 ])))
+
+let test_yes_placement_congestion () =
+  let i = Partition.make [ 3; 1; 1; 2; 3; 2 ] in
+  let g = Partition.gadget i in
+  match Partition.find_subset i with
+  | None -> Alcotest.fail "solvable instance"
+  | Some subset ->
+    let placement =
+      Placement.single g.Partition.workload (Partition.yes_placement g subset)
+    in
+    let c = Placement.congestion g.Partition.workload placement in
+    Alcotest.(check (float 1e-9)) "congestion exactly 4k"
+      (float_of_int (4 * g.Partition.k))
+      c
+
+let prop_random_yes_solvable seed =
+  let prng = Prng.create seed in
+  let items = Prng.int_in prng 2 14 in
+  let i = Partition.random_yes ~prng ~items ~max_item:9 in
+  Array.length i.Partition.items = items && Partition.solvable i
+
+let prop_random_even_sum seed =
+  let prng = Prng.create seed in
+  let i = Partition.random ~prng ~items:(Prng.int_in prng 1 12) ~max_item:9 in
+  Partition.sum i mod 2 = 0
+
+let prop_find_subset_sound seed =
+  let prng = Prng.create seed in
+  let i = Partition.random ~prng ~items:(Prng.int_in prng 1 12) ~max_item:9 in
+  match Partition.find_subset i with
+  | None -> not (Partition.solvable i)
+  | Some idxs ->
+    Partition.solvable i
+    && List.fold_left (fun a idx -> a + i.Partition.items.(idx)) 0 idxs
+       = Partition.sum i / 2
+
+let suite =
+  [
+    Helpers.tc "solvable on known instances" test_solvable_known;
+    Helpers.tc "find_subset" test_find_subset;
+    Helpers.tc "achievable sums" test_achievable_sums;
+    Helpers.tc "half" test_half;
+    Helpers.tc "make validation" test_make_validation;
+    Helpers.tc "gadget frequencies per paper" test_gadget_frequencies;
+    Helpers.tc "gadget rejects odd sums" test_gadget_odd_sum;
+    Helpers.tc "witness placement has congestion 4k" test_yes_placement_congestion;
+    Helpers.qt "random_yes always solvable" Helpers.seed_arb prop_random_yes_solvable;
+    Helpers.qt "random instances have even sums" Helpers.seed_arb prop_random_even_sum;
+    Helpers.qt "find_subset sound and complete" Helpers.seed_arb prop_find_subset_sound;
+  ]

@@ -1,0 +1,266 @@
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+module Prng = Hbn_prng.Prng
+
+(* Star: bus 0 (bw 2), processors 1, 2, 3; edge i connects processor i+1. *)
+let star_instance () =
+  let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 2) in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_read w ~obj:0 1 2;
+  Workload.set_write w ~obj:0 1 3;
+  Workload.set_read w ~obj:0 2 1;
+  Workload.set_write w ~obj:0 3 4;
+  (t, w)
+
+let test_hand_computed_loads () =
+  (* Copies on processors 1 and 3. Reads travel to the reference copy,
+     writes additionally load the Steiner tree {e0, e2} with kappa = 7. *)
+  let _, w = star_instance () in
+  let p = Placement.nearest w ~copies:[| [ 1; 3 ] |] in
+  let loads = Placement.edge_loads w p in
+  Alcotest.(check (array int)) "edge loads" [| 8; 1; 7 |] loads;
+  let c = Placement.evaluate w p in
+  Alcotest.(check (float 1e-9)) "congestion" 8. c.Placement.value;
+  (match c.Placement.bottleneck with
+  | `Edge 0 -> ()
+  | _ -> Alcotest.fail "bottleneck should be edge 0");
+  Alcotest.(check int) "bus load doubled" 16 c.Placement.bus_loads2.(0);
+  Alcotest.(check int) "total load" 16 (Placement.total_load w p)
+
+let test_nearest_tie_breaking () =
+  let _, w = star_instance () in
+  let p = Placement.nearest w ~copies:[| [ 3; 1 ] |] in
+  (* Processor 2 is equidistant from 1 and 3: ties go to the lowest id. *)
+  let server_of_2 =
+    List.find (fun a -> a.Placement.leaf = 2) p.(0).Placement.assigns
+  in
+  Alcotest.(check int) "tie to lowest id" 1 server_of_2.Placement.server;
+  Alcotest.(check (list int)) "copies sorted deduped" [ 1; 3 ]
+    (Placement.copies p ~obj:0)
+
+let test_nearest_requires_copies () =
+  let _, w = star_instance () in
+  Alcotest.check_raises "no copies"
+    (Invalid_argument "Placement.nearest: requests but no copies") (fun () ->
+      ignore (Placement.nearest w ~copies:[| [] |]))
+
+let test_bus_congestion_bottleneck () =
+  (* Make the bus the bottleneck by giving the edges big bandwidths. *)
+  let t =
+    Tree.make
+      ~kinds:[| Tree.Bus; Tree.Processor; Tree.Processor |]
+      ~edges:[ (0, 1, 10); (0, 2, 10) ]
+      ~bus_bandwidth:(fun _ -> 1)
+      ()
+  in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_read w ~obj:0 1 8;
+  let p = Placement.nearest w ~copies:[| [ 2 ] |] in
+  let c = Placement.evaluate w p in
+  (* Edge loads 8/10 each; bus load 8 over bandwidth 1. *)
+  Alcotest.(check (float 1e-9)) "bus dominates" 8. c.Placement.value;
+  match c.Placement.bottleneck with
+  | `Bus 0 -> ()
+  | _ -> Alcotest.fail "bottleneck should be the bus"
+
+let test_full_replication () =
+  let _, w = star_instance () in
+  let p = Placement.full_replication w in
+  Alcotest.(check (list int)) "copies everywhere" [ 1; 2; 3 ]
+    (Placement.copies p ~obj:0);
+  let loads = Placement.edge_loads w p in
+  (* Reads are local; every write broadcasts over all three edges. *)
+  Alcotest.(check (array int)) "broadcast loads" [| 7; 7; 7 |] loads
+
+let test_single () =
+  let _, w = star_instance () in
+  let p = Placement.single w [ (0, 2) ] in
+  Alcotest.(check (list int)) "one copy" [ 2 ] (Placement.copies p ~obj:0);
+  let loads = Placement.edge_loads w p in
+  (* Everything travels to processor 2; no Steiner edges for one copy:
+     e0 carries processor 1's five requests, e2 processor 3's four, and
+     e1 both streams on their way in. *)
+  Alcotest.(check (array int)) "loads" [| 5; 9; 4 |] loads
+
+let test_single_validation () =
+  let _, w = star_instance () in
+  Alcotest.check_raises "missing object"
+    (Invalid_argument "Placement.single: object missing a copy") (fun () ->
+      ignore (Placement.single w []));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Placement.single: duplicate object") (fun () ->
+      ignore (Placement.single w [ (0, 1); (0, 2) ]))
+
+let test_validate_catches_errors () =
+  let _, w = star_instance () in
+  let good = Placement.nearest w ~copies:[| [ 1 ] |] in
+  Helpers.check_ok "good placement" (Placement.validate w good);
+  (* Wrong coverage: drop one assignment. *)
+  let bad =
+    [| { good.(0) with Placement.assigns = List.tl good.(0).Placement.assigns } |]
+  in
+  (match Placement.validate w bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing assignment accepted");
+  (* Server outside the copy set. *)
+  let bad2 =
+    [|
+      {
+        good.(0) with
+        Placement.assigns =
+          List.map
+            (fun a -> { a with Placement.server = 2 })
+            good.(0).Placement.assigns;
+      };
+    |]
+  in
+  (match Placement.validate w bad2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "foreign server accepted");
+  (* Duplicate copies. *)
+  let bad3 = [| { good.(0) with Placement.copies = [ 1; 1 ] } |] in
+  match Placement.validate w bad3 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate copies accepted"
+
+let test_strictness () =
+  let _, w = star_instance () in
+  let split =
+    [|
+      {
+        Placement.copies = [ 1; 3 ];
+        assigns =
+          [
+            { Placement.leaf = 1; server = 1; reads = 2; writes = 3 };
+            { Placement.leaf = 2; server = 1; reads = 1; writes = 0 };
+            { Placement.leaf = 3; server = 3; reads = 0; writes = 1 };
+            { Placement.leaf = 3; server = 1; reads = 0; writes = 3 };
+          ];
+      };
+    |]
+  in
+  Helpers.check_ok "split covers workload" (Placement.validate w split);
+  Alcotest.(check bool) "split is not strict" false (Placement.is_strict split);
+  let strict = Placement.to_strict split in
+  Alcotest.(check bool) "to_strict strict" true (Placement.is_strict strict);
+  Helpers.check_ok "strict still covers" (Placement.validate w strict);
+  (* Processor 3's majority server is copy 1 (3 vs 1 requests). *)
+  let a3 =
+    List.find (fun a -> a.Placement.leaf = 3) strict.(0).Placement.assigns
+  in
+  Alcotest.(check int) "majority server" 1 a3.Placement.server
+
+let test_leaf_only () =
+  let t, w = star_instance () in
+  let leafy = Placement.nearest w ~copies:[| [ 1 ] |] in
+  Alcotest.(check bool) "leaves only" true (Placement.leaf_only t leafy);
+  let bus =
+    [|
+      {
+        Placement.copies = [ 0 ];
+        assigns =
+          List.map
+            (fun a -> { a with Placement.server = 0 })
+            leafy.(0).Placement.assigns;
+      };
+    |]
+  in
+  Alcotest.(check bool) "bus copy detected" false (Placement.leaf_only t bus)
+
+let test_path_steiner_overlap_counted_twice () =
+  (* A write whose reference path overlaps the Steiner tree loads those
+     edges twice (request + broadcast), matching the model's definition. *)
+  let t =
+    Builders.caterpillar ~spine:2 ~leaves_per_bus:1 ~profile:(Builders.Uniform 1)
+  in
+  (* Structure: bus0 - bus2(=spine); processors 1,3 at ends + extras. *)
+  let leaves = Tree.leaves t in
+  let l0 = List.nth leaves 0 and l1 = List.nth leaves 1 in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_write w ~obj:0 l0 1;
+  Workload.set_write w ~obj:0 l1 1;
+  let p =
+    [|
+      {
+        Placement.copies = [ l0; l1 ];
+        assigns =
+          [
+            (* l0 uses the far copy: its path lies inside the Steiner tree. *)
+            { Placement.leaf = l0; server = l1; reads = 0; writes = 1 };
+            { Placement.leaf = l1; server = l1; reads = 0; writes = 1 };
+          ];
+      };
+    |]
+  in
+  let loads = Placement.edge_loads w p in
+  let path = Tree.path_edges t l0 l1 in
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "path+steiner" 3 loads.(e))
+    path
+
+let prop_nearest_valid seed =
+  let _, w = Helpers.instance seed in
+  let prng = Prng.create (seed + 1) in
+  let t = Workload.tree w in
+  let leaves = Array.of_list (Tree.leaves t) in
+  let copies =
+    Array.init (Workload.num_objects w) (fun _ ->
+        let k = Prng.int_in prng 1 (Array.length leaves) in
+        let order = Array.copy leaves in
+        Prng.shuffle prng order;
+        Array.to_list (Array.sub order 0 k))
+  in
+  let p = Placement.nearest w ~copies in
+  Placement.validate w p = Ok () && Placement.is_strict p
+
+let prop_full_replication_reads_free seed =
+  let _, w = Helpers.instance seed in
+  let p = Placement.full_replication w in
+  (* With copies everywhere, only write broadcasts load edges: every edge
+     load is at most the total write contention. *)
+  let kappa_total =
+    List.fold_left ( + ) 0
+      (List.init (Workload.num_objects w) (fun obj ->
+           Workload.write_contention w ~obj))
+  in
+  Array.for_all (fun l -> l <= kappa_total) (Placement.edge_loads w p)
+
+let suite =
+  [
+    Helpers.tc "hand-computed loads" test_hand_computed_loads;
+    Helpers.tc "nearest tie-breaking" test_nearest_tie_breaking;
+    Helpers.tc "nearest requires copies" test_nearest_requires_copies;
+    Helpers.tc "bus can be the bottleneck" test_bus_congestion_bottleneck;
+    Helpers.tc "full replication" test_full_replication;
+    Helpers.tc "single placement" test_single;
+    Helpers.tc "single validation" test_single_validation;
+    Helpers.tc "validate catches errors" test_validate_catches_errors;
+    Helpers.tc "strict vs split assignments" test_strictness;
+    Helpers.tc "leaf_only" test_leaf_only;
+    Helpers.tc "path/steiner overlap double-counted"
+      test_path_steiner_overlap_counted_twice;
+    Helpers.qt "nearest placements validate" Helpers.seed_arb prop_nearest_valid;
+    Helpers.qt "full replication loads bounded by contention" Helpers.seed_arb
+      prop_full_replication_reads_free;
+  ]
+
+(* --- dot export --------------------------------------------------------- *)
+
+let test_placement_to_dot () =
+  let _, w = star_instance () in
+  let t = Workload.tree w in
+  let p = Placement.nearest w ~copies:[| [ 1; 3 ] |] in
+  let dot = Placement.to_dot t p in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "copy holder labeled" true (contains dot "P1\\nx0");
+  Alcotest.(check bool) "empty processor plain" true (contains dot "\"P2\"");
+  Alcotest.(check bool) "bus box" true (contains dot "bus 0")
+
+let suite = suite @ [ Helpers.tc "placement dot export" test_placement_to_dot ]

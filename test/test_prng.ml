@@ -1,0 +1,142 @@
+module Prng = Hbn_prng.Prng
+
+let stream g n f = List.init n (fun _ -> f g)
+
+let test_determinism () =
+  let a = stream (Prng.create 42) 20 (fun g -> Prng.int g 1000) in
+  let b = stream (Prng.create 42) 20 (fun g -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" a b
+
+let test_seed_sensitivity () =
+  let a = stream (Prng.create 1) 20 (fun g -> Prng.int g 1000000) in
+  let b = stream (Prng.create 2) 20 (fun g -> Prng.int g 1000000) in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_copy () =
+  let g = Prng.create 5 in
+  let _ = Prng.int g 100 in
+  let h = Prng.copy g in
+  Alcotest.(check (list int)) "copy replays"
+    (stream g 10 (fun g -> Prng.int g 99))
+    (stream h 10 (fun g -> Prng.int g 99))
+
+let test_split_independence () =
+  let g = Prng.create 7 in
+  let child = Prng.split g in
+  let a = stream child 20 (fun g -> Prng.int g 1000000) in
+  let b = stream g 20 (fun g -> Prng.int g 1000000) in
+  Alcotest.(check bool) "child differs from parent" true (a <> b)
+
+let test_int_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_in () =
+  let g = Prng.create 4 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in g (-3) 3 in
+    if v < -3 || v > 3 then Alcotest.failf "int_in out of range: %d" v
+  done;
+  Alcotest.(check int) "degenerate range" 5 (Prng.int_in g 5 5)
+
+let test_float_bounds () =
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_bool_mixes () =
+  let g = Prng.create 11 in
+  let trues = List.length (List.filter Fun.id (stream g 1000 Prng.bool)) in
+  Alcotest.(check bool) "roughly balanced" true (trues > 400 && trues < 600)
+
+let test_geometric () =
+  let g = Prng.create 13 in
+  Alcotest.(check int) "p=1 is 0" 0 (Prng.geometric g ~p:1.0);
+  for _ = 1 to 200 do
+    if Prng.geometric g ~p:0.5 < 0 then Alcotest.fail "negative geometric"
+  done;
+  let mean =
+    float_of_int
+      (List.fold_left ( + ) 0 (stream g 2000 (fun g -> Prng.geometric g ~p:0.5)))
+    /. 2000.
+  in
+  (* E[failures before success] = (1-p)/p = 1. *)
+  Alcotest.(check bool) "mean near 1" true (mean > 0.8 && mean < 1.2)
+
+let test_zipf_range_and_skew () =
+  let g = Prng.create 17 in
+  let n = 10 in
+  let counts = Array.make n 0 in
+  let sample = Prng.zipf_sampler ~n ~s:1.2 in
+  for _ = 1 to 5000 do
+    let v = sample g in
+    if v < 0 || v >= n then Alcotest.failf "zipf out of range: %d" v;
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (counts.(0) > counts.(n - 1));
+  Alcotest.(check bool) "rank 0 dominates" true (counts.(0) > 5000 / n)
+
+let test_zipf_single_call () =
+  let g = Prng.create 19 in
+  for _ = 1 to 100 do
+    let v = Prng.zipf g ~n:5 ~s:0.8 in
+    if v < 0 || v >= 5 then Alcotest.failf "zipf out of range: %d" v
+  done
+
+let test_shuffle_permutation () =
+  let g = Prng.create 23 in
+  let arr = Array.init 30 (fun i -> i) in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 30 (fun i -> i)) sorted
+
+let test_pick () =
+  let g = Prng.create 29 in
+  for _ = 1 to 100 do
+    let v = Prng.pick g [ 1; 2; 3 ] in
+    if not (List.mem v [ 1; 2; 3 ]) then Alcotest.fail "pick outside list"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick g []))
+
+let prop_int_nonneg seed =
+  let g = Prng.create seed in
+  let bound = 1 + (seed mod 1000) in
+  let v = Prng.int g bound in
+  v >= 0 && v < bound
+
+let prop_split_deterministic seed =
+  let mk () =
+    let g = Prng.create seed in
+    let c = Prng.split g in
+    (Prng.bits64 c, Prng.bits64 g)
+  in
+  mk () = mk ()
+
+let suite =
+  [
+    Helpers.tc "determinism" test_determinism;
+    Helpers.tc "seed sensitivity" test_seed_sensitivity;
+    Helpers.tc "copy replays state" test_copy;
+    Helpers.tc "split independence" test_split_independence;
+    Helpers.tc "int bounds" test_int_bounds;
+    Helpers.tc "int_in bounds" test_int_in;
+    Helpers.tc "float bounds" test_float_bounds;
+    Helpers.tc "bool mixes" test_bool_mixes;
+    Helpers.tc "geometric distribution" test_geometric;
+    Helpers.tc "zipf range and skew" test_zipf_range_and_skew;
+    Helpers.tc "zipf single call" test_zipf_single_call;
+    Helpers.tc "shuffle is a permutation" test_shuffle_permutation;
+    Helpers.tc "pick stays in list" test_pick;
+    Helpers.qt "int in range" Helpers.seed_arb prop_int_nonneg;
+    Helpers.qt "split deterministic" Helpers.seed_arb prop_split_deterministic;
+  ]

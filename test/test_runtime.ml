@@ -1,0 +1,125 @@
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Nibble = Hbn_nibble.Nibble
+module Runtime = Hbn_dist.Runtime
+module Dist_nibble = Hbn_dist.Dist_nibble
+module Prng = Hbn_prng.Prng
+
+(* A trivial protocol: leaves send 1 up, inner nodes forward sums; the
+   root ends up with the leaf count. *)
+let test_engine_convergecast () =
+  let t = Builders.balanced ~arity:2 ~height:3 ~profile:(Builders.Uniform 1) in
+  let r = Tree.rooting t in
+  let init v = (Array.length r.Tree.children.(v), 0, false) in
+  let step ~round ~node (missing, acc, sent) ~inbox =
+    let missing = missing - List.length inbox in
+    let acc = List.fold_left (fun a (_, m) -> a + m) acc inbox in
+    if missing = 0 && not sent then
+      if node = r.Tree.root then ((missing, acc, true), [])
+      else ((missing, acc, true), [ (r.Tree.parent.(node), acc + if Tree.is_leaf t node then 1 else 0) ])
+    else begin
+      ignore round;
+      ((missing, acc, sent), [])
+    end
+  in
+  let states, stats = Runtime.run t ~init ~step in
+  let _, root_acc, _ = states.(r.Tree.root) in
+  Alcotest.(check int) "root counted the leaves" (Tree.num_leaves t) root_acc;
+  Alcotest.(check int) "one message per non-root node" (Tree.n t - 1)
+    stats.Runtime.messages;
+  Alcotest.(check bool) "rounds ~ height" true
+    (stats.Runtime.rounds >= Tree.height t)
+
+let test_engine_rejects_non_neighbor () =
+  let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 1) in
+  (try
+     ignore
+       (Runtime.run t ~init:(fun _ -> ()) ~step:(fun ~round ~node () ~inbox ->
+            ignore inbox;
+            if round = 1 && node = 1 then ((), [ (2, "hi") ]) else ((), [])));
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ())
+
+let test_engine_rejects_double_send () =
+  let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 1) in
+  (try
+     ignore
+       (Runtime.run t ~init:(fun _ -> ()) ~step:(fun ~round ~node () ~inbox ->
+            ignore inbox;
+            if round = 1 && node = 1 then ((), [ (0, "a"); (0, "b") ])
+            else ((), [])));
+     Alcotest.fail "expected rejection"
+   with Invalid_argument _ -> ())
+
+let test_engine_round_limit () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  (try
+     (* Nodes 1 and 0 ping-pong forever. *)
+     ignore
+       (Runtime.run ~max_rounds:50 t ~init:(fun _ -> ()) ~step:(fun ~round:_ ~node () ~inbox ->
+            ignore inbox;
+            if node = 1 then ((), [ (0, ()) ]) else ((), [])));
+     Alcotest.fail "expected round limit"
+   with Failure _ -> ())
+
+let test_dist_nibble_hand_example () =
+  let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 1) in
+  let w = Workload.empty t ~objects:2 in
+  Workload.set_read w ~obj:0 1 10;
+  Workload.set_write w ~obj:0 2 2;
+  (* object 1 unused *)
+  let sets, stats = Dist_nibble.run w in
+  let seq = Nibble.place_all w in
+  Alcotest.(check (list int)) "object 0 matches sequential"
+    seq.(0).Nibble.nodes sets.(0);
+  Alcotest.(check (list int)) "unused object empty" [] sets.(1);
+  Alcotest.(check bool) "some messages flowed" true (stats.Runtime.messages > 0)
+
+let test_single_node_network () =
+  let t =
+    Tree.make ~kinds:[| Tree.Processor |] ~edges:[] ~bus_bandwidth:(fun _ -> 1) ()
+  in
+  let w = Workload.empty t ~objects:2 in
+  Workload.set_write w ~obj:0 0 5;
+  let sets, stats = Dist_nibble.run w in
+  Alcotest.(check (list int)) "self copy" [ 0 ] sets.(0);
+  Alcotest.(check (list int)) "unused empty" [] sets.(1);
+  Alcotest.(check int) "no messages" 0 stats.Runtime.messages
+
+let prop_matches_sequential seed =
+  let _, w = Helpers.instance seed in
+  let sets, _ = Dist_nibble.run w in
+  let seq = Nibble.place_all w in
+  Array.for_all2 (fun got cs -> got = cs.Nibble.nodes) sets seq
+
+let prop_rounds_pipelined seed =
+  (* O(|X| + height) with explicit constants: 4 sweeps, each starting at
+     most one object per round after its pipeline fills. *)
+  let _, w = Helpers.instance seed in
+  let t = Workload.tree w in
+  let x = Workload.num_objects w and h = Tree.height t in
+  let _, stats = Dist_nibble.run w in
+  stats.Runtime.rounds <= (4 * (x + h)) + 8
+
+let prop_message_bound seed =
+  (* At most 4 sweeps of |X| messages per edge. *)
+  let _, w = Helpers.instance seed in
+  let t = Workload.tree w in
+  let _, stats = Dist_nibble.run w in
+  stats.Runtime.messages
+  <= 4 * Workload.num_objects w * max 1 (Tree.num_edges t)
+
+let suite =
+  [
+    Helpers.tc "engine convergecast" test_engine_convergecast;
+    Helpers.tc "engine rejects non-neighbors" test_engine_rejects_non_neighbor;
+    Helpers.tc "engine rejects double sends" test_engine_rejects_double_send;
+    Helpers.tc "engine round limit" test_engine_round_limit;
+    Helpers.tc "distributed nibble hand example" test_dist_nibble_hand_example;
+    Helpers.tc "single node network" test_single_node_network;
+    Helpers.qt ~count:150 "distributed nibble = sequential everywhere"
+      Helpers.seed_arb prop_matches_sequential;
+    Helpers.qt "rounds are pipelined" Helpers.seed_arb prop_rounds_pipelined;
+    Helpers.qt "message bound" Helpers.seed_arb prop_message_bound;
+  ]

@@ -1,0 +1,171 @@
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+module Strategy = Hbn_core.Strategy
+module Sim = Hbn_sim.Sim
+module Prng = Hbn_prng.Prng
+
+let test_single_packet_path () =
+  (* One read over a height-2 path: dilation 2, makespan 2. *)
+  let t = Builders.balanced ~arity:2 ~height:1 ~profile:(Builders.Uniform 1) in
+  let w = Workload.empty t ~objects:1 in
+  let leaves = Tree.leaves t in
+  let l0 = List.nth leaves 0 and l1 = List.nth leaves 1 in
+  Workload.set_read w ~obj:0 l0 1;
+  let p = Placement.single w [ (0, l1) ] in
+  let out = Sim.run w p in
+  Alcotest.(check int) "packets" 1 out.Sim.packets;
+  Alcotest.(check int) "transmissions" 2 out.Sim.transmissions;
+  Alcotest.(check int) "dilation" 2 out.Sim.max_dilation;
+  Alcotest.(check int) "makespan = dilation" 2 out.Sim.makespan
+
+let test_contention_serializes () =
+  (* Ten reads over the same unit edge need at least ten rounds. *)
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 100) in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_read w ~obj:0 1 10;
+  let p = Placement.single w [ (0, 2) ] in
+  let out = Sim.run w p in
+  Alcotest.(check int) "traffic per edge" 10 out.Sim.edge_traffic.(0);
+  Alcotest.(check bool) "makespan at least congestion" true
+    (out.Sim.makespan >= 10)
+
+let test_write_broadcast_waits () =
+  (* A write's broadcast starts only after the request reaches the copy:
+     request path length + broadcast depth chain in the dilation. *)
+  let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 10) in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_write w ~obj:0 1 1;
+  let p =
+    [|
+      {
+        Placement.copies = [ 2; 3 ];
+        assigns = [ { Placement.leaf = 1; server = 2; reads = 0; writes = 1 } ];
+      };
+    |]
+  in
+  let out = Sim.run w p in
+  (* Request: e0 up, e1 down (2 hops); broadcast from 2 over Steiner{2,3}:
+     2 more hops, chained after the request. *)
+  Alcotest.(check int) "transmissions" 4 out.Sim.transmissions;
+  Alcotest.(check int) "dilation includes the wait" 4 out.Sim.max_dilation
+
+let test_bus_capacity_limits () =
+  (* Two packets on different edges through the same bandwidth-1 bus
+     cannot both cross in one round: bus capacity 2*b = 2 endpoints
+     per... each crossing uses 2 endpoint slots, so one crossing/round. *)
+  let t =
+    Tree.make
+      ~kinds:[| Tree.Bus; Tree.Processor; Tree.Processor; Tree.Processor; Tree.Processor |]
+      ~edges:[ (0, 1, 5); (0, 2, 5); (0, 3, 5); (0, 4, 5) ]
+      ~bus_bandwidth:(fun _ -> 1)
+      ()
+  in
+  let w = Workload.empty t ~objects:2 in
+  Workload.set_read w ~obj:0 1 2;
+  Workload.set_read w ~obj:1 3 1;
+  let p = Placement.single w [ (0, 2); (1, 4) ] in
+  let out = Sim.run w p in
+  (* Six edge hops, each consuming one of the bus's 2 slots per round:
+     at least three rounds, even though every edge has spare bandwidth. *)
+  Alcotest.(check int) "hops" 6 out.Sim.transmissions;
+  Alcotest.(check bool) "bus limits crossings" true (out.Sim.makespan >= 3)
+
+let test_scale_reduces_packets () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_read w ~obj:0 1 100;
+  let p = Placement.single w [ (0, 2) ] in
+  let full = Sim.run w p in
+  let scaled = Sim.run ~scale:10 w p in
+  Alcotest.(check int) "full packets" 100 full.Sim.packets;
+  Alcotest.(check int) "scaled packets" 10 scaled.Sim.packets
+
+let test_deterministic () =
+  let _, w = Helpers.instance 1234 in
+  let res = Strategy.run w in
+  let a = Sim.run w res.Strategy.placement in
+  let b = Sim.run w res.Strategy.placement in
+  Alcotest.(check int) "same makespan" a.Sim.makespan b.Sim.makespan;
+  Alcotest.(check (array int)) "same traffic" a.Sim.edge_traffic b.Sim.edge_traffic
+
+let prop_traffic_equals_analytic_loads seed =
+  (* The simulator's per-edge traffic at scale 1 equals the evaluator's
+     loads — the two load accountings agree exactly. *)
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  let out = Sim.run w res.Strategy.placement in
+  out.Sim.edge_traffic = Placement.edge_loads w res.Strategy.placement
+
+let prop_traffic_matches_for_baselines seed =
+  let _, w = Helpers.instance seed in
+  let p = Hbn_baselines.Baselines.full_replication w in
+  let out = Sim.run w p in
+  out.Sim.edge_traffic = Placement.edge_loads w p
+
+let prop_makespan_at_least_lower_bound seed =
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  let out = Sim.run ~scale:4 w res.Strategy.placement in
+  float_of_int out.Sim.makespan
+  >= Sim.lower_bound w res.Strategy.placement out -. 1e-9
+
+let prop_makespan_at_most_transmissions seed =
+  (* Work conservation: at least one hop per round. *)
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  let out = Sim.run ~scale:4 w res.Strategy.placement in
+  out.Sim.transmissions = 0 || out.Sim.makespan <= out.Sim.transmissions
+
+let suite =
+  [
+    Helpers.tc "single packet path" test_single_packet_path;
+    Helpers.tc "contention serializes" test_contention_serializes;
+    Helpers.tc "write broadcast waits for the request" test_write_broadcast_waits;
+    Helpers.tc "bus capacity limits crossings" test_bus_capacity_limits;
+    Helpers.tc "scale reduces packets" test_scale_reduces_packets;
+    Helpers.tc "deterministic" test_deterministic;
+    Helpers.qt ~count:100 "sim traffic equals analytic loads" Helpers.seed_arb
+      prop_traffic_equals_analytic_loads;
+    Helpers.qt ~count:30 "sim traffic matches full replication" Helpers.seed_arb
+      prop_traffic_matches_for_baselines;
+    Helpers.qt ~count:25 "makespan above lower bound" Helpers.seed_arb
+      prop_makespan_at_least_lower_bound;
+    Helpers.qt ~count:25 "makespan below total transmissions" Helpers.seed_arb
+      prop_makespan_at_most_transmissions;
+  ]
+
+(* --- scheduling policies ------------------------------------------------ *)
+
+let prop_policies_conserve_traffic seed =
+  (* Any service order delivers exactly the same hops. *)
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  let p = res.Strategy.placement in
+  let fifo = Sim.run ~scale:4 w p in
+  let rr = Sim.run ~scale:4 ~policy:Sim.Round_robin w p in
+  let rev = Sim.run ~scale:4 ~policy:Sim.Reversed w p in
+  fifo.Sim.edge_traffic = rr.Sim.edge_traffic
+  && fifo.Sim.edge_traffic = rev.Sim.edge_traffic
+  && fifo.Sim.transmissions = rr.Sim.transmissions
+
+let prop_policies_respect_lower_bound seed =
+  let _, w = Helpers.instance seed in
+  let res = Strategy.run w in
+  let p = res.Strategy.placement in
+  List.for_all
+    (fun policy ->
+      let out = Sim.run ~scale:4 ~policy w p in
+      float_of_int out.Sim.makespan >= Sim.lower_bound w p out -. 1e-9)
+    [ Sim.Fifo; Sim.Round_robin; Sim.Reversed ]
+
+let policy_suite =
+  [
+    Helpers.qt ~count:25 "policies deliver identical traffic" Helpers.seed_arb
+      prop_policies_conserve_traffic;
+    Helpers.qt ~count:25 "policies respect the lower bound" Helpers.seed_arb
+      prop_policies_respect_lower_bound;
+  ]
+
+let suite = suite @ policy_suite

@@ -1,0 +1,70 @@
+module Table = Hbn_util.Table
+
+let test_render_shape () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  (* All lines are equally wide. *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_padding_alignment () =
+  let t = Table.create [ "k"; "v" ] in
+  Table.add_row t [ "a"; "7" ];
+  Table.add_row t [ "long"; "123" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "left-aligned first column" true
+    (String.length out > 0);
+  (* The short key is padded on the right, the short value on the left. *)
+  let has s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "right pad key" true (has out "| a    |");
+  Alcotest.(check bool) "left pad value" true (has out "|   7 |")
+
+let test_short_row_padding () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "only" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_too_many_cells () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_separator () =
+  let t = Table.create [ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  Alcotest.(check int) "line count with separator" 7 (List.length lines)
+
+let test_fmt_float () =
+  Alcotest.(check string) "digits" "1.500" (Table.fmt_float 1.5);
+  Alcotest.(check string) "custom digits" "1.50" (Table.fmt_float ~digits:2 1.5);
+  Alcotest.(check string) "nan" "-" (Table.fmt_float Float.nan)
+
+let test_fmt_ratio () =
+  Alcotest.(check string) "ratio" "2.000" (Table.fmt_ratio 4. 2.);
+  Alcotest.(check string) "zero by zero" "-" (Table.fmt_ratio 0. 0.);
+  Alcotest.(check string) "x by zero" "inf" (Table.fmt_ratio 3. 0.)
+
+let suite =
+  [
+    Helpers.tc "render shape" test_render_shape;
+    Helpers.tc "padding and alignment" test_padding_alignment;
+    Helpers.tc "short rows padded" test_short_row_padding;
+    Helpers.tc "too many cells rejected" test_too_many_cells;
+    Helpers.tc "separator rows" test_separator;
+    Helpers.tc "fmt_float" test_fmt_float;
+    Helpers.tc "fmt_ratio" test_fmt_ratio;
+  ]
