@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+#
+# Formatting: the project is hand-formatted in the default ocamlformat
+# style, but no `.ocamlformat` file is committed because the toolchain
+# this repo pins does not ship ocamlformat. If you have it installed,
+# `ocamlformat --enable-outside-detected-project` matches the style.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The one-stop gate: what CI (and reviewers) run.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/pipeline.exe
+
+clean:
+	dune clean

@@ -21,8 +21,20 @@ module Gadget_opt = Hbn_exact.Gadget_opt
 module Sim = Hbn_sim.Sim
 module Dist = Hbn_dist.Dist
 module Table = Hbn_util.Table
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
+module Metrics = Hbn_obs.Metrics
 
 open Cmdliner
+
+(* Every failure path exits through here so the exit code is uniformly
+   non-zero (the subcommands used to differ). *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "hbn_cli: %s\n" msg;
+      exit 1)
+    fmt
 
 (* -- shared options ----------------------------------------------------- *)
 
@@ -54,6 +66,82 @@ let workload_kind =
     & info [ "workload" ] ~doc:"Workload family: uniform|zipf|hotspot|prodcons|local.")
 
 let objects = Arg.(value & opt int 10 & info [ "objects" ] ~doc:"Shared object count.")
+
+(* -- observability ------------------------------------------------------ *)
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL trace (spans, events, gauges, final counter \
+           totals) to $(docv). See README section Observability for the \
+           event schema.")
+
+let timings =
+  Arg.(
+    value
+    & flag
+    & info [ "timings" ]
+        ~doc:"Print a per-phase wall-time table after the command.")
+
+(* Installs the requested sinks around [f]: a JSONL writer for [--trace],
+   a span-duration aggregator for [--timings], or their tee. With neither
+   flag the tracer stays disabled and [f] runs untouched. *)
+let with_observability ~trace ~timings f =
+  let timing_sink, timing_read =
+    if timings then
+      let s, read = Sink.timings () in
+      (Some s, Some read)
+    else (None, None)
+  in
+  let file_sink, close_file =
+    match trace with
+    | None -> (None, fun () -> ())
+    | Some path -> (
+      match open_out path with
+      | oc -> (Some (Sink.jsonl oc), fun () -> close_out oc)
+      | exception Sys_error m -> die "cannot open trace file: %s" m)
+  in
+  let sink =
+    match (file_sink, timing_sink) with
+    | None, None -> None
+    | Some s, None | None, Some s -> Some s
+    | Some a, Some b -> Some (Sink.tee a b)
+  in
+  (match sink with
+  | None -> ()
+  | Some s ->
+    Metrics.reset Metrics.global;
+    Trace.set_sink (Some s));
+  Fun.protect
+    ~finally:(fun () ->
+      (match sink with
+      | None -> ()
+      | Some s ->
+        Metrics.emit Metrics.global s;
+        Trace.set_sink None);
+      close_file ();
+      match timing_read with
+      | None -> ()
+      | Some read ->
+        let table =
+          Table.create [ "phase"; "calls"; "total ms"; "mean ms" ]
+        in
+        List.iter
+          (fun (name, calls, total_ns) ->
+            let total_ms = Int64.to_float total_ns /. 1e6 in
+            Table.add_row table
+              [
+                name;
+                string_of_int calls;
+                Table.fmt_float total_ms;
+                Table.fmt_float (total_ms /. float_of_int calls);
+              ])
+          (read ());
+        Table.print table)
+    f
 
 let build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth =
   let profile = Builders.Uniform bandwidth in
@@ -105,9 +193,7 @@ let topology_cmd =
       | Some path -> (
         match Hbn_tree.Topology_io.load ~path with
         | Ok t -> t
-        | Error m ->
-          Printf.eprintf "cannot load %s: %s\n" path m;
-          exit 1)
+        | Error m -> die "cannot load %s: %s" path m)
     in
     (match save with
     | None -> ()
@@ -137,7 +223,9 @@ let place_cmd =
       & info [ "capacity" ]
           ~doc:"Per-processor copy capacity (post-processes the placement).")
   in
-  let run seed kind leaves arity height spine buses bandwidth wkind objects verbose capacity =
+  let run seed kind leaves arity height spine buses bandwidth wkind objects
+      verbose capacity trace timings =
+    with_observability ~trace ~timings @@ fun () ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -192,7 +280,8 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Run the extended-nibble strategy on a generated instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ verbose $ capacity)
+          $ bandwidth $ workload_kind $ objects $ verbose $ capacity
+          $ trace_file $ timings)
 
 (* -- workload ----------------------------------------------------------- *)
 
@@ -222,9 +311,7 @@ let workload_cmd =
       | Some path -> (
         match Hbn_tree.Topology_io.load ~path with
         | Ok t -> t
-        | Error m ->
-          Printf.eprintf "cannot load %s: %s\n" path m;
-          exit 1)
+        | Error m -> die "cannot load %s: %s" path m)
     in
     let w =
       match load with
@@ -232,9 +319,7 @@ let workload_cmd =
       | Some path -> (
         match Hbn_workload.Workload_io.load t ~path with
         | Ok w -> w
-        | Error m ->
-          Printf.eprintf "cannot load %s: %s\n" path m;
-          exit 1)
+        | Error m -> die "cannot load %s: %s" path m)
     in
     (match save with
     | None -> ()
@@ -313,7 +398,9 @@ let dynamic_cmd =
 (* -- compare ------------------------------------------------------------ *)
 
 let compare_cmd =
-  let run seed kind leaves arity height spine buses bandwidth wkind objects =
+  let run seed kind leaves arity height spine buses bandwidth wkind objects
+      trace timings =
+    with_observability ~trace ~timings @@ fun () ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -343,7 +430,7 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare placement strategies on one instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects)
+          $ bandwidth $ workload_kind $ objects $ trace_file $ timings)
 
 (* -- gadget ------------------------------------------------------------- *)
 
@@ -352,7 +439,11 @@ let gadget_cmd =
     Arg.(non_empty & pos_all int [] & info [] ~docv:"ITEM" ~doc:"PARTITION items (positive).")
   in
   let run items =
-    let inst = Partition.make items in
+    let inst =
+      match Partition.make items with
+      | inst -> inst
+      | exception Invalid_argument m -> die "%s" m
+    in
     (match Partition.half inst with
     | None ->
       Printf.printf "item sum %d is odd: PARTITION trivially unsolvable\n"
@@ -384,7 +475,9 @@ let gadget_cmd =
 
 let simulate_cmd =
   let scale = Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Frequency downscaling for the simulation.") in
-  let run seed kind leaves arity height spine buses bandwidth wkind objects scale =
+  let run seed kind leaves arity height spine buses bandwidth wkind objects
+      scale trace timings =
+    with_observability ~trace ~timings @@ fun () ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -402,7 +495,7 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ scale)
+          $ bandwidth $ workload_kind $ objects $ scale $ trace_file $ timings)
 
 let () =
   let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in

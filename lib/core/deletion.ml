@@ -1,6 +1,8 @@
 module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Nibble = Hbn_nibble.Nibble
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
 
 type outcome = { copies : Copy.t list; deletions : int; splits : int }
 
@@ -158,4 +160,18 @@ let run ~next_id w cs =
         end
         else copies := copy :: !copies)
     table;
-  { copies = List.rev !copies; deletions = !deletions; splits = !splits }
+  let copies = List.rev !copies in
+  if Trace.enabled () then begin
+    Trace.count ~by:!deletions "deletion.deleted";
+    Trace.count ~by:!splits "deletion.split_clones";
+    Trace.event "deletion.object"
+      ~attrs:
+        [
+          ("obj", Sink.Int cs.Nibble.obj);
+          ("kappa", Sink.Int kappa);
+          ("deletions", Sink.Int !deletions);
+          ("splits", Sink.Int !splits);
+          ("survivors", Sink.Int (List.length copies));
+        ]
+  end;
+  { copies; deletions = !deletions; splits = !splits }

@@ -26,7 +26,10 @@ val run : next_id:int ref -> Workload.t -> Nibble.copy_set -> outcome
     [cs.obj]. [next_id] supplies fresh copy identifiers (shared across
     objects by the strategy driver). Requires [cs.nodes <> []] and
     [κ_x > 0]; the strategy driver handles the degenerate cases
-    separately. *)
+    separately. When {!Hbn_obs.Trace} is enabled, one ["deletion.object"]
+    event is emitted per run (attrs: [obj], [kappa], [deletions],
+    [splits], [survivors]) and the [deletion.deleted] /
+    [deletion.split_clones] counters are bumped. *)
 
 val split_sizes : served:int -> kappa:int -> int list
 (** The bucket sizes used when splitting a copy: [max 1 (served / kappa)]

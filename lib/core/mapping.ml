@@ -1,6 +1,8 @@
 module Tree = Hbn_tree.Tree
 module Nibble = Hbn_nibble.Nibble
 module Heap = Hbn_util.Heap
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
 
 type state = {
   tree : Tree.t;
@@ -107,14 +109,30 @@ let run ?(verify = false) ?(inject_lacc_error = 0) ?on_round tree ~basic_up
   let moves_up = ref 0 and moves_down = ref 0 in
   let levels = Tree.nodes_by_level_bottom_up r in
   let height = Array.length levels - 1 in
-  let checkpoint () =
+  let round = ref 0 in
+  (* [checkpoint phase level] closes one round: it feeds [on_round], emits
+     the per-round trace event, and re-checks Invariant 4.2 when asked.
+     [phase] is "init" before the first round, then "up" / "down". *)
+  let checkpoint phase level =
     (match on_round with Some f -> f st | None -> ());
+    if Trace.enabled () then
+      Trace.event "mapping.round"
+        ~attrs:
+          [
+            ("round", Sink.Int !round);
+            ("phase", Sink.Str phase);
+            ("level", Sink.Int level);
+            ("tau_max", Sink.Int tau_max);
+            ("moves_up", Sink.Int !moves_up);
+            ("moves_down", Sink.Int !moves_down);
+          ];
+    incr round;
     if verify then
       match check_invariant st with
       | Ok () -> ()
       | Error msg -> failwith ("Mapping.run: " ^ msg)
   in
-  checkpoint ();
+  checkpoint "init" 0;
   (* Upwards phase: rounds 0 .. height-1 (every node but the root). *)
   for l = 0 to height - 1 do
     List.iter
@@ -141,7 +159,7 @@ let run ?(verify = false) ?(inject_lacc_error = 0) ?on_round tree ~basic_up
           st.lacc_down.(e) <- st.lacc_down.(e) - delta
         end)
       levels.(l);
-    checkpoint ()
+    checkpoint "up" l
   done;
   (* Downwards phase: rounds height .. 1 (every bus; processors keep their
      copies). Free child edges are found through a min-heap keyed by
@@ -175,7 +193,7 @@ let run ?(verify = false) ?(inject_lacc_error = 0) ?on_round tree ~basic_up
             copies
         end)
       levels.(l);
-    checkpoint ()
+    checkpoint "down" l
   done;
   List.iter
     (fun c ->

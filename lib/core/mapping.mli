@@ -76,7 +76,11 @@ val run :
     vacuous. [verify] checks Invariant 4.2 after every level and raises
     [Failure] on violation. [on_round] is called with the live state before
     the first round and after every level of both phases (instrumentation
-    for tests and experiments; do not mutate the state). *)
+    for tests and experiments; do not mutate the state). The same
+    checkpoints additionally emit a ["mapping.round"] trace event (attrs:
+    [round], [phase] of ["init"|"up"|"down"], [level], [tau_max],
+    [moves_up], [moves_down]) when {!Hbn_obs.Trace} is enabled, so
+    [on_round] stays supported but external observers no longer need it. *)
 
 val check_invariant : state -> (unit, string) result
 (** Invariant 4.2 at every internal node of the tree. *)

@@ -2,6 +2,8 @@ module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Nibble = Hbn_nibble.Nibble
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
 
 type result = {
   placement : Placement.t;
@@ -62,11 +64,25 @@ let placement_of_stage w stages =
         { Placement.copies; assigns })
 
 let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
+  let sp_run = Trace.span "strategy.run" in
   let tree = Workload.tree w in
+  let sp_nibble = Trace.span "strategy.nibble" in
   let sets = Nibble.place_all w in
   let nibble_placement =
     Placement.nearest w ~copies:(Array.map (fun cs -> cs.Nibble.nodes) sets)
   in
+  if Trace.enabled () then
+    Trace.finish sp_nibble
+      ~attrs:
+        [
+          ("objects", Sink.Int (Array.length sets));
+          ( "copies",
+            Sink.Int
+              (Array.fold_left
+                 (fun a cs -> a + List.length cs.Nibble.nodes)
+                 0 sets) );
+        ];
+  let sp_deletion = Trace.span "strategy.deletion" in
   let next_id = ref 0 in
   let deletions = ref 0 and splits = ref 0 in
   let stages =
@@ -84,6 +100,13 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
         end)
       sets
   in
+  if Trace.enabled () then
+    Trace.finish sp_deletion
+      ~attrs:
+        [
+          ("deletions", Sink.Int !deletions);
+          ("splits", Sink.Int !splits);
+        ];
   let modified = placement_of_stage w stages in
   let all_copies =
     Array.to_list stages
@@ -92,6 +115,7 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
   let has_bus_copy cs =
     List.exists (fun c -> not (Tree.is_leaf tree c.Copy.node)) cs
   in
+  let sp_mapping = Trace.span "strategy.mapping" in
   let mapped_objects = ref [] in
   let movable =
     Array.to_list stages
@@ -119,18 +143,47 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
         (Mapping.run ~verify ?on_round:on_mapping_round tree ~basic_up
            ~basic_down ~movable)
   in
+  if Trace.enabled () then
+    Trace.finish sp_mapping
+      ~attrs:
+        (let tau, up, down =
+           match mapping with
+           | None -> (0, 0, 0)
+           | Some s -> (s.Mapping.tau_max, s.Mapping.moves_up, s.Mapping.moves_down)
+         in
+         [
+           ("tau_max", Sink.Int tau);
+           ("mapped_objects", Sink.Int (List.length !mapped_objects));
+           ("moves_up", Sink.Int up);
+           ("moves_down", Sink.Int down);
+         ]);
   let placement = placement_of_stage w stages in
-  {
-    placement;
-    nibble = nibble_placement;
-    modified;
-    tau_max = (match mapping with None -> 0 | Some s -> s.Mapping.tau_max);
-    mapping;
-    deletions = !deletions;
-    splits = !splits;
-    mapped_objects = List.rev !mapped_objects;
-    copies = all_copies;
-  }
+  let result =
+    {
+      placement;
+      nibble = nibble_placement;
+      modified;
+      tau_max = (match mapping with None -> 0 | Some s -> s.Mapping.tau_max);
+      mapping;
+      deletions = !deletions;
+      splits = !splits;
+      mapped_objects = List.rev !mapped_objects;
+      copies = all_copies;
+    }
+  in
+  if Trace.enabled () then begin
+    Trace.count ~by:result.deletions "strategy.deletions";
+    Trace.count ~by:result.splits "strategy.splits";
+    Trace.finish sp_run
+      ~attrs:
+        [
+          ("deletions", Sink.Int result.deletions);
+          ("splits", Sink.Int result.splits);
+          ("tau_max", Sink.Int result.tau_max);
+          ("mapped_objects", Sink.Int (List.length result.mapped_objects));
+        ]
+  end;
+  result
 
 let congestion ?move_leaf_copies w =
   Placement.congestion w (run ?move_leaf_copies w).placement

@@ -48,7 +48,16 @@ val run :
 (** [run w] executes the full strategy. [verify] turns on Invariant 4.2
     checking after every mapping round (slow; meant for tests);
     [on_mapping_round] is forwarded to {!Mapping.run}.
-    [move_leaf_copies] defaults to [false]. *)
+    [move_leaf_copies] defaults to [false].
+
+    When {!Hbn_obs.Trace} is enabled, the pipeline emits one span per
+    step — [strategy.nibble] (attrs [objects], [copies]),
+    [strategy.deletion] (attrs [deletions], [splits]) and
+    [strategy.mapping] (attrs [tau_max], [mapped_objects], [moves_up],
+    [moves_down]) — nested in a [strategy.run] root span, plus the
+    [strategy.deletions] / [strategy.splits] counters. Tracing only
+    observes: the computed result is identical with tracing on, off, or
+    absent. *)
 
 val congestion : ?move_leaf_copies:bool -> Workload.t -> float
 (** Congestion of [run w].placement — convenience wrapper. *)

@@ -4,6 +4,8 @@ module Placement = Hbn_placement.Placement
 module Nibble = Hbn_nibble.Nibble
 module Strategy = Hbn_core.Strategy
 module Mapping = Hbn_core.Mapping
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
 
 type stats = { rounds : int; messages : int; max_node_work : int }
 
@@ -72,6 +74,16 @@ let nibble_rounds w =
       0
       (List.init (Tree.n tree) (fun i -> i))
   in
+  if Trace.enabled () then begin
+    Trace.count ~by:messages "dist.messages";
+    Trace.event "dist.nibble"
+      ~attrs:
+        [
+          ("rounds", Sink.Int rounds);
+          ("messages", Sink.Int messages);
+          ("max_node_work", Sink.Int max_node_work);
+        ]
+  end;
   (per_object, { rounds; messages; max_node_work })
 
 let strategy_rounds w =
@@ -111,9 +123,21 @@ let strategy_rounds w =
   let max_node_work =
     Array.fold_left max nibble_stats.max_node_work work
   in
-  ( res.Strategy.placement,
+  let stats =
     {
       rounds = nibble_stats.rounds + deletion_rounds + mapping_rounds;
       messages = nibble_stats.messages + deletion_messages + mapping_messages;
       max_node_work;
-    } )
+    }
+  in
+  if Trace.enabled () then begin
+    Trace.count ~by:(deletion_messages + mapping_messages) "dist.messages";
+    Trace.event "dist.strategy"
+      ~attrs:
+        [
+          ("rounds", Sink.Int stats.rounds);
+          ("messages", Sink.Int stats.messages);
+          ("max_node_work", Sink.Int stats.max_node_work);
+        ]
+  end;
+  (res.Strategy.placement, stats)

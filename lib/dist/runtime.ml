@@ -1,4 +1,6 @@
 module Tree = Hbn_tree.Tree
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
 
 type ('state, 'msg) node_fn =
   round:int ->
@@ -62,10 +64,24 @@ let run ?(max_rounds = 100_000) tree ~init ~step =
     done;
     if not !any_sent then quiescent := true
   done;
-  ( states,
+  let stats =
     {
       rounds = !rounds;
       messages = !messages;
       max_inbox = !max_inbox;
       max_node_messages = Array.fold_left max 0 through;
-    } )
+    }
+  in
+  if Trace.enabled () then begin
+    Trace.count ~by:stats.messages "runtime.messages";
+    Trace.count ~by:stats.rounds "runtime.rounds";
+    Trace.event "runtime.quiescent"
+      ~attrs:
+        [
+          ("rounds", Sink.Int stats.rounds);
+          ("messages", Sink.Int stats.messages);
+          ("max_inbox", Sink.Int stats.max_inbox);
+          ("max_node_messages", Sink.Int stats.max_node_messages);
+        ]
+  end;
+  (states, stats)

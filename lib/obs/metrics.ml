@@ -1,0 +1,113 @@
+module Stats = Hbn_util.Stats
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;  (* samples, newest first *)
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let global = create ()
+
+let incr ?(by = 1) m name =
+  match Hashtbl.find_opt m.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add m.counters name (ref by)
+
+let set_gauge m name v =
+  match Hashtbl.find_opt m.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add m.gauges name (ref v)
+
+let observe m name v =
+  match Hashtbl.find_opt m.histograms name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add m.histograms name (ref [ v ])
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let sorted_bindings tbl read =
+  Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters m = sorted_bindings m.counters (fun r -> !r)
+
+let gauges m = sorted_bindings m.gauges (fun r -> !r)
+
+let summarize samples =
+  let lo, hi = Stats.min_max samples in
+  {
+    count = List.length samples;
+    mean = Stats.mean samples;
+    min = lo;
+    max = hi;
+    p50 = Stats.median samples;
+    p95 = Stats.percentile 95. samples;
+  }
+
+let histograms m = sorted_bindings m.histograms (fun r -> summarize !r)
+
+let counter_value m name =
+  match Hashtbl.find_opt m.counters name with Some r -> !r | None -> 0
+
+let reset m =
+  Hashtbl.reset m.counters;
+  Hashtbl.reset m.gauges;
+  Hashtbl.reset m.histograms
+
+let emit m (sink : Sink.t) =
+  List.iter
+    (fun (name, value) ->
+      sink.Sink.emit
+        {
+          Sink.name;
+          id = 0;
+          parent = 0;
+          payload = Sink.Counter { value };
+          attrs = [];
+        })
+    (counters m);
+  List.iter
+    (fun (name, value) ->
+      sink.Sink.emit
+        {
+          Sink.name;
+          id = 0;
+          parent = 0;
+          payload = Sink.Gauge { value };
+          attrs = [];
+        })
+    (gauges m);
+  List.iter
+    (fun (name, s) ->
+      sink.Sink.emit
+        {
+          Sink.name;
+          id = 0;
+          parent = 0;
+          payload =
+            Sink.Histogram
+              {
+                count = s.count;
+                mean = s.mean;
+                min = s.min;
+                max = s.max;
+                p50 = s.p50;
+                p95 = s.p95;
+              };
+          attrs = [];
+        })
+    (histograms m)

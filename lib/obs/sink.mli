@@ -1,0 +1,76 @@
+(** Pluggable event sinks for the observability layer.
+
+    An {!event} is the unit of emission: hierarchical spans (start/end
+    pairs sharing an id), point events, and metric samples. Sinks are
+    plain records of closures so tests can plug in-memory collectors and
+    the CLI can tee a JSONL writer together with a timing aggregator.
+
+    The JSONL encoding writes exactly one JSON object per line; {!of_json}
+    parses it back (a minimal hand-rolled parser — the toolchain ships no
+    JSON library), so traces round-trip without external tooling. Event
+    schema (fields in emission order):
+
+    {v
+    {"ev":"span_start","name":N,"id":I,"parent":P,"attrs":{...}}
+    {"ev":"span_end","name":N,"id":I,"parent":P,"dur_ns":D,"attrs":{...}}
+    {"ev":"point","name":N,"id":0,"parent":P,"attrs":{...}}
+    {"ev":"counter","name":N,"id":0,"parent":0,"value":V,"attrs":{}}
+    {"ev":"gauge","name":N,"id":0,"parent":P,"value":V,"attrs":{}}
+    {"ev":"histogram","name":N,"id":0,"parent":0,"count":C,"mean":M,
+     "min":L,"max":H,"p50":A,"p95":B,"attrs":{}}
+    v}
+
+    [parent] is the id of the enclosing span (0 at top level). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type payload =
+  | Span_start
+  | Span_end of { duration_ns : int64 }
+  | Point
+  | Counter of { value : int }
+  | Gauge of { value : float }
+  | Histogram of {
+      count : int;
+      mean : float;
+      min : float;
+      max : float;
+      p50 : float;
+      p95 : float;
+    }
+
+type event = {
+  name : string;
+  id : int;  (** span id; 0 for non-span events *)
+  parent : int;  (** enclosing span id; 0 at top level *)
+  payload : payload;
+  attrs : (string * value) list;
+}
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+val null : t
+(** Discards everything. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per event, one per line; [flush] flushes the channel
+    (closing it is the caller's business). *)
+
+val memory : unit -> t * (unit -> event list)
+(** An in-memory collector; the second component returns the events in
+    emission order. *)
+
+val timings : unit -> t * (unit -> (string * int * int64) list)
+(** Aggregates [Span_end] durations per span name; the reader returns
+    [(name, calls, total_ns)] in first-seen order. Everything else is
+    discarded. *)
+
+val tee : t -> t -> t
+(** Forwards every event (and flush) to both sinks, left first. *)
+
+val to_json : event -> string
+(** The single-line JSON encoding above (no trailing newline). *)
+
+val of_json : string -> (event, string) result
+(** Parses one line produced by {!to_json}. [Error] explains the first
+    syntax or schema problem found. *)

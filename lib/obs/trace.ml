@@ -1,0 +1,94 @@
+type span = { id : int; name : string; start : int64 }
+
+let none = { id = 0; name = ""; start = 0L }
+
+type state = {
+  mutable sink : Sink.t option;
+  mutable next_id : int;
+  mutable stack : int list;  (* open span ids, innermost first *)
+}
+
+let st = { sink = None; next_id = 1; stack = [] }
+
+let enabled () = match st.sink with None -> false | Some _ -> true
+
+let set_sink sink =
+  (match st.sink with Some s -> s.Sink.flush () | None -> ());
+  st.sink <- sink;
+  st.next_id <- 1;
+  st.stack <- []
+
+let with_sink sink f =
+  let saved_sink = st.sink
+  and saved_id = st.next_id
+  and saved_stack = st.stack in
+  st.sink <- Some sink;
+  st.next_id <- 1;
+  st.stack <- [];
+  Fun.protect
+    ~finally:(fun () ->
+      sink.Sink.flush ();
+      st.sink <- saved_sink;
+      st.next_id <- saved_id;
+      st.stack <- saved_stack)
+    f
+
+let parent () = match st.stack with [] -> 0 | p :: _ -> p
+
+let span ?(attrs = []) name =
+  match st.sink with
+  | None -> none
+  | Some sink ->
+    let id = st.next_id in
+    st.next_id <- id + 1;
+    sink.Sink.emit
+      { Sink.name; id; parent = parent (); payload = Sink.Span_start; attrs };
+    st.stack <- id :: st.stack;
+    { id; name; start = Monotonic_clock.now () }
+
+let finish ?(attrs = []) sp =
+  if sp.id <> 0 then
+    match st.sink with
+    | None -> ()
+    | Some sink ->
+      let duration_ns = Int64.sub (Monotonic_clock.now ()) sp.start in
+      (st.stack <-
+        (match st.stack with
+        | top :: rest when top = sp.id -> rest
+        | stack -> List.filter (fun id -> id <> sp.id) stack));
+      sink.Sink.emit
+        {
+          Sink.name = sp.name;
+          id = sp.id;
+          parent = parent ();
+          payload = Sink.Span_end { duration_ns };
+          attrs;
+        }
+
+let event ?(attrs = []) name =
+  match st.sink with
+  | None -> ()
+  | Some sink ->
+    sink.Sink.emit
+      { Sink.name; id = 0; parent = parent (); payload = Sink.Point; attrs }
+
+let count ?(by = 1) name =
+  match st.sink with
+  | None -> ()
+  | Some _ -> Metrics.incr ~by Metrics.global name
+
+let gauge name value =
+  match st.sink with
+  | None -> ()
+  | Some sink ->
+    Metrics.set_gauge Metrics.global name value;
+    sink.Sink.emit
+      {
+        Sink.name;
+        id = 0;
+        parent = parent ();
+        payload = Sink.Gauge { value };
+        attrs = [];
+      }
+
+let flush () = match st.sink with Some s -> s.Sink.flush () | None -> ()

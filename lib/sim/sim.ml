@@ -1,6 +1,8 @@
 module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
 
 type outcome = {
   makespan : int;
@@ -20,6 +22,7 @@ type policy = Fifo | Round_robin | Reversed
 
 let run ?(scale = 1) ?(policy = Fifo) w placement =
   if scale < 1 then invalid_arg "Sim.run: scale must be >= 1";
+  let sp_run = Trace.span "sim.run" in
   let tree = Workload.tree w in
   let m = max 1 (Tree.num_edges tree) in
   let hops_rev = ref [] in
@@ -123,6 +126,7 @@ let run ?(scale = 1) ?(policy = Fifo) w placement =
   let rounds = ref 0 in
   while !remaining > 0 do
     incr rounds;
+    let remaining_before = !remaining in
     Array.blit edge_cap 0 edge_left 0 m;
     Array.iteri (fun v c -> bus_left.(v) <- c) bus_cap;
     let next = ref [] in
@@ -163,15 +167,42 @@ let run ?(scale = 1) ?(policy = Fifo) w placement =
         end
         else next := i :: !next)
       scheduled;
-    frontier := List.rev_append !next (List.sort compare !newly)
+    frontier := List.rev_append !next (List.sort compare !newly);
+    if Trace.enabled () then begin
+      Trace.gauge "sim.queue_depth" (float_of_int (List.length !frontier));
+      Trace.gauge "sim.round_transmissions"
+        (float_of_int (remaining_before - !remaining))
+    end
   done;
-  {
-    makespan = !rounds;
-    packets = !packets;
-    transmissions = n_hops;
-    edge_traffic;
-    max_dilation = !max_dilation;
-  }
+  let outcome =
+    {
+      makespan = !rounds;
+      packets = !packets;
+      transmissions = n_hops;
+      edge_traffic;
+      max_dilation = !max_dilation;
+    }
+  in
+  if Trace.enabled () then begin
+    Trace.count ~by:outcome.packets "sim.packets";
+    Trace.count ~by:outcome.transmissions "sim.transmissions";
+    Trace.event "sim.outcome"
+      ~attrs:
+        [
+          ("makespan", Sink.Int outcome.makespan);
+          ("packets", Sink.Int outcome.packets);
+          ("transmissions", Sink.Int outcome.transmissions);
+          ("max_dilation", Sink.Int outcome.max_dilation);
+          ("scale", Sink.Int scale);
+        ];
+    Trace.finish sp_run
+      ~attrs:
+        [
+          ("makespan", Sink.Int outcome.makespan);
+          ("packets", Sink.Int outcome.packets);
+        ]
+  end;
+  outcome
 
 let lower_bound w _placement outcome =
   let tree = Workload.tree w in

@@ -50,7 +50,15 @@ val run : ?scale:int -> ?policy:policy -> Workload.t -> Placement.t -> outcome
     default 1. [policy] picks the service order of ready transmissions —
     every policy is work-conserving, and experiment E16 shows the makespan
     (and hence the congestion-predicts-performance conclusion of E10) is
-    robust to the choice. *)
+    robust to the choice.
+
+    When {!Hbn_obs.Trace} is enabled the run is wrapped in a [sim.run]
+    span, every round streams the [sim.queue_depth] and
+    [sim.round_transmissions] gauges (ready hops after the round;
+    hops delivered in it), a final ["sim.outcome"] event records
+    makespan/packets/transmissions/dilation, and the [sim.packets] /
+    [sim.transmissions] counters are bumped. Tracing never changes the
+    simulated schedule. *)
 
 val lower_bound : Workload.t -> Placement.t -> outcome -> float
 (** [max(congestion, dilation)] for the simulated traffic — no schedule

@@ -67,6 +67,14 @@ let pop_min h =
     Some (e.key, e.value)
   end
 
+let mem h pred =
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i < h.size do
+    if pred h.data.(!i).value then found := true else incr i
+  done;
+  !found
+
 let update_key h pred key =
   let found = ref false in
   let i = ref 0 in

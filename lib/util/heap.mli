@@ -3,8 +3,8 @@
     Used by the mapping algorithm of the extended-nibble strategy to locate a
     free downward child edge in [O(log degree)] time, matching the runtime
     bound claimed in Theorem 4.3 of the paper. Keys may be updated in place
-    ({!update_key}); the heap keeps track of element positions to support
-    this in logarithmic time. *)
+    ({!update_key}), though that entry point locates its element by linear
+    scan — see its documentation for the complexity contract. *)
 
 type 'a t
 (** A min-heap whose elements carry a mutable integer key. *)
@@ -30,9 +30,23 @@ val pop_min : 'a t -> (int * 'a) option
 
 val update_key : 'a t -> ('a -> bool) -> int -> bool
 (** [update_key h pred key] finds the first element satisfying [pred]
-    (linear scan) and re-keys it to [key], restoring the heap order.
-    Returns [false] when no element matches. Intended for small heaps
-    (children of one node); for the hot path use {!add} / {!pop_min}. *)
+    and re-keys it to [key], restoring the heap order. Returns [false]
+    when no element matches.
+
+    {b Complexity:} the lookup is an [O(n)] linear scan over the backing
+    array (the heap does not track element positions), followed by an
+    [O(log n)] sift. Intended for small heaps — the mapping algorithm's
+    per-node child-edge heaps, whose size is one node's degree; the hot
+    path there uses {!add} / {!pop_min} instead, which keeps the
+    [O(log degree)] bound of Theorem 4.3. If a caller ever needs
+    re-keying on large heaps, add a position-tracking index first (and
+    extend the regression tests in [test/test_heap.ml], which pin the
+    re-keying-under-heap-order behaviour). *)
+
+val mem : 'a t -> ('a -> bool) -> bool
+(** [mem h pred] is [true] iff some element satisfies [pred] — the same
+    [O(n)] scan {!update_key} performs, exposed so callers can probe
+    without re-keying. *)
 
 val of_list : (int * 'a) list -> 'a t
 (** [of_list kvs] builds a heap from key/value pairs in [O(n)]. *)

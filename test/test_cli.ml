@@ -1,25 +1,35 @@
 (* Integration tests driving the built CLI binary end-to-end. *)
 
+module Sink = Hbn_obs.Sink
+
 let cli_path () =
   (* test_main.exe lives in _build/default/test/; the CLI next door. *)
   let dir = Filename.dirname Sys.executable_name in
   let candidate = Filename.concat dir "../bin/hbn_cli.exe" in
   if Sys.file_exists candidate then Some candidate else None
 
+let run_cli_cmd cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
 let run_cli args =
   match cli_path () with
   | None -> None
-  | Some bin ->
-    let cmd = Filename.quote_command bin args in
-    let ic = Unix.open_process_in cmd in
-    let buf = Buffer.create 256 in
-    (try
-       while true do
-         Buffer.add_channel buf ic 1
-       done
-     with End_of_file -> ());
-    let status = Unix.close_process_in ic in
-    Some (status, Buffer.contents buf)
+  | Some bin -> Some (run_cli_cmd (Filename.quote_command bin args))
+
+(* Like [run_cli] but folds stderr into the captured output — failure
+   tests check the diagnostic text. *)
+let run_cli_merged args =
+  match cli_path () with
+  | None -> None
+  | Some bin -> Some (run_cli_cmd (Filename.quote_command bin args ^ " 2>&1"))
 
 let contains s sub =
   let n = String.length s and m = String.length sub in
@@ -111,6 +121,99 @@ let test_save_load_roundtrip () =
       [ "hierarchical bus network" ];
     Sys.remove tmp)
 
+(* Every failure path must exit non-zero and say why on stderr. *)
+let check_fails name args expectations =
+  match run_cli_merged args with
+  | None -> ()
+  | Some (status, out) ->
+    (match status with
+    | Unix.WEXITED 0 ->
+      Alcotest.failf "%s: expected a failing exit, got 0\n%s" name out
+    | Unix.WEXITED _ -> ()
+    | _ -> Alcotest.failf "%s: killed by a signal" name);
+    List.iter
+      (fun sub ->
+        if not (contains out sub) then
+          Alcotest.failf "%s: missing %S in output:\n%s" name sub out)
+      expectations
+
+let test_failures_exit_nonzero () =
+  check_fails "topology bad load"
+    [ "topology"; "--load"; "/nonexistent/nope.hbn" ]
+    [ "hbn_cli:"; "cannot load" ];
+  check_fails "workload bad topology file"
+    [ "workload"; "--topology-file"; "/nonexistent/nope.hbn" ]
+    [ "hbn_cli:"; "cannot load" ];
+  check_fails "place bad trace path"
+    [ "place"; "--kind"; "star"; "--leaves"; "4"; "--trace";
+      "/nonexistent-dir/t.jsonl" ]
+    [ "hbn_cli:"; "cannot open trace file" ];
+  check_fails "gadget zero item"
+    [ "gadget"; "0" ]
+    [ "hbn_cli:" ]
+
+(* The acceptance-criterion invocation: --trace must produce valid JSONL
+   with spans for all three pipeline steps plus per-round mapping events,
+   and --timings must print the phase table. *)
+let test_place_trace_timings () =
+  let tmp = Filename.temp_file "hbn_cli" ".jsonl" in
+  (match
+     run_cli
+       [ "place"; "--kind"; "balanced"; "--trace"; tmp; "--timings" ]
+   with
+  | None -> ()
+  | Some (status, out) ->
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.failf "place --trace --timings: non-zero exit\n%s" out);
+    List.iter
+      (fun sub ->
+        if not (contains out sub) then
+          Alcotest.failf "timing table misses %S:\n%s" sub out)
+      [ "phase"; "total ms"; "strategy.run"; "strategy.nibble";
+        "strategy.deletion"; "strategy.mapping" ];
+    let ic = open_in tmp in
+    let events = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match Sink.of_json line with
+         | Ok ev -> events := ev :: !events
+         | Error msg -> Alcotest.failf "invalid JSONL line %S: %s" line msg
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let events = List.rev !events in
+    let has_end name =
+      List.exists
+        (fun (ev : Sink.event) ->
+          ev.Sink.name = name
+          && match ev.Sink.payload with Sink.Span_end _ -> true | _ -> false)
+        events
+    in
+    List.iter
+      (fun name ->
+        if not (has_end name) then Alcotest.failf "trace misses span %s" name)
+      [ "strategy.run"; "strategy.nibble"; "strategy.deletion";
+        "strategy.mapping" ];
+    if not (List.exists (fun (ev : Sink.event) -> ev.Sink.name = "mapping.round") events)
+    then Alcotest.fail "trace misses mapping.round events");
+  Sys.remove tmp
+
+let test_place_trace_leaves_stdout_alone () =
+  (* --trace only writes the file: the command's stdout stays
+     byte-identical to an untraced run. *)
+  let base =
+    [ "place"; "--kind"; "balanced"; "--arity"; "2"; "--height"; "2";
+      "--objects"; "4"; "--workload"; "hotspot"; "--seed"; "7" ]
+  in
+  let tmp = Filename.temp_file "hbn_cli" ".jsonl" in
+  (match (run_cli base, run_cli (base @ [ "--trace"; tmp ])) with
+  | Some (_, plain), Some (_, traced) ->
+    Alcotest.(check string) "stdout unchanged by --trace" plain traced
+  | _ -> ());
+  Sys.remove tmp
+
 let suite =
   [
     Helpers.tc "cli topology" test_topology;
@@ -124,4 +227,7 @@ let suite =
     Helpers.tc "cli dynamic" test_dynamic;
     Helpers.tc "cli simulate" test_simulate;
     Helpers.tc "cli save/load round trip" test_save_load_roundtrip;
+    Helpers.tc "cli failures exit non-zero" test_failures_exit_nonzero;
+    Helpers.tc "cli place --trace --timings" test_place_trace_timings;
+    Helpers.tc "cli --trace leaves stdout alone" test_place_trace_leaves_stdout_alone;
   ]

@@ -56,6 +56,40 @@ let test_interleaved () =
   Heap.add h ~key:2 2;
   Alcotest.(check (list int)) "rest" [ 0; 2; 3 ] (pop_all h)
 
+let test_mem () =
+  let h = Heap.of_list [ (3, "a"); (1, "b") ] in
+  Alcotest.(check bool) "present" true (Heap.mem h (fun v -> v = "a"));
+  Alcotest.(check bool) "absent" false (Heap.mem h (fun v -> v = "zz"))
+
+(* Regression for the documented update_key contract: repeated re-keying
+   (both directions, including of the current minimum) must keep the heap
+   order observable through pop_min. *)
+let test_update_key_preserves_heap_order () =
+  let h = Heap.of_list (List.init 8 (fun i -> (10 * (i + 1), i))) in
+  (* 2: 30 -> 5 (new minimum), 0: 10 -> 95 (sinks), 7: 80 -> 41. *)
+  Alcotest.(check bool) "up" true (Heap.update_key h (fun v -> v = 2) 5);
+  Alcotest.(check bool) "down" true (Heap.update_key h (fun v -> v = 0) 95);
+  Alcotest.(check bool) "mid" true (Heap.update_key h (fun v -> v = 7) 41);
+  Alcotest.(check (list int)) "pops stay sorted"
+    [ 5; 20; 40; 41; 50; 60; 70; 95 ]
+    (pop_all h)
+
+let prop_update_key_random seed =
+  (* Random re-keys against a model list: the heap's pop order must equal
+     the sorted multiset of final keys. *)
+  let prng = Hbn_prng.Prng.create (seed + 13) in
+  let n = Hbn_prng.Prng.int_in prng 1 60 in
+  let keys = Array.init n (fun _ -> Hbn_prng.Prng.int_in prng (-40) 40) in
+  let h = Heap.create () in
+  Array.iteri (fun i k -> Heap.add h ~key:k i) keys;
+  for _ = 1 to 2 * n do
+    let v = Hbn_prng.Prng.int prng n in
+    let k = Hbn_prng.Prng.int_in prng (-40) 40 in
+    assert (Heap.update_key h (fun x -> x = v) k);
+    keys.(v) <- k
+  done;
+  pop_all h = List.sort compare (Array.to_list keys)
+
 let prop_sorted_pops seed =
   let prng = Hbn_prng.Prng.create seed in
   let n = Hbn_prng.Prng.int_in prng 1 200 in
@@ -81,6 +115,10 @@ let suite =
     Helpers.tc "min_elt does not remove" test_min_elt_preserves;
     Helpers.tc "update_key re-sorts upward" test_update_key;
     Helpers.tc "update_key re-sorts downward" test_update_key_down;
+    Helpers.tc "mem probes without re-keying" test_mem;
+    Helpers.tc "update_key preserves heap order" test_update_key_preserves_heap_order;
+    Helpers.qt ~count:100 "random re-keying matches model" Helpers.seed_arb
+      prop_update_key_random;
     Helpers.tc "fold and to_list" test_fold_to_list;
     Helpers.tc "interleaved add/pop" test_interleaved;
     Helpers.qt "random keys pop sorted" Helpers.seed_arb prop_sorted_pops;

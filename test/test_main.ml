@@ -7,6 +7,7 @@ let () =
       ("heap", Test_heap.suite);
       ("stats", Test_stats.suite);
       ("table", Test_table.suite);
+      ("obs", Test_obs.suite);
       ("prng", Test_prng.suite);
       ("tree", Test_tree.suite);
       ("builders", Test_builders.suite);

@@ -1,0 +1,253 @@
+(* Tests for the observability layer: span nesting, metric aggregation,
+   JSONL round-tripping, and — crucially — that tracing is purely an
+   observer: the strategy computes byte-identical results with tracing
+   on, off, or absent, and no sink code runs while disabled. *)
+
+module Trace = Hbn_obs.Trace
+module Sink = Hbn_obs.Sink
+module Metrics = Hbn_obs.Metrics
+module Strategy = Hbn_core.Strategy
+
+let events_of f =
+  let sink, read = Sink.memory () in
+  Trace.with_sink sink f;
+  read ()
+
+let name_of (ev : Sink.event) = ev.Sink.name
+
+let test_span_nesting () =
+  let events =
+    events_of (fun () ->
+        let a = Trace.span "a" in
+        let b = Trace.span "b" ~attrs:[ ("k", Sink.Int 1) ] in
+        Trace.event "inside-b";
+        Trace.finish b;
+        let c = Trace.span "c" in
+        Trace.finish c;
+        Trace.finish a ~attrs:[ ("done", Sink.Bool true) ])
+  in
+  Alcotest.(check (list string))
+    "emission order"
+    [ "a"; "b"; "inside-b"; "b"; "c"; "c"; "a" ]
+    (List.map name_of events);
+  let find name payload_pred =
+    List.find
+      (fun (ev : Sink.event) ->
+        ev.Sink.name = name && payload_pred ev.Sink.payload)
+      events
+  in
+  let is_start = function Sink.Span_start -> true | _ -> false in
+  let is_end = function Sink.Span_end _ -> true | _ -> false in
+  let a_start = find "a" is_start
+  and b_start = find "b" is_start
+  and c_start = find "c" is_start
+  and point = find "inside-b" (fun p -> p = Sink.Point) in
+  Alcotest.(check int) "a is a root span" 0 a_start.Sink.parent;
+  Alcotest.(check int) "b nests in a" a_start.Sink.id b_start.Sink.parent;
+  Alcotest.(check int) "c nests in a" a_start.Sink.id c_start.Sink.parent;
+  Alcotest.(check int) "point nests in b" b_start.Sink.id point.Sink.parent;
+  List.iter
+    (fun name ->
+      match (find name is_end).Sink.payload with
+      | Sink.Span_end { duration_ns } ->
+        Alcotest.(check bool) (name ^ " duration >= 0") true (duration_ns >= 0L)
+      | _ -> assert false)
+    [ "a"; "b"; "c" ]
+
+let test_counter_aggregation () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.incr ~by:41 m "x";
+  Metrics.incr ~by:7 m "y";
+  Alcotest.(check int) "x total" 42 (Metrics.counter_value m "x");
+  Alcotest.(check int) "y total" 7 (Metrics.counter_value m "y");
+  Alcotest.(check int) "absent is 0" 0 (Metrics.counter_value m "z");
+  Alcotest.(check (list (pair string int)))
+    "sorted snapshot" [ ("x", 42); ("y", 7) ] (Metrics.counters m);
+  Metrics.set_gauge m "g" 1.5;
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge keeps last" [ ("g", 2.5) ] (Metrics.gauges m);
+  List.iter (fun v -> Metrics.observe m "h" v) [ 1.; 2.; 3.; 4. ];
+  (match Metrics.histograms m with
+  | [ ("h", s) ] ->
+    Alcotest.(check int) "h count" 4 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "h mean" 2.5 s.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "h min" 1. s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "h max" 4. s.Metrics.max
+  | _ -> Alcotest.fail "expected exactly one histogram");
+  Metrics.reset m;
+  Alcotest.(check (list (pair string int))) "reset" [] (Metrics.counters m)
+
+let test_trace_count_feeds_global () =
+  Metrics.reset Metrics.global;
+  let sink, _ = Sink.memory () in
+  Trace.with_sink sink (fun () ->
+      Trace.count "c";
+      Trace.count ~by:4 "c";
+      Trace.gauge "g" 3.25);
+  Alcotest.(check int) "aggregated" 5 (Metrics.counter_value Metrics.global "c");
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge recorded" [ ("g", 3.25) ] (Metrics.gauges Metrics.global);
+  Metrics.reset Metrics.global
+
+let test_disabled_is_inert () =
+  Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+  Metrics.reset Metrics.global;
+  (* None of these may touch the global registry or blow up. *)
+  let sp = Trace.span "ghost" ~attrs:[ ("k", Sink.Int 1) ] in
+  Trace.event "ghost-event";
+  Trace.count ~by:100 "ghost-counter";
+  Trace.gauge "ghost-gauge" 1.0;
+  Trace.finish sp;
+  Trace.finish Trace.none;
+  Trace.flush ();
+  Alcotest.(check int) "no counter recorded" 0
+    (Metrics.counter_value Metrics.global "ghost-counter");
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "no gauge recorded" [] (Metrics.gauges Metrics.global)
+
+(* Exercise every payload kind and every attribute type through the JSONL
+   writer and back through the parser. *)
+let test_jsonl_roundtrip () =
+  let sink_mem, read = Sink.memory () in
+  let path = Filename.temp_file "hbn_obs" ".jsonl" in
+  let oc = open_out path in
+  let tee = Sink.tee (Sink.jsonl oc) sink_mem in
+  Trace.with_sink tee (fun () ->
+      let sp =
+        Trace.span "phase"
+          ~attrs:
+            [
+              ("int", Sink.Int (-3));
+              ("float", Sink.Float 0.1);
+              ("whole", Sink.Float 2.0);
+              ("str", Sink.Str "quote \" backslash \\ newline \n tab \t");
+              ("bool", Sink.Bool false);
+            ]
+      in
+      Trace.event "tick" ~attrs:[ ("huge", Sink.Int max_int) ];
+      Trace.gauge "depth" 17.25;
+      Trace.finish sp ~attrs:[ ("ratio", Sink.Float 1.6180339887498949) ];
+      let m = Metrics.create () in
+      Metrics.incr ~by:9 m "events";
+      List.iter (fun v -> Metrics.observe m "lat" v) [ 0.5; 1.5 ];
+      (* Counter + histogram snapshot events also flow through the codec. *)
+      Metrics.emit m tee;
+      Alcotest.(check bool) "tracing on" true (Trace.enabled ());
+      Trace.flush ());
+  close_out oc;
+  let expected = read () in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Sink.of_json line with
+        | Ok ev -> ev
+        | Error msg -> Alcotest.failf "unparseable line %S: %s" line msg)
+      !lines
+  in
+  Alcotest.(check int) "event count" (List.length expected) (List.length parsed);
+  List.iter2
+    (fun (a : Sink.event) (b : Sink.event) ->
+      if a <> b then
+        Alcotest.failf "round trip mismatch:\n%s\n%s" (Sink.to_json a)
+          (Sink.to_json b))
+    expected parsed
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Sink.of_json line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      "";
+      "not json";
+      "{\"ev\":\"span_start\"}";
+      "{\"ev\":\"teleport\",\"name\":\"x\",\"id\":1,\"parent\":0,\"attrs\":{}}";
+      "{\"ev\":\"point\",\"name\":\"x\",\"id\":0,\"parent\":0,\"attrs\":{}} trailing";
+    ]
+
+let test_nan_gauge_roundtrips () =
+  let ev =
+    {
+      Sink.name = "g";
+      id = 0;
+      parent = 0;
+      payload = Sink.Gauge { value = Float.nan };
+      attrs = [];
+    }
+  in
+  match Sink.of_json (Sink.to_json ev) with
+  | Ok { Sink.payload = Sink.Gauge { value }; _ } ->
+    Alcotest.(check bool) "nan round-trips" true (Float.is_nan value)
+  | Ok _ -> Alcotest.fail "wrong payload"
+  | Error msg -> Alcotest.fail msg
+
+let strategy_fingerprint (res : Strategy.result) =
+  ( res.Strategy.placement,
+    res.Strategy.nibble,
+    res.Strategy.modified,
+    res.Strategy.tau_max,
+    res.Strategy.deletions,
+    res.Strategy.splits,
+    res.Strategy.mapped_objects )
+
+let prop_tracing_does_not_change_results seed =
+  let _, w = Helpers.instance seed in
+  let off = Strategy.run w in
+  let sink, _ = Sink.memory () in
+  let on = Trace.with_sink sink (fun () -> Strategy.run w) in
+  let off2 = Strategy.run w in
+  strategy_fingerprint off = strategy_fingerprint on
+  && strategy_fingerprint off = strategy_fingerprint off2
+
+(* The full pipeline trace of an instance that actually needs Step 3:
+   spans for all three steps plus per-round mapping events must appear. *)
+let test_strategy_trace_shape () =
+  let rec find seed =
+    let _, w = Helpers.instance seed in
+    let res = Strategy.run w in
+    if res.Strategy.tau_max > 0 then w else find (seed + 1)
+  in
+  let w = find 1 in
+  let events = events_of (fun () -> ignore (Strategy.run w)) in
+  let ends name =
+    List.exists
+      (fun (ev : Sink.event) ->
+        ev.Sink.name = name
+        && match ev.Sink.payload with Sink.Span_end _ -> true | _ -> false)
+      events
+  in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " span closed") true (ends name))
+    [ "strategy.run"; "strategy.nibble"; "strategy.deletion"; "strategy.mapping" ];
+  let rounds =
+    List.filter (fun ev -> name_of ev = "mapping.round") events
+  in
+  Alcotest.(check bool) "mapping rounds recorded" true (List.length rounds >= 2);
+  Alcotest.(check bool) "deletion.object events" true
+    (List.exists (fun ev -> name_of ev = "deletion.object") events)
+
+let suite =
+  [
+    Helpers.tc "span nesting and durations" test_span_nesting;
+    Helpers.tc "counter aggregation" test_counter_aggregation;
+    Helpers.tc "Trace.count feeds the global registry" test_trace_count_feeds_global;
+    Helpers.tc "disabled tracer is inert" test_disabled_is_inert;
+    Helpers.tc "JSONL round trip" test_jsonl_roundtrip;
+    Helpers.tc "parser rejects garbage" test_json_rejects_garbage;
+    Helpers.tc "nan gauge round-trips" test_nan_gauge_roundtrips;
+    Helpers.tc "strategy trace has all three steps" test_strategy_trace_shape;
+    Helpers.qt ~count:60 "tracing never changes strategy results"
+      Helpers.seed_arb prop_tracing_does_not_change_results;
+  ]

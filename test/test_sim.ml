@@ -139,7 +139,9 @@ let suite =
 (* --- scheduling policies ------------------------------------------------ *)
 
 let prop_policies_conserve_traffic seed =
-  (* Any service order delivers exactly the same hops. *)
+  (* Any service order injects the same packets and delivers exactly the
+     same hops — scheduling only reorders work, it never creates or
+     drops any. *)
   let _, w = Helpers.instance seed in
   let res = Strategy.run w in
   let p = res.Strategy.placement in
@@ -148,16 +150,24 @@ let prop_policies_conserve_traffic seed =
   let rev = Sim.run ~scale:4 ~policy:Sim.Reversed w p in
   fifo.Sim.edge_traffic = rr.Sim.edge_traffic
   && fifo.Sim.edge_traffic = rev.Sim.edge_traffic
+  && fifo.Sim.packets = rr.Sim.packets
+  && fifo.Sim.packets = rev.Sim.packets
   && fifo.Sim.transmissions = rr.Sim.transmissions
+  && fifo.Sim.transmissions = rev.Sim.transmissions
 
 let prop_policies_respect_lower_bound seed =
+  (* On randomized topologies every policy's makespan sits between the
+     congestion/dilation lower bound and the serial upper bound (work
+     conservation: at least one hop per round). *)
   let _, w = Helpers.instance seed in
   let res = Strategy.run w in
   let p = res.Strategy.placement in
   List.for_all
     (fun policy ->
       let out = Sim.run ~scale:4 ~policy w p in
-      float_of_int out.Sim.makespan >= Sim.lower_bound w p out -. 1e-9)
+      float_of_int out.Sim.makespan >= Sim.lower_bound w p out -. 1e-9
+      && (out.Sim.transmissions = 0
+         || out.Sim.makespan <= out.Sim.transmissions))
     [ Sim.Fifo; Sim.Round_robin; Sim.Reversed ]
 
 let policy_suite =
