@@ -5,7 +5,7 @@
 # this repo pins does not ship ocamlformat. If you have it installed,
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-loads clean
 
 all: build
 
@@ -15,12 +15,18 @@ build:
 test:
 	dune runtest
 
-# The one-stop gate: what CI (and reviewers) run.
+# The one-stop gate: what CI (and reviewers) run. The loads smoke run
+# cross-checks the incremental engine against the from-scratch climb on
+# a small instance (no JSON written).
 check:
-	dune build && dune runtest
+	dune build && dune runtest && dune exec bench/loads.exe -- --smoke
 
 bench:
 	dune exec bench/pipeline.exe
+
+# Scratch vs incremental hill-climb throughput; writes BENCH_loads.json.
+bench-loads:
+	dune exec bench/loads.exe
 
 clean:
 	dune clean

@@ -398,8 +398,18 @@ let dynamic_cmd =
 (* -- compare ------------------------------------------------------------ *)
 
 let compare_cmd =
+  let ls_iters =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "ls-iters" ]
+          ~doc:
+            "Hill-climb proposals for the local-search baseline (each one \
+             is an incremental delta on the load engine, so large values \
+             stay cheap).")
+  in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      trace timings =
+      ls_iters trace timings =
     with_observability ~trace ~timings @@ fun () ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
@@ -423,14 +433,15 @@ let compare_cmd =
         ("gravity-leaf", Baselines.gravity_leaf w);
         ("random-leaf", Baselines.random_leaf ~prng w);
         ("full-replication", Baselines.full_replication w);
-        ("local-search", Baselines.local_search ~iterations:100 ~prng w);
+        ("local-search", Baselines.local_search ~iterations:ls_iters ~prng w);
       ];
     Table.print table;
     Printf.printf "lower bound (certified): %.3f\n" lb
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare placement strategies on one instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ trace_file $ timings)
+          $ bandwidth $ workload_kind $ objects $ ls_iters $ trace_file
+          $ timings)
 
 (* -- gadget ------------------------------------------------------------- *)
 

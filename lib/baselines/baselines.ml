@@ -3,6 +3,7 @@ module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Nibble = Hbn_nibble.Nibble
 module Prng = Hbn_prng.Prng
+module Loads = Hbn_loads.Loads
 
 let single_copy_per_object w pick =
   let copies =
@@ -47,36 +48,87 @@ let random_leaf ~prng w =
 
 let full_replication = Placement.full_replication
 
+(* One hill-climb proposal over the copy sets. The two evaluation paths
+   below (incremental engine, from-scratch rebuild) share this so their
+   PRNG streams and proposal sequences are identical: membership is an
+   O(1) set probe, copy lists are kept in canonical ascending order, and
+   a no-op proposal (removing the only copy) consumes no further PRNG
+   draws — matching the original structural-compare behaviour. *)
+type proposal = Remove of int | Add of int | Move of int * int
+
+let propose ~prng ~leaves ~has ~count ~sorted obj =
+  let leaf = leaves.(Prng.int prng (Array.length leaves)) in
+  if has obj leaf then
+    if count obj > 1 then Some (Remove leaf) else None
+  else if Prng.bool prng then Some (Add leaf)
+  else
+    (* Move: replace a random existing copy by the new leaf. *)
+    Some (Move (Prng.pick prng (sorted obj), leaf))
+
+let active_objects ~count w =
+  List.filter
+    (fun obj -> count obj > 0)
+    (List.init (Workload.num_objects w) (fun i -> i))
+
 let hill_climb ~iterations ~prng w copies =
-  let leaves = Array.of_list (Tree.leaves (Workload.tree w)) in
-  let eval cs = Placement.congestion w (Placement.nearest w ~copies:cs) in
-  let current = ref (eval copies) in
-  let active_objects =
-    List.filter
-      (fun obj -> copies.(obj) <> [])
-      (List.init (Workload.num_objects w) (fun i -> i))
-  in
-  if active_objects <> [] && Array.length leaves > 0 then
+  let leaves = Tree.leaves_array (Workload.tree w) in
+  let eng = Loads.of_copies w copies in
+  let count obj = Loads.num_copies eng ~obj in
+  let active = active_objects ~count w in
+  if active <> [] && Array.length leaves > 0 then begin
+    let current = ref (Loads.congestion eng) in
     for _ = 1 to iterations do
-      let obj = Prng.pick prng active_objects in
-      let leaf = leaves.(Prng.int prng (Array.length leaves)) in
-      let old = copies.(obj) in
-      let proposal =
-        if List.mem leaf old then
-          if List.length old > 1 then List.filter (fun l -> l <> leaf) old
-          else old
-        else if Prng.bool prng then leaf :: old
-        else
-          (* Move: replace a random existing copy by the new leaf. *)
-          let victim = Prng.pick prng old in
-          leaf :: List.filter (fun l -> l <> victim) old
-      in
-      if proposal <> old then begin
-        copies.(obj) <- proposal;
-        let c = eval copies in
+      let obj = Prng.pick prng active in
+      match
+        propose ~prng ~leaves
+          ~has:(fun obj l -> Loads.has_copy eng ~obj l)
+          ~count
+          ~sorted:(fun obj -> Loads.copies eng ~obj)
+          obj
+      with
+      | None -> ()
+      | Some p ->
+        let cp = Loads.checkpoint eng in
+        (match p with
+        | Remove l -> Loads.remove_copy eng ~obj l
+        | Add l -> Loads.add_copy eng ~obj l
+        | Move (src, dst) -> Loads.move_copy eng ~obj ~src ~dst);
+        let c = Loads.congestion eng in
+        if c <= !current then current := c else Loads.rollback eng cp
+    done
+  end;
+  Loads.snapshot eng
+
+let hill_climb_scratch ~iterations ~prng w copies =
+  let leaves = Tree.leaves_array (Workload.tree w) in
+  let copies = Array.map (fun cs -> List.sort_uniq compare cs) copies in
+  let eval () = Placement.congestion w (Placement.nearest w ~copies) in
+  let count obj = List.length copies.(obj) in
+  let active = active_objects ~count w in
+  if active <> [] && Array.length leaves > 0 then begin
+    let current = ref (eval ()) in
+    for _ = 1 to iterations do
+      let obj = Prng.pick prng active in
+      match
+        propose ~prng ~leaves
+          ~has:(fun obj l -> List.mem l copies.(obj))
+          ~count
+          ~sorted:(fun obj -> copies.(obj))
+          obj
+      with
+      | None -> ()
+      | Some p ->
+        let old = copies.(obj) in
+        copies.(obj) <-
+          (match p with
+          | Remove l -> List.filter (fun x -> x <> l) old
+          | Add l -> List.sort compare (l :: old)
+          | Move (src, dst) ->
+            List.sort compare (dst :: List.filter (fun x -> x <> src) old));
+        let c = eval () in
         if c <= !current then current := c else copies.(obj) <- old
-      end
-    done;
+    done
+  end;
   Placement.nearest w ~copies
 
 let local_search ?(iterations = 300) ~prng w =

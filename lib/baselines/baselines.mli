@@ -35,7 +35,33 @@ val local_search :
     proposes adding, removing, or moving one copy of a random object on a
     random processor and keeps the proposal if the congestion does not
     increase (with strict improvement required every so often to
-    terminate). [iterations] proposals are made (default 300). *)
+    terminate). [iterations] proposals are made (default 300). Runs on
+    {!hill_climb}. *)
+
+val hill_climb :
+  iterations:int ->
+  prng:Hbn_prng.Prng.t ->
+  Workload.t ->
+  int list array ->
+  Placement.t
+(** The climb itself, from explicit per-object copy sets. Proposals are
+    applied as deltas to one incremental [Hbn_loads.Loads] engine and
+    rolled back when the congestion worsens — O(height) per proposal
+    instead of a full re-evaluation. Produces exactly the same placements
+    as {!hill_climb_scratch} for the same seed (pinned by a regression
+    test); duplicate nodes in the input lists are collapsed, and the
+    input arrays are not mutated. *)
+
+val hill_climb_scratch :
+  iterations:int ->
+  prng:Hbn_prng.Prng.t ->
+  Workload.t ->
+  int list array ->
+  Placement.t
+(** Reference implementation of {!hill_climb} that rebuilds
+    [Placement.nearest] and re-evaluates the whole workload on every
+    proposal. Kept for differential tests and [bench/loads.exe], which
+    records the speedup of the engine over this path. *)
 
 val polish :
   ?iterations:int ->

@@ -2,6 +2,7 @@ module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Prng = Hbn_prng.Prng
+module Raw = Hbn_loads.Loads.Raw
 
 type outcome = {
   edge_loads : int array;
@@ -31,7 +32,7 @@ type state = {
   read_credit : int array;
   migr_child : int array;
   migr_parent : int array;
-  loads : int array;
+  loads : Raw.t;  (* running request loads, maintained through the engine *)
   below : int array;  (* below.(e) = child endpoint of e *)
   mutable anchor : int;
   mutable set_size : int;
@@ -141,7 +142,7 @@ let serve st (req : Request.t) =
     (* Crossing loads and credits. *)
     List.iter
       (fun e ->
-        st.loads.(e) <- st.loads.(e) + 1;
+        Raw.add st.loads e 1;
         st.read_credit.(e) <-
           min st.repl_threshold (st.read_credit.(e) + 1))
       path_edges;
@@ -151,7 +152,7 @@ let serve st (req : Request.t) =
         let e = edge_between st a b in
         if st.read_credit.(e) >= st.repl_threshold then begin
           add_node st b;
-          st.loads.(e) <- st.loads.(e) + st.size;
+          Raw.add st.loads e st.size;
           st.replications <- st.replications + 1;
           st.read_credit.(e) <- st.repl_threshold;
           crawl rest
@@ -162,10 +163,8 @@ let serve st (req : Request.t) =
   | Request.Write ->
     let internal = internal_edges st in
     (* Serve: request to the nearest copy plus the update broadcast. *)
-    List.iter
-      (fun e -> st.loads.(e) <- st.loads.(e) + 1)
-      path_edges;
-    List.iter (fun e -> st.loads.(e) <- st.loads.(e) + 1) internal;
+    List.iter (fun e -> Raw.add st.loads e 1) path_edges;
+    List.iter (fun e -> Raw.add st.loads e 1) internal;
     (* Crossing writes build migration pressure towards the writer. *)
     List.iter
       (fun e ->
@@ -213,7 +212,7 @@ let serve st (req : Request.t) =
             add_node st b;
             st.set_size <- 1;
             st.anchor <- b;
-            st.loads.(e) <- st.loads.(e) + st.size;
+            Raw.add st.loads e st.size;
             st.migrations <- st.migrations + 1;
             st.migr_child.(e) <- 0;
             st.migr_parent.(e) <- 0;
@@ -259,7 +258,7 @@ let run ?(size = 1) ?threshold ?(validate = false) tree ~initial reqs =
       read_credit = Array.make m 0;
       migr_child = Array.make m 0;
       migr_parent = Array.make m 0;
-      loads = Array.make m 0;
+      loads = Raw.create tree;
       below;
       anchor = initial;
       set_size = 0;
@@ -278,7 +277,7 @@ let run ?(size = 1) ?threshold ?(validate = false) tree ~initial reqs =
       if validate then ignore (check_consistent st))
     reqs;
   {
-    edge_loads = st.loads;
+    edge_loads = Raw.loads st.loads;
     served = !served;
     replications = st.replications;
     migrations = st.migrations;

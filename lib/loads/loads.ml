@@ -1,0 +1,403 @@
+module Tree = Hbn_tree.Tree
+module Marks = Hbn_tree.Marks
+module Workload = Hbn_workload.Workload
+module Placement = Hbn_placement.Placement
+
+module Raw = struct
+  type t = {
+    tree : Tree.t;
+    loads : int array;
+    bus_loads2 : int array;
+  }
+
+  let create tree =
+    {
+      tree;
+      loads = Array.make (max 1 (Tree.num_edges tree)) 0;
+      bus_loads2 = Array.make (Tree.n tree) 0;
+    }
+
+  let add t e amount =
+    if amount <> 0 then begin
+      t.loads.(e) <- t.loads.(e) + amount;
+      let u, v = Tree.edge_endpoints t.tree e in
+      if not (Tree.is_leaf t.tree u) then
+        t.bus_loads2.(u) <- t.bus_loads2.(u) + amount;
+      if not (Tree.is_leaf t.tree v) then
+        t.bus_loads2.(v) <- t.bus_loads2.(v) + amount
+    end
+
+  let load t e = t.loads.(e)
+
+  let loads t = Array.copy t.loads
+
+  let total t = Array.fold_left ( + ) 0 t.loads
+
+  (* Same scan order and arithmetic as [Placement.congestion_of_edge_loads]
+     so the float results are bit-identical — the hill climb's accept
+     decisions must not depend on which evaluator ran. *)
+  let congestion_value t =
+    let tree = t.tree in
+    let best = ref 0. in
+    for e = 0 to Tree.num_edges tree - 1 do
+      let rel =
+        float_of_int t.loads.(e) /. float_of_int (Tree.edge_bandwidth tree e)
+      in
+      if rel > !best then best := rel
+    done;
+    Array.iter
+      (fun b ->
+        let rel =
+          float_of_int t.bus_loads2.(b)
+          /. (2. *. float_of_int (Tree.bus_bandwidth tree b))
+        in
+        if rel > !best then best := rel)
+      (Tree.buses_array tree);
+    !best
+
+  let evaluate t = Placement.congestion_of_edge_loads t.tree (Array.copy t.loads)
+end
+
+(* Undo-journal entries. [moved] records, per reassigned leaf, the server
+   and server distance it had before the operation; the copy-set and
+   Steiner bookkeeping is inverted structurally (the low-level add/remove
+   are exact inverses of each other on [below]/[ncopies]/marks). *)
+type undo =
+  | U_add of { obj : int; node : int; moved : (int * int * int) list }
+  | U_remove of { obj : int; node : int; moved : (int * int * int) list }
+  | U_reassign of { obj : int; leaf : int; server : int; dist : int }
+
+type obj_state = {
+  marks : Marks.t;  (* marked = nodes holding a copy *)
+  below : int array;  (* per edge: copies strictly on the child side *)
+  server : int array;  (* per node: serving copy; -1 = unassigned *)
+  sdist : int array;  (* distance to [server]; -1 when unassigned *)
+  reads : int array;
+  writes : int array;
+  amount : int array;  (* reads + writes, cached *)
+  req : int array;  (* requesting leaves, ascending *)
+  total_writes : int;  (* κ_x: one Steiner-tree broadcast per write *)
+  mutable ncopies : int;
+  mutable anchor : int;  (* any current copy; -1 when the set is empty *)
+}
+
+type t = {
+  w : Workload.t;
+  tree : Tree.t;
+  rooted : Tree.rooted;
+  lca : Tree.lca_index;
+  raw : Raw.t;
+  objs : obj_state array;
+  eseen : int array;  (* per-edge visit stamps for root-path unions *)
+  mutable stamp : int;
+  mutable journal : undo list;
+  mutable jlen : int;
+}
+
+type checkpoint = int
+
+let create w =
+  let tree = Workload.tree w in
+  let rooted = Tree.rooting tree in
+  let m = max 1 (Tree.num_edges tree) in
+  let n = Tree.n tree in
+  let objs =
+    Array.init (Workload.num_objects w) (fun obj ->
+        let reads = Workload.read_vector w ~obj in
+        let writes = Workload.write_vector w ~obj in
+        {
+          marks = Marks.create rooted;
+          below = Array.make m 0;
+          server = Array.make n (-1);
+          sdist = Array.make n (-1);
+          reads;
+          writes;
+          amount = Array.init n (fun v -> reads.(v) + writes.(v));
+          req = Array.of_list (Workload.requesting_leaves w ~obj);
+          total_writes = Workload.write_contention w ~obj;
+          ncopies = 0;
+          anchor = -1;
+        })
+  in
+  {
+    w;
+    tree;
+    rooted;
+    lca = Tree.lca_index rooted;
+    raw = Raw.create tree;
+    objs;
+    eseen = Array.make m (-1);
+    stamp = 0;
+    journal = [];
+    jlen = 0;
+  }
+
+let workload t = t.w
+
+let obj_state t obj =
+  if obj < 0 || obj >= Array.length t.objs then
+    invalid_arg "Loads: object out of range";
+  t.objs.(obj)
+
+let check_node t v =
+  if v < 0 || v >= Tree.n t.tree then invalid_arg "Loads: node out of range"
+
+(* {2 Path walks} *)
+
+let iter_root_path t v f =
+  let r = t.rooted in
+  let x = ref v in
+  while !x <> r.Tree.root do
+    f r.Tree.parent_edge.(!x);
+    x := r.Tree.parent.(!x)
+  done
+
+let add_path_load t u v amount =
+  if u <> v && amount <> 0 then begin
+    let a = Tree.lca_fast t.lca u v in
+    let r = t.rooted in
+    let climb s =
+      let x = ref s in
+      while !x <> a do
+        Raw.add t.raw r.Tree.parent_edge.(!x) amount;
+        x := r.Tree.parent.(!x)
+      done
+    in
+    climb u;
+    climb v
+  end
+
+(* {2 Steiner-tree accounting}
+
+   An edge belongs to the Steiner tree of the copy set iff
+   [0 < below < ncopies]. A single add/remove of copy [c] changes [below]
+   only on the root path of [c], and changes the [< ncopies] test only on
+   edges below which the whole (old or new) set lies — those edges form
+   the root path of any surviving copy (the anchor). Re-evaluating the
+   membership contribution on the union of the two root paths therefore
+   covers every edge whose write-broadcast load can change: O(height). *)
+
+let member os e n = os.below.(e) > 0 && os.below.(e) < n
+
+let affected_edges t ~node ~other =
+  t.stamp <- t.stamp + 1;
+  let out = ref [] in
+  let visit e =
+    if t.eseen.(e) <> t.stamp then begin
+      t.eseen.(e) <- t.stamp;
+      out := e :: !out
+    end
+  in
+  iter_root_path t node visit;
+  if other >= 0 then iter_root_path t other visit;
+  !out
+
+(* Low-level add of copy [c]: marks, [below], anchor and Steiner loads.
+   Assignments are the caller's business. *)
+let steiner_add t o c =
+  let os = t.objs.(o) in
+  let n_new = os.ncopies + 1 in
+  if os.total_writes > 0 then begin
+    let affected = affected_edges t ~node:c ~other:os.anchor in
+    let wts = os.total_writes in
+    List.iter
+      (fun e -> if member os e os.ncopies then Raw.add t.raw e (-wts))
+      affected;
+    iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) + 1);
+    os.ncopies <- n_new;
+    List.iter (fun e -> if member os e n_new then Raw.add t.raw e wts) affected
+  end
+  else begin
+    iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) + 1);
+    os.ncopies <- n_new
+  end;
+  Marks.mark os.marks c;
+  os.anchor <- c
+
+let steiner_remove t o c =
+  let os = t.objs.(o) in
+  Marks.unmark os.marks c;
+  let new_anchor =
+    if os.ncopies = 1 then -1
+    else
+      match Marks.nearest os.marks c with
+      | Some (u, _) -> u
+      | None -> assert false
+  in
+  let n_new = os.ncopies - 1 in
+  if os.total_writes > 0 then begin
+    let affected = affected_edges t ~node:c ~other:new_anchor in
+    let wts = os.total_writes in
+    List.iter
+      (fun e -> if member os e os.ncopies then Raw.add t.raw e (-wts))
+      affected;
+    iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) - 1);
+    os.ncopies <- n_new;
+    List.iter (fun e -> if member os e n_new then Raw.add t.raw e wts) affected
+  end
+  else begin
+    iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) - 1);
+    os.ncopies <- n_new
+  end;
+  os.anchor <- new_anchor
+
+(* Point a leaf's requests at [server] (or [-1] to clear), moving its
+   path load. *)
+let set_server t o leaf ~server ~dist =
+  let os = t.objs.(o) in
+  let amt = os.amount.(leaf) in
+  let old = os.server.(leaf) in
+  if old >= 0 then add_path_load t leaf old (-amt);
+  os.server.(leaf) <- server;
+  os.sdist.(leaf) <- dist;
+  if server >= 0 then add_path_load t leaf server amt
+
+let push t u =
+  t.journal <- u :: t.journal;
+  t.jlen <- t.jlen + 1
+
+(* {2 Delta operations} *)
+
+let add_copy t ~obj c =
+  check_node t c;
+  let os = obj_state t obj in
+  if Marks.is_marked os.marks c then
+    invalid_arg "Loads.add_copy: node already holds a copy";
+  steiner_add t obj c;
+  (* The nearest-copy rule: a leaf defects to [c] when strictly closer,
+     or equally close with a lower id — exactly [Placement.nearest]'s
+     tie-breaking, so the maintained assignment stays canonical. *)
+  let moved = ref [] in
+  Array.iter
+    (fun leaf ->
+      let d = Tree.distance t.lca leaf c in
+      let cur = os.server.(leaf) in
+      if cur < 0 || d < os.sdist.(leaf) || (d = os.sdist.(leaf) && c < cur)
+      then begin
+        moved := (leaf, cur, os.sdist.(leaf)) :: !moved;
+        set_server t obj leaf ~server:c ~dist:d
+      end)
+    os.req;
+  push t (U_add { obj; node = c; moved = !moved })
+
+let remove_copy t ~obj c =
+  check_node t c;
+  let os = obj_state t obj in
+  if not (Marks.is_marked os.marks c) then
+    invalid_arg "Loads.remove_copy: node holds no copy";
+  if os.ncopies = 1 && Array.length os.req > 0 then
+    invalid_arg "Loads.remove_copy: would leave a requested object copyless";
+  steiner_remove t obj c;
+  let moved = ref [] in
+  Array.iter
+    (fun leaf ->
+      if os.server.(leaf) = c then begin
+        match Marks.nearest os.marks leaf with
+        | Some (s, d) ->
+          moved := (leaf, c, os.sdist.(leaf)) :: !moved;
+          set_server t obj leaf ~server:s ~dist:d
+        | None -> assert false
+      end)
+    os.req;
+  push t (U_remove { obj; node = c; moved = !moved })
+
+let move_copy t ~obj ~src ~dst =
+  if src = dst then invalid_arg "Loads.move_copy: src = dst";
+  add_copy t ~obj dst;
+  remove_copy t ~obj src
+
+let reassign t ~obj ~leaf ~server =
+  check_node t leaf;
+  check_node t server;
+  let os = obj_state t obj in
+  if not (Marks.is_marked os.marks server) then
+    invalid_arg "Loads.reassign: server holds no copy";
+  if os.server.(leaf) < 0 then
+    invalid_arg "Loads.reassign: leaf has no requests for this object";
+  push t
+    (U_reassign { obj; leaf; server = os.server.(leaf); dist = os.sdist.(leaf) });
+  set_server t obj leaf ~server ~dist:(Tree.distance t.lca leaf server)
+
+(* {2 Checkpoint / rollback} *)
+
+let undo t = function
+  | U_add { obj; node; moved } ->
+    steiner_remove t obj node;
+    List.iter (fun (leaf, s, d) -> set_server t obj leaf ~server:s ~dist:d) moved
+  | U_remove { obj; node; moved } ->
+    steiner_add t obj node;
+    List.iter (fun (leaf, s, d) -> set_server t obj leaf ~server:s ~dist:d) moved
+  | U_reassign { obj; leaf; server; dist } ->
+    set_server t obj leaf ~server ~dist
+
+let checkpoint t = t.jlen
+
+let rollback t cp =
+  if cp > t.jlen then
+    invalid_arg "Loads.rollback: checkpoint is ahead of the journal";
+  while t.jlen > cp do
+    match t.journal with
+    | [] -> assert false
+    | u :: rest ->
+      t.journal <- rest;
+      t.jlen <- t.jlen - 1;
+      undo t u
+  done
+
+(* {2 Construction from copy sets} *)
+
+let of_copies w copies =
+  let t = create w in
+  if Array.length copies <> Array.length t.objs then
+    invalid_arg "Loads.of_copies: object count mismatch";
+  Array.iteri
+    (fun obj cs ->
+      List.iter (fun c -> add_copy t ~obj c) (List.sort_uniq compare cs))
+    copies;
+  (* Construction deltas are not part of the caller's undo history. *)
+  t.journal <- [];
+  t.jlen <- 0;
+  t
+
+(* {2 Inspection} *)
+
+let copies t ~obj = Marks.marked (obj_state t obj).marks
+
+let has_copy t ~obj v =
+  check_node t v;
+  Marks.is_marked (obj_state t obj).marks v
+
+let num_copies t ~obj = (obj_state t obj).ncopies
+
+let server t ~obj leaf =
+  check_node t leaf;
+  let os = obj_state t obj in
+  if os.server.(leaf) < 0 then None else Some os.server.(leaf)
+
+let edge_loads t = Raw.loads t.raw
+
+let total_load t = Raw.total t.raw
+
+let congestion t = Raw.congestion_value t.raw
+
+let evaluate t = Raw.evaluate t.raw
+
+let snapshot t =
+  Array.map
+    (fun os ->
+      if os.ncopies = 0 && Array.length os.req > 0 then
+        invalid_arg "Loads.snapshot: requests but no copies";
+      let assigns =
+        Array.fold_right
+          (fun leaf acc ->
+            {
+              Placement.leaf;
+              server = os.server.(leaf);
+              reads = os.reads.(leaf);
+              writes = os.writes.(leaf);
+            }
+            :: acc)
+          os.req []
+      in
+      { Placement.copies = Marks.marked os.marks; assigns })
+    t.objs

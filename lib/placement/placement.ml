@@ -164,32 +164,37 @@ let validate w t =
     t;
   match !problem with None -> Ok () | Some msg -> Error msg
 
-let object_edge_loads w t ~obj =
-  let tree = Workload.tree w in
-  let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
-  let op = t.(obj) in
+(* The single source of truth for Section 1.1's load accounting: every
+   elementary contribution of one object — request traffic along
+   leaf→server paths, then the write broadcast over the copies' Steiner
+   tree — is reported through [f edge amount]. The from-scratch entry
+   points below and the incremental engine ([Hbn_loads.Loads]) both build
+   on this, so they cannot drift apart. *)
+let iter_object_loads tree op f =
   List.iter
     (fun a ->
       let amount = a.reads + a.writes in
       if amount > 0 && a.leaf <> a.server then
-        List.iter
-          (fun e -> loads.(e) <- loads.(e) + amount)
-          (Tree.path_edges tree a.leaf a.server))
+        List.iter (fun e -> f e amount) (Tree.path_edges tree a.leaf a.server))
     op.assigns;
   let total_writes = List.fold_left (fun s a -> s + a.writes) 0 op.assigns in
   if total_writes > 0 then
-    List.iter
-      (fun e -> loads.(e) <- loads.(e) + total_writes)
-      (Tree.steiner_edges tree op.copies);
+    List.iter (fun e -> f e total_writes) (Tree.steiner_edges tree op.copies)
+
+let object_edge_loads w t ~obj =
+  let tree = Workload.tree w in
+  let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+  iter_object_loads tree t.(obj) (fun e amount ->
+      loads.(e) <- loads.(e) + amount);
   loads
 
 let edge_loads w t =
   let tree = Workload.tree w in
   let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
-  Array.iteri
-    (fun obj _ ->
-      let o = object_edge_loads w t ~obj in
-      Array.iteri (fun e l -> loads.(e) <- loads.(e) + l) o)
+  Array.iter
+    (fun op ->
+      iter_object_loads tree op (fun e amount ->
+          loads.(e) <- loads.(e) + amount))
     t;
   loads
 

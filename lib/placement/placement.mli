@@ -86,6 +86,14 @@ val edge_loads : Workload.t -> t -> int array
 val object_edge_loads : Workload.t -> t -> obj:int -> int array
 (** Load per edge induced by a single object. *)
 
+val iter_object_loads : Tree.t -> obj_placement -> (int -> int -> unit) -> unit
+(** [iter_object_loads tree op f] reports every elementary load
+    contribution of one object as [f edge amount] — request traffic along
+    each leaf→server path, then the write broadcast over the copy set's
+    Steiner tree. {!edge_loads}, {!object_edge_loads} and the incremental
+    engine ([Hbn_loads.Loads]) are all thin wrappers over this, which
+    keeps the accounting definitions in one place. *)
+
 val evaluate : Workload.t -> t -> congestion
 (** Full congestion accounting. *)
 

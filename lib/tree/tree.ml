@@ -17,6 +17,12 @@ type t = {
   edge_bw : int array;
   bus_bw : int array; (* -1 on processors *)
   canonical : rooted;
+  (* Cached node partitions: [leaves]/[buses] sit in hot loops (baselines,
+     generators, congestion), so the lists are built once at [make] time. *)
+  leaf_list : int list;
+  bus_list : int list;
+  leaf_arr : int array;
+  bus_arr : int array;
 }
 
 let compute_rooting ~size ~adj root =
@@ -126,7 +132,22 @@ let make ~kinds ~edges ~bus_bandwidth ?root () =
       first_bus 0
   in
   let canonical = compute_rooting ~size ~adj root in
-  { size; kinds; adj; edge_ends; edge_bw; bus_bw; canonical }
+  let all = List.init size (fun i -> i) in
+  let leaf_list = List.filter (fun v -> kinds.(v) = Processor) all in
+  let bus_list = List.filter (fun v -> kinds.(v) = Bus) all in
+  {
+    size;
+    kinds;
+    adj;
+    edge_ends;
+    edge_bw;
+    bus_bw;
+    canonical;
+    leaf_list;
+    bus_list;
+    leaf_arr = Array.of_list leaf_list;
+    bus_arr = Array.of_list bus_list;
+  }
 
 let n t = t.size
 
@@ -136,13 +157,15 @@ let kind t v = t.kinds.(v)
 
 let is_leaf t v = t.kinds.(v) = Processor
 
-let leaves t =
-  List.filter (is_leaf t) (List.init t.size (fun i -> i))
+let leaves t = t.leaf_list
 
-let buses t =
-  List.filter (fun v -> not (is_leaf t v)) (List.init t.size (fun i -> i))
+let buses t = t.bus_list
 
-let num_leaves t = List.length (leaves t)
+let leaves_array t = t.leaf_arr
+
+let buses_array t = t.bus_arr
+
+let num_leaves t = Array.length t.leaf_arr
 
 let edge_endpoints t e = t.edge_ends.(e)
 
@@ -184,6 +207,56 @@ let lca r u v =
     v := r.parent.(!v)
   done;
   !u
+
+type lca_index = {
+  idepth : int array;
+  up : int array array; (* up.(k).(v) = 2^k-th ancestor (root maps to itself) *)
+}
+
+let lca_index r =
+  let n = Array.length r.parent in
+  let max_depth = Array.fold_left max 0 r.depth in
+  let levels =
+    let rec go k = if 1 lsl k > max_depth then k + 1 else go (k + 1) in
+    go 0
+  in
+  let up = Array.make levels [||] in
+  up.(0) <- Array.init n (fun v -> if r.parent.(v) < 0 then v else r.parent.(v));
+  for k = 1 to levels - 1 do
+    let prev = up.(k - 1) in
+    up.(k) <- Array.init n (fun v -> prev.(prev.(v)))
+  done;
+  { idepth = r.depth; up }
+
+let lca_fast ix u v =
+  let levels = Array.length ix.up in
+  let lift x delta =
+    let x = ref x and d = ref delta in
+    let k = ref 0 in
+    while !d > 0 do
+      if !d land 1 = 1 then x := ix.up.(!k).(!x);
+      d := !d lsr 1;
+      incr k
+    done;
+    !x
+  in
+  let du = ix.idepth.(u) and dv = ix.idepth.(v) in
+  let u = if du > dv then lift u (du - dv) else u in
+  let v = if dv > du then lift v (dv - du) else v in
+  if u = v then u
+  else begin
+    let u = ref u and v = ref v in
+    for k = levels - 1 downto 0 do
+      if ix.up.(k).(!u) <> ix.up.(k).(!v) then begin
+        u := ix.up.(k).(!u);
+        v := ix.up.(k).(!v)
+      end
+    done;
+    ix.up.(0).(!u)
+  end
+
+let distance ix u v =
+  ix.idepth.(u) + ix.idepth.(v) - (2 * ix.idepth.(lca_fast ix u v))
 
 let path_edges t u v =
   let r = t.canonical in

@@ -57,12 +57,20 @@ val is_leaf : t -> int -> bool
 (** [is_leaf t v] is [kind t v = Processor]. *)
 
 val leaves : t -> int list
-(** All processor nodes, ascending. *)
+(** All processor nodes, ascending. Cached at construction; O(1). *)
 
 val buses : t -> int list
-(** All bus nodes, ascending. *)
+(** All bus nodes, ascending. Cached at construction; O(1). *)
+
+val leaves_array : t -> int array
+(** The processors as an array, ascending — the cached backing store of
+    {!leaves}, for hot loops that index or sample. Do not mutate. *)
+
+val buses_array : t -> int array
+(** The buses as an array, ascending. Do not mutate. *)
 
 val num_leaves : t -> int
+(** O(1). *)
 
 val edge_endpoints : t -> int -> int * int
 
@@ -103,7 +111,23 @@ val path_edges : t -> int -> int -> int list
 val path_length : t -> int -> int -> int
 
 val lca : rooted -> int -> int -> int
-(** Lowest common ancestor in the given rooting. *)
+(** Lowest common ancestor in the given rooting, by walking parent
+    pointers — O(depth) per query, no preprocessing. *)
+
+type lca_index
+(** Binary-lifting ancestor tables over one {!rooted} view: O(n log n)
+    preprocessing, O(log n) {!lca_fast}/{!distance} queries. Built by the
+    load-accounting engine so nearest-copy distances stop being linear
+    walks. *)
+
+val lca_index : rooted -> lca_index
+
+val lca_fast : lca_index -> int -> int -> int
+(** Same answer as {!lca} on the rooting the index was built from. *)
+
+val distance : lca_index -> int -> int -> int
+(** [distance ix u v] is the number of edges on the [u]–[v] path
+    (equals {!path_length} on the canonical rooting). *)
 
 val steiner_edges : t -> int list -> int list
 (** [steiner_edges t nodes] are the edges of the minimal subtree connecting

@@ -1,4 +1,6 @@
-type 'a entry = { mutable key : int; value : 'a }
+type 'a entry = { mutable key : int; value : 'a; mutable pos : int }
+
+type 'a handle = 'a entry
 
 type 'a t = { mutable data : 'a entry array; mutable size : int }
 
@@ -9,9 +11,11 @@ let length h = h.size
 let is_empty h = h.size = 0
 
 let swap h i j =
-  let tmp = h.data.(i) in
-  h.data.(i) <- h.data.(j);
-  h.data.(j) <- tmp
+  let a = h.data.(i) and b = h.data.(j) in
+  h.data.(i) <- b;
+  h.data.(j) <- a;
+  b.pos <- i;
+  a.pos <- j
 
 let rec sift_up h i =
   if i > 0 then begin
@@ -41,13 +45,16 @@ let ensure_capacity h =
     h.data <- fresh
   end
 
-let add h ~key value =
-  let entry = { key; value } in
+let add_tracked h ~key value =
+  let entry = { key; value; pos = h.size } in
   if Array.length h.data = 0 then h.data <- Array.make 4 entry
   else ensure_capacity h;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  sift_up h (h.size - 1);
+  entry
+
+let add h ~key value = ignore (add_tracked h ~key value)
 
 let min_elt h =
   if h.size = 0 then None
@@ -60,8 +67,11 @@ let pop_min h =
   else begin
     let e = h.data.(0) in
     h.size <- h.size - 1;
+    e.pos <- -1;
     if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
+      let last = h.data.(h.size) in
+      h.data.(0) <- last;
+      last.pos <- 0;
       sift_down h 0
     end;
     Some (e.key, e.value)
@@ -75,18 +85,33 @@ let mem h pred =
   done;
   !found
 
+let handle_key e = e.key
+
+let handle_value e = e.value
+
+let in_heap e = e.pos >= 0
+
+let rekey h e key =
+  if e.pos < 0 then false
+  else begin
+    if e.pos >= h.size || h.data.(e.pos) != e then
+      invalid_arg "Heap.rekey: handle belongs to a different heap";
+    let old = e.key in
+    e.key <- key;
+    if key < old then sift_up h e.pos else sift_down h e.pos;
+    true
+  end
+
 let update_key h pred key =
-  let found = ref false in
+  (* Deprecated predicate interface: the lookup is still an O(n) scan;
+     callers that re-key on hot paths should hold the handle returned by
+     [add_tracked] and use [rekey] (O(log n)). *)
+  let found = ref None in
   let i = ref 0 in
-  while (not !found) && !i < h.size do
-    if pred h.data.(!i).value then found := true else incr i
+  while !found = None && !i < h.size do
+    if pred h.data.(!i).value then found := Some h.data.(!i) else incr i
   done;
-  if !found then begin
-    let old = h.data.(!i).key in
-    h.data.(!i).key <- key;
-    if key < old then sift_up h !i else sift_down h !i
-  end;
-  !found
+  match !found with None -> false | Some e -> rekey h e key
 
 let of_list kvs =
   let h = create () in

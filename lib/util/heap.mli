@@ -2,12 +2,18 @@
 
     Used by the mapping algorithm of the extended-nibble strategy to locate a
     free downward child edge in [O(log degree)] time, matching the runtime
-    bound claimed in Theorem 4.3 of the paper. Keys may be updated in place
-    ({!update_key}), though that entry point locates its element by linear
-    scan — see its documentation for the complexity contract. *)
+    bound claimed in Theorem 4.3 of the paper. Every element tracks its
+    position in the backing array, so re-keying through a {!handle}
+    ({!add_tracked} / {!rekey}) is [O(log n)]; the predicate-based
+    {!update_key} survives as a deprecated wrapper whose lookup is still a
+    linear scan. *)
 
 type 'a t
 (** A min-heap whose elements carry a mutable integer key. *)
+
+type 'a handle
+(** A stable reference to one element of one heap, valid until the element
+    is popped ({!in_heap} tells). *)
 
 val create : unit -> 'a t
 (** [create ()] is a fresh empty heap. *)
@@ -21,6 +27,24 @@ val is_empty : 'a t -> bool
 val add : 'a t -> key:int -> 'a -> unit
 (** [add h ~key v] inserts [v] with priority [key]. *)
 
+val add_tracked : 'a t -> key:int -> 'a -> 'a handle
+(** Like {!add} but returns a handle for later [O(log n)] re-keying with
+    {!rekey}. *)
+
+val rekey : 'a t -> 'a handle -> int -> bool
+(** [rekey h handle key] re-keys the element behind [handle] and restores
+    heap order in [O(log n)]. Returns [false] when the element has already
+    been popped. Raises [Invalid_argument] if [handle] was obtained from a
+    different heap. *)
+
+val handle_key : 'a handle -> int
+(** The element's current key. Meaningless after the element is popped. *)
+
+val handle_value : 'a handle -> 'a
+
+val in_heap : 'a handle -> bool
+(** [true] until the element is removed by {!pop_min}. *)
+
 val min_elt : 'a t -> (int * 'a) option
 (** [min_elt h] is the minimum-key binding, or [None] when empty. The heap
     is left unchanged. *)
@@ -33,15 +57,11 @@ val update_key : 'a t -> ('a -> bool) -> int -> bool
     and re-keys it to [key], restoring the heap order. Returns [false]
     when no element matches.
 
-    {b Complexity:} the lookup is an [O(n)] linear scan over the backing
-    array (the heap does not track element positions), followed by an
-    [O(log n)] sift. Intended for small heaps — the mapping algorithm's
-    per-node child-edge heaps, whose size is one node's degree; the hot
-    path there uses {!add} / {!pop_min} instead, which keeps the
-    [O(log degree)] bound of Theorem 4.3. If a caller ever needs
-    re-keying on large heaps, add a position-tracking index first (and
-    extend the regression tests in [test/test_heap.ml], which pin the
-    re-keying-under-heap-order behaviour). *)
+    @deprecated The lookup is an [O(n)] linear scan; the sift itself is
+    [O(log n)]. New callers should keep the {!handle} returned by
+    {!add_tracked} and use {!rekey}, which skips the scan. This wrapper
+    stays for existing small-heap callers (the mapping algorithm's
+    per-node child-edge heaps, whose size is one node's degree). *)
 
 val mem : 'a t -> ('a -> bool) -> bool
 (** [mem h pred] is [true] iff some element satisfies [pred] — the same

@@ -79,6 +79,42 @@ let prop_local_search_never_worse seed =
   Placement.congestion w (Baselines.local_search ~iterations:60 ~prng w)
   <= Placement.congestion w (Baselines.owner w) +. 1e-9
 
+(* --- hill_climb on the incremental load engine --------------------------- *)
+
+let start_copies w =
+  Array.init (Workload.num_objects w) (fun obj ->
+      match Workload.requesting_leaves w ~obj with
+      | [] -> []
+      | leaf :: _ -> [ leaf ])
+
+let prop_hill_climb_matches_scratch seed =
+  (* The engine-backed climb and the from-scratch climb share one proposal
+     generator and evaluate congestion with bit-identical arithmetic, so
+     for the same seed they must walk the same trajectory and land on
+     structurally equal placements. *)
+  let _, w = Helpers.instance seed in
+  let copies = start_copies w in
+  let engine =
+    Baselines.hill_climb ~iterations:80 ~prng:(Prng.create (seed + 5)) w copies
+  in
+  let scratch =
+    Baselines.hill_climb_scratch ~iterations:80 ~prng:(Prng.create (seed + 5))
+      w copies
+  in
+  engine = scratch && Placement.validate w engine = Ok ()
+
+let test_local_search_pinned () =
+  (* Seed-pinned regression guarding the deterministic proposal stream of
+     the engine-backed hill climb: any change to the PRNG draw order, the
+     tie-breaking, or the congestion arithmetic shows up here. *)
+  let _, w = instance () in
+  let p = Baselines.local_search ~iterations:200 ~prng:(Prng.create 42) w in
+  Alcotest.(check (float 0.0)) "congestion" 10.0 (Placement.congestion w p);
+  Alcotest.(check (list int)) "object 0 copies" [ 2; 6 ]
+    (Placement.copies p ~obj:0);
+  Alcotest.(check (list int)) "object 1 copies" [ 2 ]
+    (Placement.copies p ~obj:1)
+
 let suite =
   [
     Helpers.tc "owner places at heaviest processor" test_owner_places_at_heaviest;
@@ -90,6 +126,9 @@ let suite =
       prop_all_baselines_valid;
     Helpers.qt "local search never worse than owner" Helpers.seed_arb
       prop_local_search_never_worse;
+    Helpers.qt ~count:60 "hill climb matches from-scratch climb"
+      Helpers.seed_arb prop_hill_climb_matches_scratch;
+    Helpers.tc "local search pinned for seed 42" test_local_search_pinned;
   ]
 
 (* --- polish -------------------------------------------------------------- *)

@@ -90,6 +90,76 @@ let prop_update_key_random seed =
   done;
   pop_all h = List.sort compare (Array.to_list keys)
 
+(* --- handles ------------------------------------------------------------- *)
+
+let test_handle_rekey () =
+  let h = Heap.create () in
+  let ha = Heap.add_tracked h ~key:10 "a" in
+  let hb = Heap.add_tracked h ~key:20 "b" in
+  let hc = Heap.add_tracked h ~key:30 "c" in
+  Alcotest.(check int) "key" 30 (Heap.handle_key hc);
+  Alcotest.(check string) "value" "c" (Heap.handle_value hc);
+  Alcotest.(check bool) "rekey up" true (Heap.rekey h hc 5);
+  Alcotest.(check int) "new key" 5 (Heap.handle_key hc);
+  Alcotest.(check bool) "rekey down" true (Heap.rekey h ha 99);
+  Alcotest.(check bool) "rekey mid" true (Heap.rekey h hb 50);
+  (match Heap.pop_min h with
+  | Some (5, "c") -> ()
+  | _ -> Alcotest.fail "re-keyed element should pop first");
+  Alcotest.(check (list int)) "rest" [ 50; 99 ] (pop_all h)
+
+let test_rekey_after_pop () =
+  let h = Heap.create () in
+  let ha = Heap.add_tracked h ~key:1 "a" in
+  Heap.add h ~key:2 "b";
+  Alcotest.(check bool) "in heap" true (Heap.in_heap ha);
+  (match Heap.pop_min h with Some (1, "a") -> () | _ -> Alcotest.fail "pop");
+  Alcotest.(check bool) "popped" false (Heap.in_heap ha);
+  Alcotest.(check bool) "rekey of popped" false (Heap.rekey h ha 0);
+  Alcotest.(check (list int)) "heap untouched" [ 2 ] (pop_all h)
+
+let test_rekey_foreign_handle () =
+  let h1 = Heap.create () and h2 = Heap.create () in
+  let ha = Heap.add_tracked h1 ~key:1 "a" in
+  Heap.add h2 ~key:1 "b";
+  Alcotest.check_raises "foreign handle"
+    (Invalid_argument "Heap.rekey: handle belongs to a different heap")
+    (fun () -> ignore (Heap.rekey h2 ha 5))
+
+let prop_handle_rekey_random seed =
+  (* Handle-based counterpart of [prop_update_key_random]: random re-keys
+     through handles against a model array, interleaved with pops. Popped
+     elements must report [in_heap = false], reject further re-keys, and
+     come out with the key the model last assigned them. *)
+  let prng = Hbn_prng.Prng.create (seed + 29) in
+  let n = Hbn_prng.Prng.int_in prng 1 60 in
+  let keys = Array.init n (fun _ -> Hbn_prng.Prng.int_in prng (-40) 40) in
+  let live = Array.make n true in
+  let h = Heap.create () in
+  let handles = Array.mapi (fun i k -> Heap.add_tracked h ~key:k i) keys in
+  let ok = ref true in
+  for _ = 1 to 2 * n do
+    let v = Hbn_prng.Prng.int prng n in
+    let k = Hbn_prng.Prng.int_in prng (-40) 40 in
+    ok :=
+      !ok
+      && Heap.in_heap handles.(v) = live.(v)
+      && Heap.rekey h handles.(v) k = live.(v);
+    if live.(v) then keys.(v) <- k;
+    if Hbn_prng.Prng.bool prng then
+      match Heap.pop_min h with
+      | None -> ()
+      | Some (pk, i) ->
+        ok := !ok && live.(i) && pk = keys.(i);
+        live.(i) <- false
+  done;
+  let remaining =
+    Array.to_list keys
+    |> List.filteri (fun i _ -> live.(i))
+    |> List.sort compare
+  in
+  !ok && pop_all h = remaining
+
 let prop_sorted_pops seed =
   let prng = Hbn_prng.Prng.create seed in
   let n = Hbn_prng.Prng.int_in prng 1 200 in
@@ -119,6 +189,11 @@ let suite =
     Helpers.tc "update_key preserves heap order" test_update_key_preserves_heap_order;
     Helpers.qt ~count:100 "random re-keying matches model" Helpers.seed_arb
       prop_update_key_random;
+    Helpers.tc "handle rekey re-sorts" test_handle_rekey;
+    Helpers.tc "rekey after pop returns false" test_rekey_after_pop;
+    Helpers.tc "rekey rejects foreign handles" test_rekey_foreign_handle;
+    Helpers.qt ~count:100 "random handle re-keying matches model"
+      Helpers.seed_arb prop_handle_rekey_random;
     Helpers.tc "fold and to_list" test_fold_to_list;
     Helpers.tc "interleaved add/pop" test_interleaved;
     Helpers.qt "random keys pop sorted" Helpers.seed_arb prop_sorted_pops;

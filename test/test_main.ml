@@ -14,6 +14,7 @@ let () =
       ("workload", Test_workload.suite);
       ("partition", Test_partition.suite);
       ("placement", Test_placement.suite);
+      ("loads", Test_loads.suite);
       ("nibble", Test_nibble.suite);
       ("deletion", Test_deletion.suite);
       ("mapping", Test_mapping.suite);
