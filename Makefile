@@ -5,7 +5,7 @@
 # this repo pins does not ship ocamlformat. If you have it installed,
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
-.PHONY: all build test check bench bench-loads clean
+.PHONY: all build test check bench bench-loads bench-parallel clean
 
 all: build
 
@@ -17,9 +17,12 @@ test:
 
 # The one-stop gate: what CI (and reviewers) run. The loads smoke run
 # cross-checks the incremental engine against the from-scratch climb on
-# a small instance (no JSON written).
+# a small instance; the parallel smoke run checks that the strategy is
+# bit-identical at 1, 2 and 4 domains (no JSON written by either).
 check:
-	dune build && dune runtest && dune exec bench/loads.exe -- --smoke
+	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
+	  && dune exec bench/parallel.exe -- --smoke \
+	  && dune exec test/test_main.exe -- test exec
 
 bench:
 	dune exec bench/pipeline.exe
@@ -27,6 +30,12 @@ bench:
 # Scratch vs incremental hill-climb throughput; writes BENCH_loads.json.
 bench-loads:
 	dune exec bench/loads.exe
+
+# Domain-scaling of the per-object pipeline at --jobs 1/2/4; writes
+# BENCH_parallel.json (speedups are only meaningful on a multicore host;
+# the JSON records the detected core count).
+bench-parallel:
+	dune exec bench/parallel.exe
 
 clean:
 	dune clean

@@ -360,9 +360,13 @@ let e5 ~quick () =
           if
             Workload.write_contention w ~obj > 0
             && Workload.total_weight w ~obj > 0
-          then
-            (Hbn_core.Deletion.run ~next_id w (Nibble.place w ~obj))
-              .Hbn_core.Deletion.copies
+          then begin
+            let out =
+              Hbn_core.Deletion.run ~first_id:!next_id w (Nibble.place w ~obj)
+            in
+            next_id := !next_id + out.Hbn_core.Deletion.ids_used;
+            out.Hbn_core.Deletion.copies
+          end
           else [])
         (List.init (Workload.num_objects w) (fun i -> i))
     in

@@ -24,6 +24,7 @@ module Table = Hbn_util.Table
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Metrics = Hbn_obs.Metrics
+module Exec = Hbn_exec.Exec
 
 open Cmdliner
 
@@ -66,6 +67,21 @@ let workload_kind =
     & info [ "workload" ] ~doc:"Workload family: uniform|zipf|hotspot|prodcons|local.")
 
 let objects = Arg.(value & opt int 10 & info [ "objects" ] ~doc:"Shared object count.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the per-object pipeline on $(docv) domains (default 1, \
+           sequential). Results are bit-identical at any value.")
+
+(* Runs [f] with a runner for [--jobs n]; the worker domains are torn
+   down before the command exits. *)
+let with_jobs jobs f =
+  if jobs < 1 then die "--jobs must be >= 1 (got %d)" jobs;
+  Exec.with_runner ~jobs f
 
 (* -- observability ------------------------------------------------------ *)
 
@@ -224,12 +240,13 @@ let place_cmd =
           ~doc:"Per-processor copy capacity (post-processes the placement).")
   in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      verbose capacity trace timings =
+      verbose capacity jobs trace timings =
     with_observability ~trace ~timings @@ fun () ->
+    with_jobs jobs @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
-    let res = Strategy.run w in
+    let res = Strategy.run ~exec w in
     let res =
       match capacity with
       | None -> res
@@ -246,7 +263,7 @@ let place_cmd =
           Printf.printf "capacity %d infeasible: %s\n" cap msg;
           res)
     in
-    let c = Placement.evaluate w res.Strategy.placement in
+    let c = Placement.evaluate ~exec w res.Strategy.placement in
     Printf.printf "network: %d processors, %d buses, height %d\n"
       (Tree.num_leaves t) (List.length (Tree.buses t)) (Tree.height t);
     Printf.printf "workload: %d objects, %d requests\n" objects
@@ -280,7 +297,7 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Run the extended-nibble strategy on a generated instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ verbose $ capacity
+          $ bandwidth $ workload_kind $ objects $ verbose $ capacity $ jobs
           $ trace_file $ timings)
 
 (* -- workload ----------------------------------------------------------- *)
@@ -409,8 +426,9 @@ let compare_cmd =
              stay cheap).")
   in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      ls_iters trace timings =
+      ls_iters jobs trace timings =
     with_observability ~trace ~timings @@ fun () ->
+    with_jobs jobs @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -418,7 +436,7 @@ let compare_cmd =
     let table = Table.create [ "strategy"; "congestion"; "C/LB"; "total load"; "makespan" ] in
     List.iter
       (fun (name, p) ->
-        let c = Placement.congestion w p in
+        let c = Placement.congestion ~exec w p in
         Table.add_row table
           [
             name;
@@ -428,7 +446,7 @@ let compare_cmd =
             string_of_int (Sim.run ~scale:4 w p).Sim.makespan;
           ])
       [
-        ("extended-nibble", (Strategy.run w).Strategy.placement);
+        ("extended-nibble", (Strategy.run ~exec w).Strategy.placement);
         ("owner", Baselines.owner w);
         ("gravity-leaf", Baselines.gravity_leaf w);
         ("random-leaf", Baselines.random_leaf ~prng w);
@@ -440,8 +458,8 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare placement strategies on one instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ ls_iters $ trace_file
-          $ timings)
+          $ bandwidth $ workload_kind $ objects $ ls_iters $ jobs
+          $ trace_file $ timings)
 
 (* -- gadget ------------------------------------------------------------- *)
 
@@ -487,26 +505,46 @@ let gadget_cmd =
 let simulate_cmd =
   let scale = Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Frequency downscaling for the simulation.") in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      scale trace timings =
+      scale jobs trace timings =
     with_observability ~trace ~timings @@ fun () ->
+    with_jobs jobs @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
-    let res = Strategy.run w in
+    let res = Strategy.run ~exec w in
     let out = Sim.run ~scale w res.Strategy.placement in
     Printf.printf "packets: %d, edge transmissions: %d\n" out.Sim.packets
       out.Sim.transmissions;
     Printf.printf "makespan: %d rounds (lower bound %.1f)\n" out.Sim.makespan
       (Sim.lower_bound w res.Strategy.placement out);
     let placement, stats = Dist.strategy_rounds w in
-    ignore placement;
+    (* The distributed protocol must reproduce the centralized strategy:
+       identical placements ideally, congestion-equal at minimum. A
+       divergence is a bug in one of the two implementations, so it
+       fails the command rather than being quietly dropped. *)
+    (if placement = res.Strategy.placement then
+       print_endline "distributed placement: identical to centralized strategy"
+     else
+       let cd = (Placement.evaluate ~exec w placement).Placement.value in
+       let cc = (Placement.evaluate ~exec w res.Strategy.placement).Placement.value in
+       if cd = cc then
+         Printf.printf
+           "distributed placement: differs structurally but is congestion-equal \
+            (%.3f)\n"
+           cd
+       else
+         die
+           "distributed placement diverges from centralized strategy: \
+            congestion %.3f vs %.3f"
+           cd cc);
     Printf.printf
       "distributed computation of the placement: %d rounds, %d messages, max node work %d\n"
       stats.Dist.rounds stats.Dist.messages stats.Dist.max_node_work
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ scale $ trace_file $ timings)
+          $ bandwidth $ workload_kind $ objects $ scale $ jobs $ trace_file
+          $ timings)
 
 let () =
   let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in

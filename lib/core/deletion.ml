@@ -1,10 +1,13 @@
 module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Nibble = Hbn_nibble.Nibble
-module Trace = Hbn_obs.Trace
-module Sink = Hbn_obs.Sink
 
-type outcome = { copies : Copy.t list; deletions : int; splits : int }
+type outcome = {
+  copies : Copy.t list;
+  deletions : int;
+  splits : int;
+  ids_used : int;
+}
 
 let split_sizes ~served ~kappa =
   if kappa <= 0 then invalid_arg "Deletion.split_sizes: kappa must be positive";
@@ -53,11 +56,16 @@ let cut_groups groups sizes =
     sizes;
   List.rev !buckets
 
-let run ~next_id w cs =
+let run ?(first_id = 0) w cs =
   let tree = Workload.tree w in
   let kappa = Workload.write_contention w ~obj:cs.Nibble.obj in
   if kappa <= 0 then invalid_arg "Deletion.run: kappa must be positive";
   if cs.Nibble.nodes = [] then invalid_arg "Deletion.run: empty copy set";
+  (* Ids are local to this run: [first_id], [first_id + 1], … in the order
+     copies are created. The strategy driver renumbers per-object results
+     into one global sequence at merge time, so the function stays pure
+     (no shared counter) and can run on any domain. *)
+  let next_id = ref first_id in
   let fresh () =
     let id = !next_id in
     incr next_id;
@@ -161,17 +169,9 @@ let run ~next_id w cs =
         else copies := copy :: !copies)
     table;
   let copies = List.rev !copies in
-  if Trace.enabled () then begin
-    Trace.count ~by:!deletions "deletion.deleted";
-    Trace.count ~by:!splits "deletion.split_clones";
-    Trace.event "deletion.object"
-      ~attrs:
-        [
-          ("obj", Sink.Int cs.Nibble.obj);
-          ("kappa", Sink.Int kappa);
-          ("deletions", Sink.Int !deletions);
-          ("splits", Sink.Int !splits);
-          ("survivors", Sink.Int (List.length copies));
-        ]
-  end;
-  { copies; deletions = !deletions; splits = !splits }
+  {
+    copies;
+    deletions = !deletions;
+    splits = !splits;
+    ids_used = !next_id - first_id;
+  }

@@ -19,17 +19,18 @@ type outcome = {
   copies : Copy.t list;  (** surviving copies (clones share a node) *)
   deletions : int;
   splits : int;  (** number of extra clones created *)
+  ids_used : int;  (** copy ids consumed: [|cs.nodes| + splits] *)
 }
 
-val run : next_id:int ref -> Workload.t -> Nibble.copy_set -> outcome
-(** [run ~next_id w cs] executes the deletion algorithm for object
-    [cs.obj]. [next_id] supplies fresh copy identifiers (shared across
-    objects by the strategy driver). Requires [cs.nodes <> []] and
-    [κ_x > 0]; the strategy driver handles the degenerate cases
-    separately. When {!Hbn_obs.Trace} is enabled, one ["deletion.object"]
-    event is emitted per run (attrs: [obj], [kappa], [deletions],
-    [splits], [survivors]) and the [deletion.deleted] /
-    [deletion.split_clones] counters are bumped. *)
+val run : ?first_id:int -> Workload.t -> Nibble.copy_set -> outcome
+(** [run w cs] executes the deletion algorithm for object [cs.obj]. The
+    function is pure per object: copy ids are [first_id] (default 0)
+    onwards, allocated deterministically, and no shared state is touched
+    — so the strategy driver can fan objects out over domains and
+    renumber ids into one global sequence at merge time (the
+    ["deletion.object"] trace event is likewise emitted by the driver's
+    sequential merge, not here). Requires [cs.nodes <> []] and [κ_x > 0];
+    the strategy driver handles the degenerate cases separately. *)
 
 val split_sizes : served:int -> kappa:int -> int list
 (** The bucket sizes used when splitting a copy: [max 1 (served / kappa)]

@@ -2,6 +2,7 @@ module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Nibble = Hbn_nibble.Nibble
+module Exec = Hbn_exec.Exec
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 
@@ -23,8 +24,13 @@ type stage =
   | Read_only of int list  (* requesting leaves; copies serve locally *)
   | Copies of Copy.t list
 
-let placement_of_stage w stages =
-  Array.init (Array.length stages) (fun obj ->
+(* Building one object's placement from its stage is pure (all copy
+   mutation is over by the time this runs), so it fans out too. *)
+let placement_of_stage ?exec w stages =
+  Exec.map
+    (Option.value exec ~default:Exec.sequential)
+    (Array.length stages)
+    (fun obj ->
       match stages.(obj) with
       | Unused -> { Placement.copies = []; assigns = [] }
       | Read_only leaves ->
@@ -63,14 +69,39 @@ let placement_of_stage w stages =
         in
         { Placement.copies; assigns })
 
-let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
+(* The pure per-object stage of Step 2: local ids from 0, no shared state,
+   no tracing — safe on any domain. The sequential merge below renumbers
+   ids into one global sequence and emits the per-object trace events. *)
+let stage_object w cs =
+  let obj = cs.Nibble.obj in
+  let view = Workload.view w ~obj in
+  if Workload.View.total_weight view = 0 then (Unused, 0, 0, 0)
+  else if view.Workload.View.kappa = 0 then
+    (Read_only view.Workload.View.requesting, 0, 0, 0)
+  else begin
+    let outcome = Deletion.run w cs in
+    ( Copies outcome.Deletion.copies,
+      outcome.Deletion.deletions,
+      outcome.Deletion.splits,
+      outcome.Deletion.ids_used )
+  end
+
+let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round
+    ?(exec = Exec.sequential) w =
   let sp_run = Trace.span "strategy.run" in
   let tree = Workload.tree w in
+  (* Force every per-object view before fanning out: the tasks then only
+     read immutable records. *)
+  let num_objects = Workload.num_objects w in
+  ignore (Workload.views w);
   let sp_nibble = Trace.span "strategy.nibble" in
-  let sets = Nibble.place_all w in
-  let nibble_placement =
-    Placement.nearest w ~copies:(Array.map (fun cs -> cs.Nibble.nodes) sets)
+  let step1 =
+    Exec.map exec num_objects (fun obj ->
+        let cs = Nibble.place w ~obj in
+        (cs, Placement.nearest_object w ~obj ~copies:cs.Nibble.nodes))
   in
+  let sets = Array.map fst step1 in
+  let nibble_placement = Array.map snd step1 in
   if Trace.enabled () then
     Trace.finish sp_nibble
       ~attrs:
@@ -83,22 +114,42 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
                  0 sets) );
         ];
   let sp_deletion = Trace.span "strategy.deletion" in
-  let next_id = ref 0 in
+  let staged = Exec.map exec num_objects (fun obj -> stage_object w sets.(obj)) in
+  (* Deterministic merge, in object order: global totals, copy-id
+     renumbering (bit-identical to the old shared-counter allocation at
+     any job count), and the per-object trace events. *)
   let deletions = ref 0 and splits = ref 0 in
+  let next_id = ref 0 in
   let stages =
-    Array.map
-      (fun cs ->
-        let obj = cs.Nibble.obj in
-        if Workload.total_weight w ~obj = 0 then Unused
-        else if Workload.write_contention w ~obj = 0 then
-          Read_only (Workload.requesting_leaves w ~obj)
-        else begin
-          let outcome = Deletion.run ~next_id w cs in
-          deletions := !deletions + outcome.Deletion.deletions;
-          splits := !splits + outcome.Deletion.splits;
-          Copies outcome.Deletion.copies
-        end)
-      sets
+    Array.mapi
+      (fun obj (stage, dels, spls, ids_used) ->
+        deletions := !deletions + dels;
+        splits := !splits + spls;
+        let stage =
+          match stage with
+          | Unused | Read_only _ -> stage
+          | Copies cs ->
+            let base = !next_id in
+            Copies (List.map (fun c -> { c with Copy.id = base + c.Copy.id }) cs)
+        in
+        next_id := !next_id + ids_used;
+        (if Trace.enabled () then
+           match stage with
+           | Unused | Read_only _ -> ()
+           | Copies cs ->
+             Trace.count ~by:dels "deletion.deleted";
+             Trace.count ~by:spls "deletion.split_clones";
+             Trace.event "deletion.object"
+               ~attrs:
+                 [
+                   ("obj", Sink.Int obj);
+                   ("kappa", Sink.Int (Workload.write_contention w ~obj));
+                   ("deletions", Sink.Int dels);
+                   ("splits", Sink.Int spls);
+                   ("survivors", Sink.Int (List.length cs));
+                 ]);
+        stage)
+      staged
   in
   if Trace.enabled () then
     Trace.finish sp_deletion
@@ -107,7 +158,7 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
           ("deletions", Sink.Int !deletions);
           ("splits", Sink.Int !splits);
         ];
-  let modified = placement_of_stage w stages in
+  let modified = placement_of_stage ~exec w stages in
   let all_copies =
     Array.to_list stages
     |> List.concat_map (function Copies cs -> cs | Unused | Read_only _ -> [])
@@ -157,7 +208,7 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
            ("moves_up", Sink.Int up);
            ("moves_down", Sink.Int down);
          ]);
-  let placement = placement_of_stage w stages in
+  let placement = placement_of_stage ~exec w stages in
   let result =
     {
       placement;
@@ -185,5 +236,5 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round w =
   end;
   result
 
-let congestion ?move_leaf_copies w =
-  Placement.congestion w (run ?move_leaf_copies w).placement
+let congestion ?move_leaf_copies ?exec w =
+  Placement.congestion ?exec w (run ?move_leaf_copies ?exec w).placement

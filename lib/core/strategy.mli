@@ -43,12 +43,21 @@ val run :
   ?move_leaf_copies:bool ->
   ?verify:bool ->
   ?on_mapping_round:(Mapping.state -> unit) ->
+  ?exec:Hbn_exec.Exec.t ->
   Workload.t ->
   result
 (** [run w] executes the full strategy. [verify] turns on Invariant 4.2
     checking after every mapping round (slow; meant for tests);
     [on_mapping_round] is forwarded to {!Mapping.run}.
     [move_leaf_copies] defaults to [false].
+
+    [exec] (default sequential) fans the per-object stages — Step 1,
+    Step 2, and placement construction — out over domains via
+    {!Hbn_exec.Exec.map}; Step 3 (mapping) shares its load accumulators
+    across objects and stays a sequential global phase. Results are
+    bit-identical at any job count: per-object work is pure, the merge
+    runs in object order, and copy ids are renumbered into the same
+    global sequence the old shared-counter allocation produced.
 
     When {!Hbn_obs.Trace} is enabled, the pipeline emits one span per
     step — [strategy.nibble] (attrs [objects], [copies]),
@@ -59,5 +68,6 @@ val run :
     observes: the computed result is identical with tracing on, off, or
     absent. *)
 
-val congestion : ?move_leaf_copies:bool -> Workload.t -> float
+val congestion :
+  ?move_leaf_copies:bool -> ?exec:Hbn_exec.Exec.t -> Workload.t -> float
 (** Congestion of [run w].placement — convenience wrapper. *)

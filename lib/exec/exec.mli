@@ -1,0 +1,50 @@
+(** Pluggable execution layer for the embarrassingly parallel parts of the
+    pipeline.
+
+    The extended-nibble strategy's Steps 1–2 and the per-object load
+    evaluation touch only one object's data at a time, so they can be
+    fanned out across OCaml 5 domains. A runner abstracts over the two
+    backends: {!sequential} runs tasks inline in index order; a domain
+    pool ({!create} with [jobs > 1]) runs them on [jobs - 1] worker
+    domains plus the calling domain, pulling indices from a shared atomic
+    counter.
+
+    Determinism contract: {!map} always returns [\[| f 0; …; f (n-1) |\]]
+    — results land in index order regardless of which domain computed
+    them — so a pipeline whose tasks are pure functions of their index
+    produces bit-identical output at any [jobs]. Tasks must not touch
+    shared mutable state; in this codebase that means no {!Hbn_obs.Trace}
+    spans inside tasks (the sequential merge phases emit them instead). *)
+
+type t
+
+val sequential : t
+(** The inline backend: [map sequential n f] is [Array.init n f]. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] is a runner executing up to [jobs] tasks concurrently.
+    [jobs <= 1] returns {!sequential}; otherwise a pool of [jobs - 1]
+    worker domains is spawned eagerly (the caller is the [jobs]-th
+    executor). Call {!shutdown} when done, or use {!with_runner}. *)
+
+val jobs : t -> int
+(** Concurrency width: [1] for {!sequential}. *)
+
+val shutdown : t -> unit
+(** Joins the pool's worker domains. Idempotent; a no-op on
+    {!sequential}. Using a runner after shutdown raises
+    [Invalid_argument]. *)
+
+val with_runner : jobs:int -> (t -> 'a) -> 'a
+(** [with_runner ~jobs f] runs [f] with a fresh runner and shuts it down
+    afterwards, also on exceptions. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map r n f] computes [f i] for [0 <= i < n] — concurrently on a pool
+    backend — and returns the results in index order. If any task raises,
+    one of the raised exceptions is re-raised in the caller after all
+    domains quiesce (remaining tasks may be skipped). Not reentrant: do
+    not call [map] on the same pool from inside a task. *)
+
+val iter : t -> int -> (int -> unit) -> unit
+(** [iter r n f] is [map] without result collection. *)

@@ -34,14 +34,18 @@ let group_weight g = g.reads + g.writes
 
 let place w ~obj =
   let tree = Workload.tree w in
-  let weights = Workload.weight_vector w ~obj in
-  let total = Array.fold_left ( + ) 0 weights in
+  (* The instance view carries the weight vector, total and contention in
+     one precomputed record; reading it is safe from concurrent domains
+     once the workload's views are forced. *)
+  let view = Workload.view w ~obj in
+  let weights = view.Workload.View.weights in
+  let total = Workload.View.total_weight view in
   if total = 0 then
     { obj; nodes = []; gravity = 0; rooted = Tree.rooting tree }
   else begin
     let gravity = gravity_center tree ~weights in
     let rooted = Tree.reroot tree gravity in
-    let kappa = Workload.write_contention w ~obj in
+    let kappa = view.Workload.View.kappa in
     let sums = Tree.subtree_sums rooted weights in
     let nodes = ref [] in
     for v = Tree.n tree - 1 downto 0 do

@@ -1,6 +1,11 @@
 module Stats = Hbn_util.Stats
 
 type t = {
+  (* One lock serializes every registry operation: updates arrive from
+     all domains when the pipeline runs with [--jobs > 1], and Hashtbl is
+     not domain-safe. Updates are rare relative to per-object work, so a
+     plain mutex (no sharding) is enough. *)
+  mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   histograms : (string, float list ref) Hashtbl.t;  (* samples, newest first *)
@@ -8,6 +13,7 @@ type t = {
 
 let create () =
   {
+    mutex = Mutex.create ();
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
@@ -15,17 +21,24 @@ let create () =
 
 let global = create ()
 
+let locked m f =
+  Mutex.lock m.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.mutex) f
+
 let incr ?(by = 1) m name =
+  locked m @@ fun () ->
   match Hashtbl.find_opt m.counters name with
   | Some r -> r := !r + by
   | None -> Hashtbl.add m.counters name (ref by)
 
 let set_gauge m name v =
+  locked m @@ fun () ->
   match Hashtbl.find_opt m.gauges name with
   | Some r -> r := v
   | None -> Hashtbl.add m.gauges name (ref v)
 
 let observe m name v =
+  locked m @@ fun () ->
   match Hashtbl.find_opt m.histograms name with
   | Some r -> r := v :: !r
   | None -> Hashtbl.add m.histograms name (ref [ v ])
@@ -43,9 +56,9 @@ let sorted_bindings tbl read =
   Hashtbl.fold (fun k v acc -> (k, read v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters m = sorted_bindings m.counters (fun r -> !r)
+let counters m = locked m @@ fun () -> sorted_bindings m.counters (fun r -> !r)
 
-let gauges m = sorted_bindings m.gauges (fun r -> !r)
+let gauges m = locked m @@ fun () -> sorted_bindings m.gauges (fun r -> !r)
 
 let summarize samples =
   let lo, hi = Stats.min_max samples in
@@ -58,12 +71,15 @@ let summarize samples =
     p95 = Stats.percentile 95. samples;
   }
 
-let histograms m = sorted_bindings m.histograms (fun r -> summarize !r)
+let histograms m =
+  locked m @@ fun () -> sorted_bindings m.histograms (fun r -> summarize !r)
 
 let counter_value m name =
+  locked m @@ fun () ->
   match Hashtbl.find_opt m.counters name with Some r -> !r | None -> 0
 
 let reset m =
+  locked m @@ fun () ->
   Hashtbl.reset m.counters;
   Hashtbl.reset m.gauges;
   Hashtbl.reset m.histograms

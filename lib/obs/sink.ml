@@ -324,40 +324,55 @@ let of_json line =
 
 (* -- sinks -------------------------------------------------------------- *)
 
+(* Each stateful sink owns a mutex: events arrive from every domain when
+   the pipeline runs with [--jobs > 1], and neither channels, lists nor
+   Hashtbl tolerate concurrent mutation. One whole-line write per lock
+   hold also keeps JSONL records from interleaving. *)
+let locked mutex f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
 let jsonl oc =
+  let mutex = Mutex.create () in
   {
     emit =
       (fun ev ->
-        output_string oc (to_json ev);
+        let line = to_json ev in
+        locked mutex @@ fun () ->
+        output_string oc line;
         output_char oc '\n');
-    flush = (fun () -> flush oc);
+    flush = (fun () -> locked mutex @@ fun () -> flush oc);
   }
 
 let memory () =
+  let mutex = Mutex.create () in
   let events = ref [] in
   ( {
-      emit = (fun ev -> events := ev :: !events);
+      emit = (fun ev -> locked mutex @@ fun () -> events := ev :: !events);
       flush = (fun () -> ());
     },
-    fun () -> List.rev !events )
+    fun () -> locked mutex @@ fun () -> List.rev !events )
 
 let timings () =
+  let mutex = Mutex.create () in
   let tbl : (string, int ref * int64 ref) Hashtbl.t = Hashtbl.create 16 in
   let order = ref [] in
   let emit ev =
     match ev.payload with
     | Span_end { duration_ns } ->
-      (match Hashtbl.find_opt tbl ev.name with
-      | Some (calls, total) ->
-        incr calls;
-        total := Int64.add !total duration_ns
-      | None ->
-        Hashtbl.add tbl ev.name (ref 1, ref duration_ns);
-        order := ev.name :: !order)
+      (locked mutex @@ fun () ->
+       match Hashtbl.find_opt tbl ev.name with
+       | Some (calls, total) ->
+         incr calls;
+         total := Int64.add !total duration_ns
+       | None ->
+         Hashtbl.add tbl ev.name (ref 1, ref duration_ns);
+         order := ev.name :: !order)
     | Span_start | Point | Counter _ | Gauge _ | Histogram _ -> ()
   in
   ( { emit; flush = (fun () -> ()) },
     fun () ->
+      locked mutex @@ fun () ->
       List.rev_map
         (fun name ->
           let calls, total = Hashtbl.find tbl name in

@@ -1,5 +1,6 @@
 module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
+module Exec = Hbn_exec.Exec
 
 type assignment = { leaf : int; server : int; reads : int; writes : int }
 
@@ -9,37 +10,41 @@ type t = obj_placement array
 
 let dedup_sorted xs = List.sort_uniq compare xs
 
-let nearest w ~copies =
+let nearest_object w ~obj ~copies =
   let tree = Workload.tree w in
-  Array.init (Workload.num_objects w) (fun obj ->
-      let cs = dedup_sorted copies.(obj) in
-      let leaves = Workload.requesting_leaves w ~obj in
-      if leaves <> [] && cs = [] then
-        invalid_arg "Placement.nearest: requests but no copies";
-      let closest leaf =
-        let best = ref (-1) and best_d = ref max_int in
-        List.iter
-          (fun c ->
-            let d = Tree.path_length tree leaf c in
-            if d < !best_d then begin
-              best := c;
-              best_d := d
-            end)
-          cs;
-        !best
-      in
-      let assigns =
-        List.map
-          (fun leaf ->
-            {
-              leaf;
-              server = closest leaf;
-              reads = Workload.reads w ~obj leaf;
-              writes = Workload.writes w ~obj leaf;
-            })
-          leaves
-      in
-      { copies = cs; assigns })
+  let cs = dedup_sorted copies in
+  let leaves = Workload.requesting_leaves w ~obj in
+  if leaves <> [] && cs = [] then
+    invalid_arg "Placement.nearest: requests but no copies";
+  let closest leaf =
+    let best = ref (-1) and best_d = ref max_int in
+    List.iter
+      (fun c ->
+        let d = Tree.path_length tree leaf c in
+        if d < !best_d then begin
+          best := c;
+          best_d := d
+        end)
+      cs;
+    !best
+  in
+  let assigns =
+    List.map
+      (fun leaf ->
+        {
+          leaf;
+          server = closest leaf;
+          reads = Workload.reads w ~obj leaf;
+          writes = Workload.writes w ~obj leaf;
+        })
+      leaves
+  in
+  { copies = cs; assigns }
+
+let nearest ?(exec = Exec.sequential) w ~copies =
+  ignore (Workload.views w);
+  Exec.map exec (Workload.num_objects w) (fun obj ->
+      nearest_object w ~obj ~copies:copies.(obj))
 
 let single w obj_to_node =
   let n = Workload.num_objects w in
@@ -188,15 +193,35 @@ let object_edge_loads w t ~obj =
       loads.(e) <- loads.(e) + amount);
   loads
 
-let edge_loads w t =
+let edge_loads ?(exec = Exec.sequential) w t =
   let tree = Workload.tree w in
-  let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
-  Array.iter
-    (fun op ->
-      iter_object_loads tree op (fun e amount ->
-          loads.(e) <- loads.(e) + amount))
-    t;
-  loads
+  if Exec.jobs exec = 1 then begin
+    let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+    Array.iter
+      (fun op ->
+        iter_object_loads tree op (fun e amount ->
+            loads.(e) <- loads.(e) + amount))
+      t;
+    loads
+  end
+  else begin
+    (* Per-object contributions in parallel, merged by summation — integer
+       addition commutes, so the merged loads are identical at any job
+       count. *)
+    let per_object =
+      Exec.map exec (Array.length t) (fun obj ->
+          let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+          iter_object_loads tree t.(obj) (fun e amount ->
+              loads.(e) <- loads.(e) + amount);
+          loads)
+    in
+    let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+    Array.iter
+      (fun contrib ->
+        Array.iteri (fun e amount -> loads.(e) <- loads.(e) + amount) contrib)
+      per_object;
+    loads
+  end
 
 type congestion = {
   value : float;
@@ -235,10 +260,10 @@ let congestion_of_edge_loads tree loads =
     (Tree.buses tree);
   { value = !best; edge_loads = loads; bus_loads2; bottleneck = !arg }
 
-let evaluate w t =
-  congestion_of_edge_loads (Workload.tree w) (edge_loads w t)
+let evaluate ?exec w t =
+  congestion_of_edge_loads (Workload.tree w) (edge_loads ?exec w t)
 
-let congestion w t = (evaluate w t).value
+let congestion ?exec w t = (evaluate ?exec w t).value
 
 let total_load w t = Array.fold_left ( + ) 0 (edge_loads w t)
 

@@ -38,11 +38,17 @@ type t = obj_placement array
 
 (** {1 Constructors} *)
 
-val nearest : Workload.t -> copies:int list array -> t
+val nearest : ?exec:Hbn_exec.Exec.t -> Workload.t -> copies:int list array -> t
 (** [nearest w ~copies] assigns every requesting processor to its closest
     copy (ties to the lowest node id) — the reference-copy rule used by
     the nibble strategy. Raises [Invalid_argument] if an object with
-    requests has no copies. *)
+    requests has no copies. [exec] fans the per-object assignment out
+    over domains; results are identical at any job count. *)
+
+val nearest_object : Workload.t -> obj:int -> copies:int list -> obj_placement
+(** One object's nearest-copy assignment — the pure per-object unit
+    {!nearest} maps over. Safe to call concurrently once
+    [Workload.views] has been forced. *)
 
 val single : Workload.t -> (int * int) list -> t
 (** [single w obj_to_node] places exactly one copy per object as listed
@@ -80,8 +86,10 @@ type congestion = {
   bottleneck : [ `Edge of int | `Bus of int ];
 }
 
-val edge_loads : Workload.t -> t -> int array
-(** Absolute load per edge, summed over objects. *)
+val edge_loads : ?exec:Hbn_exec.Exec.t -> Workload.t -> t -> int array
+(** Absolute load per edge, summed over objects. With a parallel [exec]
+    the per-object contributions are computed concurrently and merged by
+    summation — bit-identical to the sequential result. *)
 
 val object_edge_loads : Workload.t -> t -> obj:int -> int array
 (** Load per edge induced by a single object. *)
@@ -94,10 +102,10 @@ val iter_object_loads : Tree.t -> obj_placement -> (int -> int -> unit) -> unit
     engine ([Hbn_loads.Loads]) are all thin wrappers over this, which
     keeps the accounting definitions in one place. *)
 
-val evaluate : Workload.t -> t -> congestion
+val evaluate : ?exec:Hbn_exec.Exec.t -> Workload.t -> t -> congestion
 (** Full congestion accounting. *)
 
-val congestion : Workload.t -> t -> float
+val congestion : ?exec:Hbn_exec.Exec.t -> Workload.t -> t -> float
 (** [= (evaluate w p).value]. *)
 
 val total_load : Workload.t -> t -> int

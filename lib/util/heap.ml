@@ -102,17 +102,6 @@ let rekey h e key =
     true
   end
 
-let update_key h pred key =
-  (* Deprecated predicate interface: the lookup is still an O(n) scan;
-     callers that re-key on hot paths should hold the handle returned by
-     [add_tracked] and use [rekey] (O(log n)). *)
-  let found = ref None in
-  let i = ref 0 in
-  while !found = None && !i < h.size do
-    if pred h.data.(!i).value then found := Some h.data.(!i) else incr i
-  done;
-  match !found with None -> false | Some e -> rekey h e key
-
 let of_list kvs =
   let h = create () in
   List.iter (fun (key, value) -> add h ~key value) kvs;

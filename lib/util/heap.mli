@@ -4,9 +4,7 @@
     free downward child edge in [O(log degree)] time, matching the runtime
     bound claimed in Theorem 4.3 of the paper. Every element tracks its
     position in the backing array, so re-keying through a {!handle}
-    ({!add_tracked} / {!rekey}) is [O(log n)]; the predicate-based
-    {!update_key} survives as a deprecated wrapper whose lookup is still a
-    linear scan. *)
+    ({!add_tracked} / {!rekey}) is [O(log n)]. *)
 
 type 'a t
 (** A min-heap whose elements carry a mutable integer key. *)
@@ -52,21 +50,9 @@ val min_elt : 'a t -> (int * 'a) option
 val pop_min : 'a t -> (int * 'a) option
 (** [pop_min h] removes and returns the minimum-key binding. *)
 
-val update_key : 'a t -> ('a -> bool) -> int -> bool
-(** [update_key h pred key] finds the first element satisfying [pred]
-    and re-keys it to [key], restoring the heap order. Returns [false]
-    when no element matches.
-
-    @deprecated The lookup is an [O(n)] linear scan; the sift itself is
-    [O(log n)]. New callers should keep the {!handle} returned by
-    {!add_tracked} and use {!rekey}, which skips the scan. This wrapper
-    stays for existing small-heap callers (the mapping algorithm's
-    per-node child-edge heaps, whose size is one node's degree). *)
-
 val mem : 'a t -> ('a -> bool) -> bool
-(** [mem h pred] is [true] iff some element satisfies [pred] — the same
-    [O(n)] scan {!update_key} performs, exposed so callers can probe
-    without re-keying. *)
+(** [mem h pred] is [true] iff some element satisfies [pred] — an [O(n)]
+    scan, exposed so callers can probe without holding a handle. *)
 
 val of_list : (int * 'a) list -> 'a t
 (** [of_list kvs] builds a heap from key/value pairs in [O(n)]. *)

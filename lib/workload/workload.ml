@@ -1,9 +1,27 @@
 module Tree = Hbn_tree.Tree
 
+module View = struct
+  type t = {
+    obj : int;
+    kappa : int;
+    total_reads : int;
+    total_writes : int;
+    requesting : int list;
+    weights : int array;
+  }
+
+  let total_weight v = v.total_reads + v.total_writes
+end
+
 type t = {
   tree : Tree.t;
   reads : int array array;
   writes : int array array;
+  (* Per-object instance views, computed on first use and invalidated by
+     [set_read]/[set_write]. Slots hold immutable records, so a forced
+     cache can be read from several domains at once; [views] forces every
+     slot before a parallel phase starts. *)
+  view_cache : View.t option array;
 }
 
 let check_matrix tree label m =
@@ -31,7 +49,7 @@ let make tree ~reads ~writes =
     invalid_arg "Workload.make: reads/writes object counts differ";
   check_matrix tree "read" reads;
   check_matrix tree "write" writes;
-  { tree; reads; writes }
+  { tree; reads; writes; view_cache = Array.make (Array.length reads) None }
 
 let empty tree ~objects =
   if objects < 0 then invalid_arg "Workload.empty: negative object count";
@@ -39,6 +57,7 @@ let empty tree ~objects =
     tree;
     reads = Array.init objects (fun _ -> Array.make (Tree.n tree) 0);
     writes = Array.init objects (fun _ -> Array.make (Tree.n tree) 0);
+    view_cache = Array.make objects None;
   }
 
 let tree t = t.tree
@@ -51,6 +70,38 @@ let writes t ~obj v = t.writes.(obj).(v)
 
 let weight t ~obj v = t.reads.(obj).(v) + t.writes.(obj).(v)
 
+let compute_view t obj =
+  let n = Tree.n t.tree in
+  let rr = t.reads.(obj) and wr = t.writes.(obj) in
+  let weights = Array.make n 0 in
+  let total_reads = ref 0 and total_writes = ref 0 in
+  for v = 0 to n - 1 do
+    weights.(v) <- rr.(v) + wr.(v);
+    total_reads := !total_reads + rr.(v);
+    total_writes := !total_writes + wr.(v)
+  done;
+  let requesting =
+    List.filter (fun v -> weights.(v) > 0) (Tree.leaves t.tree)
+  in
+  {
+    View.obj;
+    kappa = !total_writes;
+    total_reads = !total_reads;
+    total_writes = !total_writes;
+    requesting;
+    weights;
+  }
+
+let view t ~obj =
+  match t.view_cache.(obj) with
+  | Some v -> v
+  | None ->
+    let v = compute_view t obj in
+    t.view_cache.(obj) <- Some v;
+    v
+
+let views t = Array.init (num_objects t) (fun obj -> view t ~obj)
+
 let check_update t v rate =
   if rate < 0 then invalid_arg "Workload.set: negative rate";
   if not (Tree.is_leaf t.tree v) then
@@ -58,16 +109,17 @@ let check_update t v rate =
 
 let set_read t ~obj v rate =
   check_update t v rate;
-  t.reads.(obj).(v) <- rate
+  t.reads.(obj).(v) <- rate;
+  t.view_cache.(obj) <- None
 
 let set_write t ~obj v rate =
   check_update t v rate;
-  t.writes.(obj).(v) <- rate
+  t.writes.(obj).(v) <- rate;
+  t.view_cache.(obj) <- None
 
-let write_contention t ~obj = Array.fold_left ( + ) 0 t.writes.(obj)
+let write_contention t ~obj = (view t ~obj).View.kappa
 
-let total_weight t ~obj =
-  Array.fold_left ( + ) 0 t.reads.(obj) + Array.fold_left ( + ) 0 t.writes.(obj)
+let total_weight t ~obj = View.total_weight (view t ~obj)
 
 let total_requests t =
   let sum = ref 0 in
@@ -80,11 +132,9 @@ let read_vector t ~obj = Array.copy t.reads.(obj)
 
 let write_vector t ~obj = Array.copy t.writes.(obj)
 
-let weight_vector t ~obj =
-  Array.mapi (fun v r -> r + t.writes.(obj).(v)) t.reads.(obj)
+let weight_vector t ~obj = Array.copy (view t ~obj).View.weights
 
-let requesting_leaves t ~obj =
-  List.filter (fun v -> weight t ~obj v > 0) (Tree.leaves t.tree)
+let requesting_leaves t ~obj = (view t ~obj).View.requesting
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>workload: %d objects on %d nodes@," (num_objects t)

@@ -43,7 +43,7 @@ let make_workload t specs =
 
 let run_deletion w =
   let cs = Nibble.place w ~obj:0 in
-  Deletion.run ~next_id:(ref 0) w cs
+  Deletion.run w cs
 
 let test_deletion_merges_into_parent () =
   (* Star, reads spread so nibble puts copies on every node, but each leaf
@@ -147,7 +147,7 @@ let test_degenerate_inputs_rejected () =
   let cs = Nibble.place w ~obj:0 in
   Alcotest.check_raises "kappa 0"
     (Invalid_argument "Deletion.run: kappa must be positive") (fun () ->
-      ignore (Deletion.run ~next_id:(ref 0) w cs))
+      ignore (Deletion.run w cs))
 
 (* Observation 3.2 on random instances, object by object. *)
 let prop_observation_3_2 seed =
@@ -157,7 +157,7 @@ let prop_observation_3_2 seed =
     let kappa = Workload.write_contention w ~obj in
     if kappa > 0 && Workload.total_weight w ~obj > 0 then begin
       let cs = Nibble.place w ~obj in
-      let out = Deletion.run ~next_id:(ref 0) w cs in
+      let out = Deletion.run w cs in
       List.iter
         (fun c ->
           if c.Copy.served < kappa || c.Copy.served > 2 * kappa then ok := false)
@@ -179,7 +179,7 @@ let prop_copies_subset_of_component seed =
       Workload.write_contention w ~obj > 0 && Workload.total_weight w ~obj > 0
     then begin
       let cs = Nibble.place w ~obj in
-      let out = Deletion.run ~next_id:(ref 0) w cs in
+      let out = Deletion.run w cs in
       List.iter
         (fun c ->
           if not (List.mem c.Copy.node cs.Nibble.nodes) then ok := false)

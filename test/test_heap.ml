@@ -28,19 +28,6 @@ let test_min_elt_preserves () =
   | _ -> Alcotest.fail "min_elt wrong");
   Alcotest.(check int) "length unchanged" 3 (Heap.length h)
 
-let test_update_key () =
-  let h = Heap.of_list [ (10, "a"); (20, "b"); (30, "c") ] in
-  Alcotest.(check bool) "found" true (Heap.update_key h (fun v -> v = "c") 5);
-  (match Heap.pop_min h with
-  | Some (5, "c") -> ()
-  | _ -> Alcotest.fail "re-keyed element should be first");
-  Alcotest.(check bool) "missing" false (Heap.update_key h (fun v -> v = "zz") 1)
-
-let test_update_key_down () =
-  let h = Heap.of_list [ (1, "a"); (2, "b"); (3, "c") ] in
-  Alcotest.(check bool) "found" true (Heap.update_key h (fun v -> v = "a") 99);
-  Alcotest.(check (list int)) "order" [ 2; 3; 99 ] (pop_all h)
-
 let test_fold_to_list () =
   let h = Heap.of_list [ (1, "x"); (2, "y") ] in
   let sum = Heap.fold (fun k _ acc -> acc + k) h 0 in
@@ -60,35 +47,6 @@ let test_mem () =
   let h = Heap.of_list [ (3, "a"); (1, "b") ] in
   Alcotest.(check bool) "present" true (Heap.mem h (fun v -> v = "a"));
   Alcotest.(check bool) "absent" false (Heap.mem h (fun v -> v = "zz"))
-
-(* Regression for the documented update_key contract: repeated re-keying
-   (both directions, including of the current minimum) must keep the heap
-   order observable through pop_min. *)
-let test_update_key_preserves_heap_order () =
-  let h = Heap.of_list (List.init 8 (fun i -> (10 * (i + 1), i))) in
-  (* 2: 30 -> 5 (new minimum), 0: 10 -> 95 (sinks), 7: 80 -> 41. *)
-  Alcotest.(check bool) "up" true (Heap.update_key h (fun v -> v = 2) 5);
-  Alcotest.(check bool) "down" true (Heap.update_key h (fun v -> v = 0) 95);
-  Alcotest.(check bool) "mid" true (Heap.update_key h (fun v -> v = 7) 41);
-  Alcotest.(check (list int)) "pops stay sorted"
-    [ 5; 20; 40; 41; 50; 60; 70; 95 ]
-    (pop_all h)
-
-let prop_update_key_random seed =
-  (* Random re-keys against a model list: the heap's pop order must equal
-     the sorted multiset of final keys. *)
-  let prng = Hbn_prng.Prng.create (seed + 13) in
-  let n = Hbn_prng.Prng.int_in prng 1 60 in
-  let keys = Array.init n (fun _ -> Hbn_prng.Prng.int_in prng (-40) 40) in
-  let h = Heap.create () in
-  Array.iteri (fun i k -> Heap.add h ~key:k i) keys;
-  for _ = 1 to 2 * n do
-    let v = Hbn_prng.Prng.int prng n in
-    let k = Hbn_prng.Prng.int_in prng (-40) 40 in
-    assert (Heap.update_key h (fun x -> x = v) k);
-    keys.(v) <- k
-  done;
-  pop_all h = List.sort compare (Array.to_list keys)
 
 (* --- handles ------------------------------------------------------------- *)
 
@@ -127,8 +85,8 @@ let test_rekey_foreign_handle () =
     (fun () -> ignore (Heap.rekey h2 ha 5))
 
 let prop_handle_rekey_random seed =
-  (* Handle-based counterpart of [prop_update_key_random]: random re-keys
-     through handles against a model array, interleaved with pops. Popped
+  (* Random re-keys through handles against a model array, interleaved
+     with pops. Popped
      elements must report [in_heap = false], reject further re-keys, and
      come out with the key the model last assigned them. *)
   let prng = Hbn_prng.Prng.create (seed + 29) in
@@ -183,12 +141,7 @@ let suite =
     Helpers.tc "empty heap" test_empty;
     Helpers.tc "pops come out sorted" test_ordering;
     Helpers.tc "min_elt does not remove" test_min_elt_preserves;
-    Helpers.tc "update_key re-sorts upward" test_update_key;
-    Helpers.tc "update_key re-sorts downward" test_update_key_down;
     Helpers.tc "mem probes without re-keying" test_mem;
-    Helpers.tc "update_key preserves heap order" test_update_key_preserves_heap_order;
-    Helpers.qt ~count:100 "random re-keying matches model" Helpers.seed_arb
-      prop_update_key_random;
     Helpers.tc "handle rekey re-sorts" test_handle_rekey;
     Helpers.tc "rekey after pop returns false" test_rekey_after_pop;
     Helpers.tc "rekey rejects foreign handles" test_rekey_foreign_handle;

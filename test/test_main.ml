@@ -5,6 +5,7 @@ let () =
   Alcotest.run "hbn"
     [
       ("heap", Test_heap.suite);
+      ("exec", Test_exec.suite);
       ("stats", Test_stats.suite);
       ("table", Test_table.suite);
       ("obs", Test_obs.suite);

@@ -150,7 +150,7 @@ let test_failure_injection () =
      output from scratch. *)
   let fresh () =
     let cs = Nibble.place w ~obj:0 in
-    let out = Hbn_core.Deletion.run ~next_id:(ref 0) w cs in
+    let out = Hbn_core.Deletion.run w cs in
     let movable =
       List.filter
         (fun c -> not (Tree.is_leaf t c.Copy.node))
