@@ -5,7 +5,7 @@
 # this repo pins does not ship ocamlformat. If you have it installed,
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
-.PHONY: all build test check bench bench-loads bench-parallel clean
+.PHONY: all build test check bench bench-check bench-loads bench-parallel clean
 
 all: build
 
@@ -18,14 +18,23 @@ test:
 # The one-stop gate: what CI (and reviewers) run. The loads smoke run
 # cross-checks the incremental engine against the from-scratch climb on
 # a small instance; the parallel smoke run checks that the strategy is
-# bit-identical at 1, 2 and 4 domains (no JSON written by either).
+# bit-identical at 1, 2 and 4 domains (no JSON written by either);
+# bench-check re-runs the pipeline case matrix and diffs its
+# deterministic fields against the committed BENCH_pipeline.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
 	  && dune exec bench/parallel.exe -- --smoke \
-	  && dune exec test/test_main.exe -- test exec
+	  && dune exec test/test_main.exe -- test exec \
+	  && $(MAKE) bench-check
 
 bench:
 	dune exec bench/pipeline.exe
+
+# Fails (exit 1) if the deterministic fields of a fresh pipeline run —
+# congestion, makespan, counters, instance shape — diverge from the
+# committed BENCH_pipeline.json. Timings and the meta header are ignored.
+bench-check:
+	dune exec bench/check.exe
 
 # Scratch vs incremental hill-climb throughput; writes BENCH_loads.json.
 bench-loads:

@@ -1,0 +1,141 @@
+(* Regression gate over the committed pipeline baseline.
+
+   Run with:  dune exec bench/check.exe [-- BASELINE.json]
+   Re-runs the Pipeline_cases matrix and compares every deterministic
+   field — instance shape, congestion, makespan, pipeline counters —
+   against the committed BENCH_pipeline.json. Wall times ("phases"
+   totals) and the environment header ("meta") are noise and are
+   ignored, but phase names and call counts are behaviour, so they are
+   checked too. Exits 1 listing every divergence: a diff here means a
+   code change altered what the pipeline computes, not just how fast. *)
+
+module Json = Hbn_obs.Json
+module PC = Pipeline_cases
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "bench/check: %s\n" msg)
+    fmt
+
+let get name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> v
+  | None -> raise (Json.Parse (Printf.sprintf "missing or mistyped %S" name))
+
+(* Committed congestion went through %.3f; render the fresh value the
+   same way so the comparison is exact, not epsilon-based. *)
+let fmt_congestion c = Printf.sprintf "%.3f" c
+
+let check_case baseline fresh =
+  let label = Printf.sprintf "%s/%s" fresh.PC.topology fresh.PC.workload in
+  let want_str name v = get name Json.to_string baseline = v in
+  if not (want_str "topology" fresh.PC.topology)
+     || not (want_str "workload" fresh.PC.workload)
+  then
+    fail "case order diverged at %s (baseline has %s/%s)" label
+      (get "topology" Json.to_string baseline)
+      (get "workload" Json.to_string baseline)
+  else begin
+    let check_int name v =
+      let b = get name Json.to_int baseline in
+      if b <> v then fail "%s: %s %d (baseline) <> %d (fresh)" label name b v
+    in
+    check_int "nodes" fresh.PC.nodes;
+    check_int "leaves" fresh.PC.leaves;
+    check_int "objects" fresh.PC.objects;
+    check_int "requests" fresh.PC.requests;
+    check_int "makespan" fresh.PC.makespan;
+    let b_congestion =
+      fmt_congestion (get "congestion" Json.to_float baseline)
+    in
+    let f_congestion = fmt_congestion fresh.PC.congestion in
+    if b_congestion <> f_congestion then
+      fail "%s: congestion %s (baseline) <> %s (fresh)" label b_congestion
+        f_congestion;
+    (* Counters: exact same name set and totals. *)
+    let b_counters =
+      match Json.member "counters" baseline with
+      | Some (Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match Json.to_int v with
+            | Some n -> (k, n)
+            | None -> raise (Json.Parse ("counter " ^ k ^ " not an int")))
+          kvs
+        |> List.sort compare
+      | _ -> raise (Json.Parse "missing counters object")
+    in
+    if b_counters <> fresh.PC.counters then begin
+      let show kvs =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs)
+      in
+      fail "%s: counters {%s} (baseline) <> {%s} (fresh)" label
+        (show b_counters)
+        (show fresh.PC.counters)
+    end;
+    (* Phase names and call counts are deterministic; durations are not. *)
+    let b_phases =
+      match Json.member "phases" baseline with
+      | Some (Json.Obj kvs) ->
+        List.map (fun (k, v) -> (k, get "calls" Json.to_int v)) kvs
+      | _ -> raise (Json.Parse "missing phases object")
+    in
+    let f_phases =
+      List.map (fun (name, calls, _ns) -> (name, calls)) fresh.PC.phases
+    in
+    if List.sort compare b_phases <> List.sort compare f_phases then
+      fail "%s: phase names/call counts diverged from baseline" label
+  end
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pipeline.json"
+  in
+  let doc =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> (
+      match Json.parse_result text with
+      | Ok doc -> doc
+      | Error m ->
+        Printf.eprintf "bench/check: cannot parse %s: %s\n" path m;
+        exit 1)
+    | exception Sys_error m ->
+      Printf.eprintf "bench/check: cannot read baseline: %s\n" m;
+      exit 1
+  in
+  (match Json.member "schema" doc with
+  | Some (Json.Str s) when s = PC.schema -> ()
+  | _ ->
+    Printf.eprintf "bench/check: %s is not a %s file\n" path PC.schema;
+    exit 1);
+  let baseline_cases =
+    match Option.bind (Json.member "cases" doc) Json.to_list with
+    | Some l -> l
+    | None ->
+      Printf.eprintf "bench/check: %s has no cases array\n" path;
+      exit 1
+  in
+  let fresh = PC.all () in
+  if List.length baseline_cases <> List.length fresh then
+    fail "case count %d (baseline) <> %d (fresh)"
+      (List.length baseline_cases) (List.length fresh)
+  else begin
+    try List.iter2 check_case baseline_cases fresh
+    with Json.Parse m ->
+      fail "malformed baseline case: %s" m
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "bench/check: %d divergence(s) from %s — a code change altered \
+       pipeline results (regenerate the baseline only if that was the \
+       point)\n"
+      !failures path;
+    exit 1
+  end;
+  Printf.printf "bench/check: %d cases match %s (deterministic fields)\n"
+    (List.length fresh) path

@@ -74,9 +74,9 @@ let full out_path =
   let speedup = scratch_s /. engine_s in
   let ips s = float_of_int iterations /. s in
   let oc = open_out out_path in
+  output_string oc (Meta.header ~schema:"hbn.bench.loads/v1");
   Printf.fprintf oc
-    "{\"schema\":\"hbn.bench.loads/v1\",\n\
-    \ \"topology\":\"balanced-a4h3\",\"leaves\":%d,\"objects\":%d,\n\
+    " \"topology\":\"balanced-a4h3\",\"leaves\":%d,\"objects\":%d,\n\
     \ \"iterations\":%d,\"seed\":%d,\n\
     \ \"scratch\":{\"seconds\":%.6f,\"iters_per_sec\":%.1f},\n\
     \ \"engine\":{\"seconds\":%.6f,\"iters_per_sec\":%.1f},\n\

@@ -1,0 +1,28 @@
+(* Shared metadata header for the BENCH_*.json writers.
+
+   Every baseline file opens with the same two lines — the schema tag and
+   a "meta" object recording the environment the numbers were taken in
+   (core count, compiler, git state) — so tooling that diffs baselines
+   can tell an algorithmic change from a host change. The deterministic
+   payload fields follow; bench/check.exe ignores "meta" entirely. *)
+
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+(* The opening brace, schema and meta fields of one BENCH file; the
+   caller appends its own fields after the trailing comma. *)
+let header ~schema =
+  Printf.sprintf
+    "{\"schema\":%S,\n\
+    \ \"meta\":{\"detected_cores\":%d,\"ocaml\":%S,\"git\":%S},\n"
+    schema
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version (git_describe ())

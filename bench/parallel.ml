@@ -117,14 +117,13 @@ let full out_path =
       if jobs <> 1 then check_identical ~reference ~jobs res)
     measured;
   let oc = open_out out_path in
+  output_string oc (Meta.header ~schema:"hbn.bench.parallel/v1");
   Printf.fprintf oc
-    "{\"schema\":\"hbn.bench.parallel/v1\",\n\
-    \ \"topology\":\"balanced-a%dh%d\",\"leaves\":%d,\"objects\":%d,\n\
-    \ \"seed\":%d,\"repeats\":%d,\"detected_cores\":%d,\n\
+    " \"topology\":\"balanced-a%dh%d\",\"leaves\":%d,\"objects\":%d,\n\
+    \ \"seed\":%d,\"repeats\":%d,\n\
     \ \"runs\":[%s],\n\
     \ \"identical\":true}\n"
     arity height (Tree.num_leaves tree) (Workload.num_objects w) seed repeats
-    cores
     (String.concat ","
        (List.map
           (fun (jobs, secs, _) ->

@@ -4,124 +4,24 @@
    Writes BENCH_pipeline.json (default, in the current directory): one
    record per topology x workload case with per-phase wall times gathered
    through the Hbn_obs timing sink, the pipeline counters, and the
-   resulting congestion/makespan. Future PRs diff these numbers against
-   their own run to catch hot-path regressions; the JSON is this repo's
-   BENCH_* trajectory format. *)
-
-module Tree = Hbn_tree.Tree
-module Builders = Hbn_tree.Builders
-module Prng = Hbn_prng.Prng
-module Workload = Hbn_workload.Workload
-module Generators = Hbn_workload.Generators
-module Placement = Hbn_placement.Placement
-module Strategy = Hbn_core.Strategy
-module Sim = Hbn_sim.Sim
-module Trace = Hbn_obs.Trace
-module Sink = Hbn_obs.Sink
-module Metrics = Hbn_obs.Metrics
-
-type case = {
-  topology : string;
-  workload : string;
-  phases : (string * int * int64) list;  (* name, calls, total ns *)
-  counters : (string * int) list;
-  nodes : int;
-  leaves : int;
-  objects : int;
-  requests : int;
-  congestion : float;
-  makespan : int;
-}
-
-let topologies prng =
-  [
-    ("balanced-a3h3", Builders.balanced ~arity:3 ~height:3 ~profile:(Builders.Uniform 2));
-    ("caterpillar-12x3", Builders.caterpillar ~spine:12 ~leaves_per_bus:3 ~profile:(Builders.Uniform 2));
-    ("random-b12l24", Builders.random ~prng ~buses:12 ~leaves:24 ~profile:(Builders.Uniform 2));
-    ("star-24", Builders.star ~leaves:24 ~profile:(Builders.Uniform 4));
-  ]
-
-let workload_of name ~prng tree ~objects =
-  match name with
-  | "uniform" -> Generators.uniform ~prng tree ~objects ~max_rate:8
-  | "zipf" ->
-    Generators.zipf_popularity ~prng tree ~objects ~requests_per_leaf:24
-      ~exponent:1.1 ~write_fraction:0.3
-  | "hotspot" ->
-    Generators.hotspot ~prng tree ~objects ~writers_per_object:2 ~write_rate:8
-      ~read_rate:6
-  | _ -> invalid_arg "workload_of"
-
-let run_case ~prng ~topology:(tname, tree) ~workload:wname ~objects =
-  let w = workload_of wname ~prng tree ~objects in
-  Metrics.reset Metrics.global;
-  let sink, read_timings = Sink.timings () in
-  let congestion, makespan =
-    Trace.with_sink sink (fun () ->
-        let res = Strategy.run w in
-        let out = Sim.run ~scale:4 w res.Strategy.placement in
-        (Placement.congestion w res.Strategy.placement, out.Sim.makespan))
-  in
-  {
-    topology = tname;
-    workload = wname;
-    phases = read_timings ();
-    counters = Metrics.counters Metrics.global;
-    nodes = Tree.n tree;
-    leaves = Tree.num_leaves tree;
-    objects;
-    requests = Workload.total_requests w;
-    congestion;
-    makespan;
-  }
-
-(* Minimal JSON printing: every name in a record is plain ASCII, so
-   OCaml's %S escaping coincides with JSON string escaping. *)
-let json_of_case c =
-  let buf = Buffer.create 512 in
-  let str s = Printf.sprintf "%S" s in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "    {\"topology\":%s,\"workload\":%s,\"nodes\":%d,\"leaves\":%d,\
-        \"objects\":%d,\"requests\":%d,\"congestion\":%.3f,\"makespan\":%d,\n"
-       (str c.topology) (str c.workload) c.nodes c.leaves c.objects c.requests
-       c.congestion c.makespan);
-  Buffer.add_string buf "     \"phases\":{";
-  List.iteri
-    (fun i (name, calls, total_ns) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf
-        (Printf.sprintf "%s:{\"calls\":%d,\"total_ns\":%Ld}" (str name) calls
-           total_ns))
-    c.phases;
-  Buffer.add_string buf "},\n     \"counters\":{";
-  List.iteri
-    (fun i (name, v) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (Printf.sprintf "%s:%d" (str name) v))
-    c.counters;
-  Buffer.add_string buf "}}";
-  Buffer.contents buf
+   resulting congestion/makespan. The case matrix lives in
+   Pipeline_cases, shared with bench/check.exe which diffs the
+   deterministic fields of a fresh run against the committed file to
+   catch behavioural regressions; the JSON is this repo's BENCH_*
+   trajectory format. *)
 
 let () =
   let out_path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pipeline.json"
   in
-  let prng = Prng.create 20260806 in
-  let cases =
-    List.concat_map
-      (fun topology ->
-        List.map
-          (fun workload -> run_case ~prng ~topology ~workload ~objects:32)
-          [ "uniform"; "zipf"; "hotspot" ])
-      (topologies prng)
-  in
+  let cases = Pipeline_cases.all () in
   let oc = open_out out_path in
-  output_string oc "{\"schema\":\"hbn.bench.pipeline/v1\",\n \"cases\":[\n";
+  output_string oc (Meta.header ~schema:Pipeline_cases.schema);
+  output_string oc " \"cases\":[\n";
   List.iteri
     (fun i c ->
       if i > 0 then output_string oc ",\n";
-      output_string oc (json_of_case c))
+      output_string oc (Pipeline_cases.json_of_case c))
     cases;
   output_string oc "\n]}\n";
   close_out oc;
@@ -132,8 +32,9 @@ let () =
         List.fold_left
           (fun acc (name, _, ns) ->
             if name = "strategy.run" then Int64.to_float ns /. 1e6 else acc)
-          0. c.phases
+          0. c.Pipeline_cases.phases
       in
       Printf.printf "  %-18s %-8s strategy %.2f ms, congestion %.1f\n"
-        c.topology c.workload total c.congestion)
+        c.Pipeline_cases.topology c.Pipeline_cases.workload total
+        c.Pipeline_cases.congestion)
     cases

@@ -13,6 +13,7 @@ module Workload = Hbn_workload.Workload
 module Generators = Hbn_workload.Generators
 module Partition = Hbn_workload.Partition
 module Placement = Hbn_placement.Placement
+module Loads = Hbn_loads.Loads
 module Strategy = Hbn_core.Strategy
 module Certificates = Hbn_core.Certificates
 module Baselines = Hbn_baselines.Baselines
@@ -24,6 +25,7 @@ module Table = Hbn_util.Table
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Metrics = Hbn_obs.Metrics
+module Attribution = Hbn_obs.Attribution
 module Exec = Hbn_exec.Exec
 
 open Cmdliner
@@ -103,8 +105,11 @@ let timings =
         ~doc:"Print a per-phase wall-time table after the command.")
 
 (* Installs the requested sinks around [f]: a JSONL writer for [--trace],
-   a span-duration aggregator for [--timings], or their tee. With neither
-   flag the tracer stays disabled and [f] runs untouched. *)
+   a span-duration aggregator for [--timings], or their tee. Every event
+   is tagged with the executor slot of the domain that emitted it
+   ([domain:0] outside a pool — pool tasks never trace, so the tag also
+   keeps traces byte-identical across job counts). With neither flag the
+   tracer stays disabled and [f] runs untouched. *)
 let with_observability ~trace ~timings f =
   let timing_sink, timing_read =
     if timings then
@@ -125,6 +130,12 @@ let with_observability ~trace ~timings f =
     | None, None -> None
     | Some s, None | None, Some s -> Some s
     | Some a, Some b -> Some (Sink.tee a b)
+  in
+  let sink =
+    Option.map
+      (Sink.with_attrs (fun () ->
+           [ ("domain", Sink.Int (Exec.current_worker ())) ]))
+      sink
   in
   (match sink with
   | None -> ()
@@ -158,6 +169,19 @@ let with_observability ~trace ~timings f =
           (read ());
         Table.print table)
     f
+
+(* The --jobs/--trace/--timings bundle every pipeline-running subcommand
+   (place, compare, simulate, explain) shares — parsed by one term and
+   installed by one helper, so the commands cannot drift apart. *)
+type run_opts = { ro_jobs : int; ro_trace : string option; ro_timings : bool }
+
+let run_opts_term =
+  let make ro_jobs ro_trace ro_timings = { ro_jobs; ro_trace; ro_timings } in
+  Term.(const make $ jobs $ trace_file $ timings)
+
+let with_run_opts opts f =
+  with_observability ~trace:opts.ro_trace ~timings:opts.ro_timings @@ fun () ->
+  with_jobs opts.ro_jobs f
 
 let build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth =
   let profile = Builders.Uniform bandwidth in
@@ -240,9 +264,8 @@ let place_cmd =
           ~doc:"Per-processor copy capacity (post-processes the placement).")
   in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      verbose capacity jobs trace timings =
-    with_observability ~trace ~timings @@ fun () ->
-    with_jobs jobs @@ fun exec ->
+      verbose capacity opts =
+    with_run_opts opts @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -297,8 +320,115 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Run the extended-nibble strategy on a generated instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ verbose $ capacity $ jobs
-          $ trace_file $ timings)
+          $ bandwidth $ workload_kind $ objects $ verbose $ capacity
+          $ run_opts_term)
+
+(* -- explain ------------------------------------------------------------ *)
+
+let explain_cmd =
+  let top =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "top" ] ~docv:"K" ~doc:"Number of hottest sites to explain.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("dot", `Dot) ]) `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) prints per-site contributor tables, \
+             $(b,json) a hbn.explain/v1 document, $(b,dot) a Graphviz \
+             heatmap of the whole network.")
+  in
+  let site_name = function
+    | `Edge e -> Printf.sprintf "edge %d" e
+    | `Bus b -> Printf.sprintf "bus %d" b
+  in
+  let run seed kind leaves arity height spine buses bandwidth wkind objects
+      top format opts =
+    with_run_opts opts @@ fun exec ->
+    let prng = Prng.create seed in
+    let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
+    let w = build_workload wkind ~prng t ~objects in
+    let res = Strategy.run ~exec w in
+    let attr = Attribution.of_placement w res.Strategy.placement in
+    (* Cross-check 1: per-edge contribution sums must reproduce the
+       evaluator's loads, and the top hotspot its congestion/bottleneck. *)
+    let c = Placement.evaluate ~exec w res.Strategy.placement in
+    if Attribution.totals attr <> c.Placement.edge_loads then
+      die "attribution totals diverge from Placement.evaluate";
+    (match Attribution.hotspots attr ~k:1 with
+    | [] -> ()
+    | (site, rel) :: _ ->
+      if rel <> c.Placement.value then
+        die "top hotspot relative load %.6f <> congestion %.6f" rel
+          c.Placement.value;
+      if site <> (c.Placement.bottleneck :> Attribution.site) then
+        die "top hotspot %s <> bottleneck %s" (site_name site)
+          (site_name c.Placement.bottleneck));
+    (* Cross-check 2: an attribution maintained incrementally through a
+       live load engine must equal the one-shot table bit for bit. *)
+    let copies =
+      Array.map (fun op -> op.Placement.copies) res.Strategy.placement
+    in
+    let eng = Loads.create w in
+    let incremental = Attribution.attach eng in
+    Array.iteri
+      (fun obj cs -> List.iter (fun node -> Loads.add_copy eng ~obj node) cs)
+      copies;
+    let oneshot = Attribution.of_placement w (Placement.nearest w ~copies) in
+    if not (Attribution.equal incremental oneshot) then
+      die "incremental attribution diverges from the one-shot table";
+    match format with
+    | `Json -> print_endline (Attribution.to_json ~k:top attr)
+    | `Dot -> print_string (Attribution.to_dot attr)
+    | `Table ->
+      Printf.printf "congestion: %.3f  (bottleneck %s)\n" c.Placement.value
+        (site_name c.Placement.bottleneck);
+      List.iteri
+        (fun i (site, rel) ->
+          let total, contribs =
+            match site with
+            | `Edge e ->
+              ( Attribution.edge_total attr ~edge:e,
+                Attribution.edge_contributions attr ~edge:e )
+            | `Bus b ->
+              ( Attribution.bus_total2 attr ~bus:b,
+                Attribution.bus_contributions attr ~bus:b )
+          in
+          let bw =
+            match site with
+            | `Edge e -> Tree.edge_bandwidth t e
+            | `Bus b -> Tree.bus_bandwidth t b
+          in
+          Printf.printf "#%d %s: load %d%s, bandwidth %d, relative %.3f\n"
+            (i + 1) (site_name site) total
+            (match site with `Bus _ -> " (doubled)" | `Edge _ -> "")
+            bw rel;
+          let table = Table.create [ "object"; "component"; "amount"; "share" ] in
+          List.iter
+            (fun { Attribution.obj; component; amount } ->
+              Table.add_row table
+                [
+                  string_of_int obj;
+                  Placement.component_name component;
+                  string_of_int amount;
+                  Printf.sprintf "%.1f%%"
+                    (100. *. float_of_int amount /. float_of_int total);
+                ])
+            contribs;
+          Table.print table)
+        (Attribution.hotspots attr ~k:top)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Attribute every edge's load to (object, component) contributors \
+          and explain the hottest sites.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ workload_kind $ objects $ top $ format $ run_opts_term)
 
 (* -- workload ----------------------------------------------------------- *)
 
@@ -426,9 +556,8 @@ let compare_cmd =
              stay cheap).")
   in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      ls_iters jobs trace timings =
-    with_observability ~trace ~timings @@ fun () ->
-    with_jobs jobs @@ fun exec ->
+      ls_iters opts =
+    with_run_opts opts @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -458,8 +587,7 @@ let compare_cmd =
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare placement strategies on one instance.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ ls_iters $ jobs
-          $ trace_file $ timings)
+          $ bandwidth $ workload_kind $ objects $ ls_iters $ run_opts_term)
 
 (* -- gadget ------------------------------------------------------------- *)
 
@@ -505,9 +633,8 @@ let gadget_cmd =
 let simulate_cmd =
   let scale = Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Frequency downscaling for the simulation.") in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      scale jobs trace timings =
-    with_observability ~trace ~timings @@ fun () ->
-    with_jobs jobs @@ fun exec ->
+      scale opts =
+    with_run_opts opts @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
@@ -543,8 +670,7 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ scale $ jobs $ trace_file
-          $ timings)
+          $ bandwidth $ workload_kind $ objects $ scale $ run_opts_term)
 
 let () =
   let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in
@@ -553,6 +679,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            topology_cmd; workload_cmd; place_cmd; compare_cmd; gadget_cmd;
-            simulate_cmd; dynamic_cmd;
+            topology_cmd; workload_cmd; place_cmd; compare_cmd; explain_cmd;
+            gadget_cmd; simulate_cmd; dynamic_cmd;
           ]))

@@ -21,6 +21,13 @@ type t = Sequential | Pool of pool
 
 let sequential = Sequential
 
+(* Which executor slot the current domain occupies: 0 for the calling
+   (or any non-pool) domain, i for the pool's i-th worker. Stored in
+   domain-local state so sinks can tag events with their producer. *)
+let worker_slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let current_worker () = Domain.DLS.get worker_slot
+
 let record_error pool e =
   Mutex.lock pool.mutex;
   if pool.error = None then pool.error <- Some e;
@@ -83,7 +90,10 @@ let create ~jobs =
       }
     in
     pool.domains <-
-      List.init pool.workers (fun _ -> Domain.spawn (fun () -> worker pool));
+      List.init pool.workers (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set worker_slot (i + 1);
+              worker pool));
     Pool pool
   end
 

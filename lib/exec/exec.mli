@@ -30,6 +30,13 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Concurrency width: [1] for {!sequential}. *)
 
+val current_worker : unit -> int
+(** The executor slot of the calling domain: [0] on the main (or any
+    non-pool) domain, [i >= 1] inside the [i]-th worker domain of a pool.
+    Observability sinks use this to tag each event with the domain that
+    produced it ({!Hbn_obs.Sink.with_attrs}); a domain spawned by one
+    pool keeps its slot for the pool's lifetime. *)
+
 val shutdown : t -> unit
 (** Joins the pool's worker domains. Idempotent; a no-op on
     {!sequential}. Using a runner after shutdown raises

@@ -81,6 +81,9 @@ type obj_state = {
   mutable anchor : int;  (* any current copy; -1 when the set is empty *)
 }
 
+type hook =
+  obj:int -> component:Placement.component -> edge:int -> amount:int -> unit
+
 type t = {
   w : Workload.t;
   tree : Tree.t;
@@ -92,6 +95,7 @@ type t = {
   mutable stamp : int;
   mutable journal : undo list;
   mutable jlen : int;
+  mutable hook : hook option;
 }
 
 type checkpoint = int
@@ -130,9 +134,12 @@ let create w =
     stamp = 0;
     journal = [];
     jlen = 0;
+    hook = None;
   }
 
 let workload t = t.w
+
+let set_hook t hook = t.hook <- hook
 
 let obj_state t obj =
   if obj < 0 || obj >= Array.length t.objs then
@@ -152,14 +159,14 @@ let iter_root_path t v f =
     x := r.Tree.parent.(!x)
   done
 
-let add_path_load t u v amount =
-  if u <> v && amount <> 0 then begin
+let iter_path_edges t u v f =
+  if u <> v then begin
     let a = Tree.lca_fast t.lca u v in
     let r = t.rooted in
     let climb s =
       let x = ref s in
       while !x <> a do
-        Raw.add t.raw r.Tree.parent_edge.(!x) amount;
+        f r.Tree.parent_edge.(!x);
         x := r.Tree.parent.(!x)
       done
     in
@@ -178,6 +185,14 @@ let add_path_load t u v amount =
    covers every edge whose write-broadcast load can change: O(height). *)
 
 let member os e n = os.below.(e) > 0 && os.below.(e) < n
+
+(* A write-broadcast (Steiner-membership) load delta, mirrored to the
+   attribution hook. *)
+let steiner_load t o e amount =
+  Raw.add t.raw e amount;
+  match t.hook with
+  | None -> ()
+  | Some h -> h ~obj:o ~component:Placement.Write_steiner ~edge:e ~amount
 
 let affected_edges t ~node ~other =
   t.stamp <- t.stamp + 1;
@@ -201,11 +216,11 @@ let steiner_add t o c =
     let affected = affected_edges t ~node:c ~other:os.anchor in
     let wts = os.total_writes in
     List.iter
-      (fun e -> if member os e os.ncopies then Raw.add t.raw e (-wts))
+      (fun e -> if member os e os.ncopies then steiner_load t o e (-wts))
       affected;
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) + 1);
     os.ncopies <- n_new;
-    List.iter (fun e -> if member os e n_new then Raw.add t.raw e wts) affected
+    List.iter (fun e -> if member os e n_new then steiner_load t o e wts) affected
   end
   else begin
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) + 1);
@@ -229,11 +244,11 @@ let steiner_remove t o c =
     let affected = affected_edges t ~node:c ~other:new_anchor in
     let wts = os.total_writes in
     List.iter
-      (fun e -> if member os e os.ncopies then Raw.add t.raw e (-wts))
+      (fun e -> if member os e os.ncopies then steiner_load t o e (-wts))
       affected;
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) - 1);
     os.ncopies <- n_new;
-    List.iter (fun e -> if member os e n_new then Raw.add t.raw e wts) affected
+    List.iter (fun e -> if member os e n_new then steiner_load t o e wts) affected
   end
   else begin
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) - 1);
@@ -242,15 +257,30 @@ let steiner_remove t o c =
   os.anchor <- new_anchor
 
 (* Point a leaf's requests at [server] (or [-1] to clear), moving its
-   path load. *)
+   path load. The hook sees the same per-edge deltas split into read and
+   write components (the engine's [amount] is their sum). *)
 let set_server t o leaf ~server ~dist =
   let os = t.objs.(o) in
   let amt = os.amount.(leaf) in
-  let old = os.server.(leaf) in
-  if old >= 0 then add_path_load t leaf old (-amt);
+  let rd = os.reads.(leaf) and wr = os.writes.(leaf) in
+  let apply target sign =
+    if target >= 0 && amt <> 0 then
+      iter_path_edges t leaf target (fun e ->
+          Raw.add t.raw e (sign * amt);
+          match t.hook with
+          | None -> ()
+          | Some h ->
+            if rd <> 0 then
+              h ~obj:o ~component:Placement.Read_path ~edge:e
+                ~amount:(sign * rd);
+            if wr <> 0 then
+              h ~obj:o ~component:Placement.Write_path ~edge:e
+                ~amount:(sign * wr))
+  in
+  apply os.server.(leaf) (-1);
   os.server.(leaf) <- server;
   os.sdist.(leaf) <- dist;
-  if server >= 0 then add_path_load t leaf server amt
+  apply server 1
 
 let push t u =
   t.journal <- u :: t.journal;

@@ -98,6 +98,23 @@ val reassign : t -> obj:int -> leaf:int -> server:int -> unit
 (** Explicitly point a requesting leaf at a (copy-holding) server,
     overriding the nearest-copy rule until a later delta moves it. *)
 
+(** {1 Attribution hook} *)
+
+type hook =
+  obj:int -> component:Placement.component -> edge:int -> amount:int -> unit
+
+val set_hook : t -> hook option -> unit
+(** [set_hook t (Some h)] makes every subsequent elementary load delta
+    call [h ~obj ~component ~edge ~amount] right after it lands in the
+    edge-load accumulator: request traffic moved by a (re)assignment as
+    separate [Read_path]/[Write_path] deltas per path edge, Steiner
+    membership flips as [Write_steiner] deltas. {!rollback} replays its
+    journal through the same low-level operations, so the hook also sees
+    every undo as the exact inverse deltas — a table folded over the hook
+    stays consistent across checkpoint/rollback with no special casing.
+    Amounts are never zero. [None] detaches. The hook runs under the
+    engine's caller; it must not mutate the engine. *)
+
 (** {1 Checkpoint / rollback} *)
 
 val checkpoint : t -> checkpoint

@@ -1,0 +1,191 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "unterminated escape");
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'; advance ()
+        | '\\' -> Buffer.add_char buf '\\'; advance ()
+        | '/' -> Buffer.add_char buf '/'; advance ()
+        | 'n' -> Buffer.add_char buf '\n'; advance ()
+        | 'r' -> Buffer.add_char buf '\r'; advance ()
+        | 't' -> Buffer.add_char buf '\t'; advance ()
+        | 'b' -> Buffer.add_char buf '\b'; advance ()
+        | 'f' -> Buffer.add_char buf '\012'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* Only the control-character range is ever emitted. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else fail "unsupported \\u escape"
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    let is_float = ref false in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' -> true
+         | '.' | 'e' | 'E' | '+' | '-' -> is_float := true; true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if lit = "" || lit = "-" then fail "bad number";
+    if !is_float then Float (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin advance (); Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ()
+          | '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); List [] end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements ()
+          | ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
+      pos := !pos + 4; Bool true
+    | 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
+      pos := !pos + 5; Bool false
+    | 'n' when !pos + 4 <= n && String.sub s !pos 4 = "null" ->
+      pos := !pos + 4; Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let parse_result s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+  | exception Failure msg -> Error msg
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | Str "nan" -> Some Float.nan
+  | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form recovering the value, with a forced fraction
+   marker so the parser can tell floats from ints. *)
+let float_to_string buf x =
+  if Float.is_nan x then Buffer.add_string buf "\"nan\""
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" x)
+  else begin
+    let s = Printf.sprintf "%.17g" x in
+    let s = if float_of_string (Printf.sprintf "%.15g" x) = x then
+        Printf.sprintf "%.15g" x
+      else if float_of_string (Printf.sprintf "%.16g" x) = x then
+        Printf.sprintf "%.16g" x
+      else s
+    in
+    Buffer.add_string buf s;
+    if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+      Buffer.add_string buf ".0"
+  end

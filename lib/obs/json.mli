@@ -1,0 +1,55 @@
+(** A minimal JSON value type, parser and number printer.
+
+    The toolchain this repo pins ships no JSON library, so the
+    observability layer carries its own: {!Sink} uses it to round-trip
+    JSONL trace events, and [bench/check.exe] uses it to diff committed
+    [BENCH_*.json] baselines against fresh runs. It parses the subset
+    those producers emit (no unicode escapes beyond the control range)
+    and is not a general-purpose JSON implementation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse of string
+(** Raised by {!parse} with a message locating the first problem. *)
+
+val parse : string -> t
+(** Parses one complete JSON value (leading/trailing whitespace allowed).
+    Raises {!Parse} on malformed input. *)
+
+val parse_result : string -> (t, string) result
+(** {!parse} with the error reified. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value bound to [k]; [None] when the key is
+    absent or the value is not an object. *)
+
+val to_int : t -> int option
+(** [Int] only — floats are not silently truncated. *)
+
+val to_float : t -> float option
+(** [Float] or [Int] (widened); the string ["nan"] parses as NaN to match
+    {!float_to_string}. *)
+
+val to_string : t -> string option
+
+val to_list : t -> t list option
+
+(** {1 Printing} *)
+
+val escape_string : Buffer.t -> string -> unit
+(** Appends the quoted, escaped JSON form of a string. *)
+
+val float_to_string : Buffer.t -> float -> unit
+(** Appends a float rendering that is valid JSON and round-trips:
+    shortest decimal form recovering the value, a forced fraction marker
+    so readers can tell floats from ints, and NaN as the string
+    ["nan"]. *)

@@ -1,5 +1,22 @@
 module Stats = Hbn_util.Stats
 
+(* Histograms keep exact count/sum/min/max plus a bounded reservoir of
+   samples (Vitter's Algorithm R) for the quantile estimates, so a
+   long-running pipeline cannot grow a per-sample list without bound.
+   The replacement index comes from a per-histogram splitmix64 stream
+   seeded with a constant, so a deterministic program produces
+   deterministic summaries. *)
+let reservoir_capacity = 512
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+  samples : float array;  (* first [min count capacity] slots are live *)
+  mutable rng : int64;
+}
+
 type t = {
   (* One lock serializes every registry operation: updates arrive from
      all domains when the pipeline runs with [--jobs > 1], and Hashtbl is
@@ -8,7 +25,7 @@ type t = {
   mutex : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
-  histograms : (string, float list ref) Hashtbl.t;  (* samples, newest first *)
+  histograms : (string, hist) Hashtbl.t;
 }
 
 let create () =
@@ -37,11 +54,43 @@ let set_gauge m name v =
   | Some r -> r := v
   | None -> Hashtbl.add m.gauges name (ref v)
 
+(* splitmix64 step, reduced to [0, bound). *)
+let rand_below h bound =
+  h.rng <- Int64.add h.rng 0x9E3779B97F4A7C15L;
+  let z = h.rng in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
 let observe m name v =
   locked m @@ fun () ->
-  match Hashtbl.find_opt m.histograms name with
-  | Some r -> r := v :: !r
-  | None -> Hashtbl.add m.histograms name (ref [ v ])
+  let h =
+    match Hashtbl.find_opt m.histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          count = 0;
+          sum = 0.;
+          lo = v;
+          hi = v;
+          samples = Array.make reservoir_capacity 0.;
+          rng = 0x5851F42D4C957F2DL;
+        }
+      in
+      Hashtbl.add m.histograms name h;
+      h
+  in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v;
+  if h.count <= reservoir_capacity then h.samples.(h.count - 1) <- v
+  else begin
+    let j = rand_below h h.count in
+    if j < reservoir_capacity then h.samples.(j) <- v
+  end
 
 type summary = {
   count : int;
@@ -60,19 +109,21 @@ let counters m = locked m @@ fun () -> sorted_bindings m.counters (fun r -> !r)
 
 let gauges m = locked m @@ fun () -> sorted_bindings m.gauges (fun r -> !r)
 
-let summarize samples =
-  let lo, hi = Stats.min_max samples in
+let summarize h =
+  let live =
+    Array.to_list (Array.sub h.samples 0 (Stdlib.min h.count reservoir_capacity))
+  in
   {
-    count = List.length samples;
-    mean = Stats.mean samples;
-    min = lo;
-    max = hi;
-    p50 = Stats.median samples;
-    p95 = Stats.percentile 95. samples;
+    count = h.count;
+    mean = h.sum /. float_of_int h.count;
+    min = h.lo;
+    max = h.hi;
+    p50 = Stats.median live;
+    p95 = Stats.percentile 95. live;
   }
 
 let histograms m =
-  locked m @@ fun () -> sorted_bindings m.histograms (fun r -> summarize !r)
+  locked m @@ fun () -> sorted_bindings m.histograms summarize
 
 let counter_value m name =
   locked m @@ fun () ->

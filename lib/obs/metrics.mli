@@ -6,6 +6,14 @@
     collect float samples summarized through {!Hbn_util.Stats}
     (mean/min/max/median/95th percentile).
 
+    Histogram memory is bounded: each histogram keeps exact running
+    count, mean, min and max, plus a fixed 512-slot sample reservoir
+    (Vitter's Algorithm R with a deterministic per-histogram splitmix64
+    stream) from which [p50]/[p95] are computed. Quantiles are therefore
+    {e exact} while a histogram has seen at most 512 samples and
+    uniformly sampled estimates beyond that; a registry never holds more
+    than 512 floats per histogram no matter how long the run.
+
     {!global} is the default registry the {!Trace} convenience functions
     feed; tests create private registries with {!create}. Metrics are
     aggregates — they reach a {!Sink.t} only when {!emit} dumps a
@@ -27,7 +35,9 @@ val set_gauge : t -> string -> float -> unit
 (** Records the latest value of gauge [name]. *)
 
 val observe : t -> string -> float -> unit
-(** Adds one sample to histogram [name]. *)
+(** Adds one sample to histogram [name]. Count, mean, min and max are
+    updated exactly; the sample enters the quantile reservoir subject to
+    the sampling described above. O(1), bounded memory. *)
 
 type summary = {
   count : int;
@@ -45,7 +55,9 @@ val gauges : t -> (string * float) list
 (** All gauges (latest values), sorted by name. *)
 
 val histograms : t -> (string * summary) list
-(** All histograms summarized via {!Hbn_util.Stats}, sorted by name. *)
+(** All histograms summarized, sorted by name — [count]/[mean]/[min]/
+    [max] exact, [p50]/[p95] over the 512-sample reservoir (exact when
+    [count <= 512]). *)
 
 val counter_value : t -> string -> int
 (** Current value of a counter; 0 when it was never incremented. *)

@@ -14,6 +14,7 @@ type payload =
       p50 : float;
       p95 : float;
     }
+  | Attribution of { edge : int; obj : int; component : string; amount : int }
 
 type event = {
   name : string;
@@ -29,41 +30,9 @@ let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
 
 (* -- JSON writing ------------------------------------------------------- *)
 
-let escape_to buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let escape_to = Json.escape_string
 
-(* A float rendering that is valid JSON and round-trips: shortest decimal
-   form recovering the value, with a forced fraction marker so the parser
-   can tell floats from ints. *)
-let float_to buf x =
-  if Float.is_nan x then Buffer.add_string buf "\"nan\""
-  else if Float.is_integer x && Float.abs x < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.1f" x)
-  else begin
-    let s = Printf.sprintf "%.17g" x in
-    let s = if float_of_string (Printf.sprintf "%.15g" x) = x then
-        Printf.sprintf "%.15g" x
-      else if float_of_string (Printf.sprintf "%.16g" x) = x then
-        Printf.sprintf "%.16g" x
-      else s
-    in
-    Buffer.add_string buf s;
-    if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
-      Buffer.add_string buf ".0"
-  end
+let float_to = Json.float_to_string
 
 let value_to buf = function
   | Int i -> Buffer.add_string buf (string_of_int i)
@@ -99,7 +68,8 @@ let to_json ev =
     | Point -> "point"
     | Counter _ -> "counter"
     | Gauge _ -> "gauge"
-    | Histogram _ -> "histogram");
+    | Histogram _ -> "histogram"
+    | Attribution _ -> "attribution");
   field "name" (fun b -> escape_to b ev.name);
   field "id" (fun b -> Buffer.add_string b (string_of_int ev.id));
   field "parent" (fun b -> Buffer.add_string b (string_of_int ev.parent));
@@ -116,7 +86,12 @@ let to_json ev =
     field "min" (fun b -> float_to b min);
     field "max" (fun b -> float_to b max);
     field "p50" (fun b -> float_to b p50);
-    field "p95" (fun b -> float_to b p95));
+    field "p95" (fun b -> float_to b p95)
+  | Attribution { edge; obj; component; amount } ->
+    field "edge" (fun b -> Buffer.add_string b (string_of_int edge));
+    field "obj" (fun b -> Buffer.add_string b (string_of_int obj));
+    field "component" (fun b -> escape_to b component);
+    field "amount" (fun b -> Buffer.add_string b (string_of_int amount)));
   Buffer.add_char buf ',';
   attrs_to buf ev.attrs;
   Buffer.add_char buf '}';
@@ -124,173 +99,37 @@ let to_json ev =
 
 (* -- JSON reading ------------------------------------------------------- *)
 
-type json =
-  | J_null
-  | J_bool of bool
-  | J_int of int
-  | J_float of float
-  | J_str of string
-  | J_list of json list
-  | J_obj of (string * json) list
-
-exception Parse of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then s.[!pos] else '\000' in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      advance ()
-    done
-  in
-  let expect c =
-    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        (if !pos >= n then fail "unterminated escape");
-        (match s.[!pos] with
-        | '"' -> Buffer.add_char buf '"'; advance ()
-        | '\\' -> Buffer.add_char buf '\\'; advance ()
-        | '/' -> Buffer.add_char buf '/'; advance ()
-        | 'n' -> Buffer.add_char buf '\n'; advance ()
-        | 'r' -> Buffer.add_char buf '\r'; advance ()
-        | 't' -> Buffer.add_char buf '\t'; advance ()
-        | 'b' -> Buffer.add_char buf '\b'; advance ()
-        | 'f' -> Buffer.add_char buf '\012'; advance ()
-        | 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-          pos := !pos + 4;
-          (* Only the control-character range is ever emitted. *)
-          if code < 0x80 then Buffer.add_char buf (Char.chr code)
-          else fail "unsupported \\u escape"
-        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-        go ()
-      | c -> Buffer.add_char buf c; advance (); go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    if peek () = '-' then advance ();
-    let is_float = ref false in
-    while
-      !pos < n
-      && (match s.[!pos] with
-         | '0' .. '9' -> true
-         | '.' | 'e' | 'E' | '+' | '-' -> is_float := true; true
-         | _ -> false)
-    do
-      advance ()
-    done;
-    let lit = String.sub s start (!pos - start) in
-    if lit = "" || lit = "-" then fail "bad number";
-    if !is_float then J_float (float_of_string lit)
-    else
-      match int_of_string_opt lit with
-      | Some i -> J_int i
-      | None -> J_float (float_of_string lit)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '"' -> J_str (parse_string ())
-    | '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = '}' then begin advance (); J_obj [] end
-      else begin
-        let fields = ref [] in
-        let rec members () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          fields := (k, v) :: !fields;
-          skip_ws ();
-          match peek () with
-          | ',' -> advance (); members ()
-          | '}' -> advance ()
-          | _ -> fail "expected ',' or '}'"
-        in
-        members ();
-        J_obj (List.rev !fields)
-      end
-    | '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = ']' then begin advance (); J_list [] end
-      else begin
-        let items = ref [] in
-        let rec elements () =
-          let v = parse_value () in
-          items := v :: !items;
-          skip_ws ();
-          match peek () with
-          | ',' -> advance (); elements ()
-          | ']' -> advance ()
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements ();
-        J_list (List.rev !items)
-      end
-    | 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
-      pos := !pos + 4; J_bool true
-    | 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
-      pos := !pos + 5; J_bool false
-    | 'n' when !pos + 4 <= n && String.sub s !pos 4 = "null" ->
-      pos := !pos + 4; J_null
-    | _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing input";
-  v
-
 let of_json line =
-  match parse_json line with
-  | exception Parse msg -> Error msg
+  match Json.parse line with
+  | exception Json.Parse msg -> Error msg
   | exception Failure msg -> Error msg
-  | J_obj fields ->
-    let get k = List.assoc_opt k fields in
+  | Json.Obj _ as j ->
+    let get k = Json.member k j in
     let str k =
       match get k with
-      | Some (J_str s) -> s
-      | _ -> raise (Parse (Printf.sprintf "missing string field %S" k))
+      | Some (Json.Str s) -> s
+      | _ -> raise (Json.Parse (Printf.sprintf "missing string field %S" k))
     in
     let int k =
       match get k with
-      | Some (J_int i) -> i
-      | _ -> raise (Parse (Printf.sprintf "missing int field %S" k))
+      | Some (Json.Int i) -> i
+      | _ -> raise (Json.Parse (Printf.sprintf "missing int field %S" k))
     in
     let num k =
       match get k with
-      | Some (J_float f) -> f
-      | Some (J_int i) -> float_of_int i
-      | Some (J_str "nan") -> Float.nan
-      | _ -> raise (Parse (Printf.sprintf "missing number field %S" k))
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | Some (Json.Str "nan") -> Float.nan
+      | _ -> raise (Json.Parse (Printf.sprintf "missing number field %S" k))
     in
     let value_of = function
-      | J_int i -> Int i
-      | J_float f -> Float f
-      | J_str "nan" -> Float Float.nan
-      | J_str s -> Str s
-      | J_bool b -> Bool b
-      | J_null | J_list _ | J_obj _ -> raise (Parse "bad attribute value")
+      | Json.Int i -> Int i
+      | Json.Float f -> Float f
+      | Json.Str "nan" -> Float Float.nan
+      | Json.Str s -> Str s
+      | Json.Bool b -> Bool b
+      | Json.Null | Json.List _ | Json.Obj _ ->
+        raise (Json.Parse "bad attribute value")
     in
     (try
        let payload =
@@ -310,16 +149,24 @@ let of_json line =
                p50 = num "p50";
                p95 = num "p95";
              }
-         | ev -> raise (Parse (Printf.sprintf "unknown event kind %S" ev))
+         | "attribution" ->
+           Attribution
+             {
+               edge = int "edge";
+               obj = int "obj";
+               component = str "component";
+               amount = int "amount";
+             }
+         | ev -> raise (Json.Parse (Printf.sprintf "unknown event kind %S" ev))
        in
        let attrs =
          match get "attrs" with
-         | Some (J_obj kvs) -> List.map (fun (k, v) -> (k, value_of v)) kvs
+         | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of v)) kvs
          | None -> []
-         | Some _ -> raise (Parse "attrs must be an object")
+         | Some _ -> raise (Json.Parse "attrs must be an object")
        in
        Ok { name = str "name"; id = int "id"; parent = int "parent"; payload; attrs }
-     with Parse msg -> Error msg)
+     with Json.Parse msg -> Error msg)
   | _ -> Error "top level is not an object"
 
 (* -- sinks -------------------------------------------------------------- *)
@@ -368,7 +215,8 @@ let timings () =
        | None ->
          Hashtbl.add tbl ev.name (ref 1, ref duration_ns);
          order := ev.name :: !order)
-    | Span_start | Point | Counter _ | Gauge _ | Histogram _ -> ()
+    | Span_start | Point | Counter _ | Gauge _ | Histogram _ | Attribution _ ->
+      ()
   in
   ( { emit; flush = (fun () -> ()) },
     fun () ->
@@ -389,4 +237,12 @@ let tee a b =
       (fun () ->
         a.flush ();
         b.flush ());
+  }
+
+let with_attrs extra inner =
+  {
+    emit =
+      (fun ev ->
+        inner.emit { ev with attrs = ev.attrs @ extra () });
+    flush = inner.flush;
   }

@@ -6,9 +6,9 @@
     the CLI can tee a JSONL writer together with a timing aggregator.
 
     The JSONL encoding writes exactly one JSON object per line; {!of_json}
-    parses it back (a minimal hand-rolled parser — the toolchain ships no
-    JSON library), so traces round-trip without external tooling. Event
-    schema (fields in emission order):
+    parses it back (via the hand-rolled {!Json} module — the toolchain
+    ships no JSON library), so traces round-trip without external
+    tooling. Event schema (fields in emission order):
 
     {v
     {"ev":"span_start","name":N,"id":I,"parent":P,"attrs":{...}}
@@ -18,9 +18,16 @@
     {"ev":"gauge","name":N,"id":0,"parent":P,"value":V,"attrs":{}}
     {"ev":"histogram","name":N,"id":0,"parent":0,"count":C,"mean":M,
      "min":L,"max":H,"p50":A,"p95":B,"attrs":{}}
+    {"ev":"attribution","name":N,"id":0,"parent":P,"edge":E,"obj":O,
+     "component":"read_path|write_path|write_steiner","amount":A,
+     "attrs":{...}}
     v}
 
-    [parent] is the id of the enclosing span (0 at top level). *)
+    [parent] is the id of the enclosing span (0 at top level). An
+    [attribution] event reports one cell of a per-edge load-attribution
+    table ({!Attribution}): object [O] contributes [A] absolute load
+    units to edge [E] through the named component of Section 1.1's load
+    definition. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -38,6 +45,7 @@ type payload =
       p50 : float;
       p95 : float;
     }
+  | Attribution of { edge : int; obj : int; component : string; amount : int }
 
 type event = {
   name : string;
@@ -67,6 +75,13 @@ val timings : unit -> t * (unit -> (string * int * int64) list)
 
 val tee : t -> t -> t
 (** Forwards every event (and flush) to both sinks, left first. *)
+
+val with_attrs : (unit -> (string * value) list) -> t -> t
+(** [with_attrs extra inner] appends [extra ()] to every event's
+    attributes before forwarding it — the provider runs on the emitting
+    domain, so a closure over {!Hbn_exec.Exec.current_worker} tags each
+    event with the domain that produced it. Explicit attributes win on
+    duplicate keys (they come first). *)
 
 val to_json : event -> string
 (** The single-line JSON encoding above (no trailing newline). *)

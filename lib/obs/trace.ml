@@ -65,6 +65,15 @@ let finish ?(attrs = []) sp =
           attrs;
         }
 
+let emit ev =
+  match st.sink with
+  | None -> ()
+  | Some sink ->
+    let ev =
+      if ev.Sink.parent = 0 then { ev with Sink.parent = parent () } else ev
+    in
+    sink.Sink.emit ev
+
 let event ?(attrs = []) name =
   match st.sink with
   | None -> ()

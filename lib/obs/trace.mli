@@ -54,6 +54,13 @@ val finish : ?attrs:(string * Sink.value) list -> span -> unit
 val event : ?attrs:(string * Sink.value) list -> string -> unit
 (** Emits a point event inside the innermost open span. *)
 
+val emit : Sink.event -> unit
+(** Emits a pre-built event into the installed sink — the escape hatch
+    for structured payloads the helpers above don't build, such as
+    {!Attribution} snapshots. An event whose [parent] is [0] is
+    re-parented to the innermost open span. No-op when disabled; callers
+    guard the event construction behind {!enabled} themselves. *)
+
 val count : ?by:int -> string -> unit
 (** Bumps the named counter in {!Metrics.global}. Counters are
     aggregates: they appear in a trace only when the driver dumps a

@@ -169,22 +169,44 @@ let validate w t =
     t;
   match !problem with None -> Ok () | Some msg -> Error msg
 
+type component = Read_path | Write_path | Write_steiner
+
+let component_name = function
+  | Read_path -> "read_path"
+  | Write_path -> "write_path"
+  | Write_steiner -> "write_steiner"
+
+let component_of_name = function
+  | "read_path" -> Some Read_path
+  | "write_path" -> Some Write_path
+  | "write_steiner" -> Some Write_steiner
+  | _ -> None
+
 (* The single source of truth for Section 1.1's load accounting: every
-   elementary contribution of one object — request traffic along
-   leaf→server paths, then the write broadcast over the copies' Steiner
-   tree — is reported through [f edge amount]. The from-scratch entry
-   points below and the incremental engine ([Hbn_loads.Loads]) both build
-   on this, so they cannot drift apart. *)
-let iter_object_loads tree op f =
+   elementary contribution of one object — read and write request traffic
+   along leaf→server paths, then the write broadcast over the copies'
+   Steiner tree — is reported through [f edge component amount]. The
+   from-scratch entry points below, the incremental engine
+   ([Hbn_loads.Loads]) and the attribution tables ([Hbn_obs.Attribution])
+   all build on this, so they cannot drift apart. *)
+let iter_object_load_components tree op f =
   List.iter
     (fun a ->
-      let amount = a.reads + a.writes in
-      if amount > 0 && a.leaf <> a.server then
-        List.iter (fun e -> f e amount) (Tree.path_edges tree a.leaf a.server))
+      if a.reads + a.writes > 0 && a.leaf <> a.server then
+        List.iter
+          (fun e ->
+            if a.reads > 0 then f e Read_path a.reads;
+            if a.writes > 0 then f e Write_path a.writes)
+          (Tree.path_edges tree a.leaf a.server))
     op.assigns;
   let total_writes = List.fold_left (fun s a -> s + a.writes) 0 op.assigns in
   if total_writes > 0 then
-    List.iter (fun e -> f e total_writes) (Tree.steiner_edges tree op.copies)
+    List.iter
+      (fun e -> f e Write_steiner total_writes)
+      (Tree.steiner_edges tree op.copies)
+
+let iter_object_loads tree op f =
+  iter_object_load_components tree op (fun e _component amount -> f e amount)
 
 let object_edge_loads w t ~obj =
   let tree = Workload.tree w in

@@ -94,13 +94,36 @@ val edge_loads : ?exec:Hbn_exec.Exec.t -> Workload.t -> t -> int array
 val object_edge_loads : Workload.t -> t -> obj:int -> int array
 (** Load per edge induced by a single object. *)
 
+(** The three ways Section 1.1 lets an object load an edge: read traffic
+    along the path [P → c(P,x)], write traffic along the same path, and
+    the write broadcast over the Steiner tree of the copy set [P_x].
+    Attribution tables ({!Hbn_obs.Attribution}) decompose every edge's
+    absolute load into [(object, component)] cells over exactly these. *)
+type component = Read_path | Write_path | Write_steiner
+
+val component_name : component -> string
+(** ["read_path"], ["write_path"], ["write_steiner"] — the spelling used
+    by JSONL [attribution] events and [hbn_cli explain --format json]. *)
+
+val component_of_name : string -> component option
+
+val iter_object_load_components :
+  Tree.t -> obj_placement -> (int -> component -> int -> unit) -> unit
+(** [iter_object_load_components tree op f] reports every elementary load
+    contribution of one object as [f edge component amount]: for each
+    assignment, the read and write request traffic along the leaf→server
+    path (as separate [Read_path]/[Write_path] calls), then the write
+    broadcast over the copy set's Steiner tree ([Write_steiner], with the
+    object's total writes on every Steiner edge). Zero-amount components
+    are skipped. This is the single source of truth for the accounting
+    definitions: {!iter_object_loads}, {!edge_loads},
+    {!object_edge_loads}, the incremental engine ([Hbn_loads.Loads]) and
+    attribution tables all agree with it by construction. *)
+
 val iter_object_loads : Tree.t -> obj_placement -> (int -> int -> unit) -> unit
-(** [iter_object_loads tree op f] reports every elementary load
-    contribution of one object as [f edge amount] — request traffic along
-    each leaf→server path, then the write broadcast over the copy set's
-    Steiner tree. {!edge_loads}, {!object_edge_loads} and the incremental
-    engine ([Hbn_loads.Loads]) are all thin wrappers over this, which
-    keeps the accounting definitions in one place. *)
+(** [iter_object_loads tree op f] is {!iter_object_load_components} with
+    the component dropped: callers that only accumulate per-edge sums
+    (which is all of them) see identical totals. *)
 
 val evaluate : ?exec:Hbn_exec.Exec.t -> Workload.t -> t -> congestion
 (** Full congestion accounting. *)

@@ -107,6 +107,36 @@ let test_simulate () =
       "--objects"; "4" ]
     [ "makespan:"; "distributed computation" ]
 
+(* explain runs its internal cross-checks (one-shot vs incremental vs
+   evaluator) before printing anything, so a zero exit here is already a
+   consistency statement; the output checks pin the three formats. *)
+let test_explain_table () =
+  check_run "explain"
+    [ "explain"; "--kind"; "balanced"; "--arity"; "2"; "--height"; "2";
+      "--objects"; "4"; "--workload"; "hotspot"; "--seed"; "7"; "--top"; "2" ]
+    [ "congestion:"; "bottleneck"; "#1"; "#2"; "component"; "share" ]
+
+let test_explain_json () =
+  check_run "explain --format json"
+    [ "explain"; "--kind"; "star"; "--leaves"; "6"; "--workload"; "zipf";
+      "--format"; "json" ]
+    [ "\"schema\":\"hbn.explain/v1\""; "\"congestion\":"; "\"contributions\"" ]
+
+let test_explain_dot () =
+  check_run "explain --format dot"
+    [ "explain"; "--kind"; "balanced"; "--arity"; "3"; "--height"; "2";
+      "--format"; "dot" ]
+    [ "graph hbn_attribution {"; "fillcolor"; "penwidth" ]
+
+let test_explain_deterministic () =
+  let args =
+    [ "explain"; "--kind"; "random"; "--buses"; "4"; "--leaves"; "8";
+      "--objects"; "5"; "--seed"; "99"; "--format"; "json" ]
+  in
+  match (run_cli args, run_cli args) with
+  | Some (_, a), Some (_, b) -> Alcotest.(check string) "identical output" a b
+  | _ -> ()
+
 let test_save_load_roundtrip () =
   let tmp = Filename.temp_file "hbn_cli" ".hbn" in
   (match
@@ -150,7 +180,15 @@ let test_failures_exit_nonzero () =
     [ "hbn_cli:"; "cannot open trace file" ];
   check_fails "gadget zero item"
     [ "gadget"; "0" ]
-    [ "hbn_cli:" ]
+    [ "hbn_cli:" ];
+  (* The shared flag parser must reject unknown flags with a diagnostic
+     naming the flag, on every command that uses it. *)
+  check_fails "explain unknown flag"
+    [ "explain"; "--bogus" ]
+    [ "unknown option"; "--bogus" ];
+  check_fails "place unknown flag"
+    [ "place"; "--bogus" ]
+    [ "unknown option"; "--bogus" ]
 
 (* The acceptance-criterion invocation: --trace must produce valid JSONL
    with spans for all three pipeline steps plus per-round mapping events,
@@ -226,6 +264,10 @@ let suite =
     Helpers.tc "cli gadget odd sum" test_gadget_odd;
     Helpers.tc "cli dynamic" test_dynamic;
     Helpers.tc "cli simulate" test_simulate;
+    Helpers.tc "cli explain table" test_explain_table;
+    Helpers.tc "cli explain json" test_explain_json;
+    Helpers.tc "cli explain dot" test_explain_dot;
+    Helpers.tc "cli explain deterministic" test_explain_deterministic;
     Helpers.tc "cli save/load round trip" test_save_load_roundtrip;
     Helpers.tc "cli failures exit non-zero" test_failures_exit_nonzero;
     Helpers.tc "cli place --trace --timings" test_place_trace_timings;

@@ -16,6 +16,7 @@ let () =
       ("partition", Test_partition.suite);
       ("placement", Test_placement.suite);
       ("loads", Test_loads.suite);
+      ("attribution", Test_attribution.suite);
       ("nibble", Test_nibble.suite);
       ("deletion", Test_deletion.suite);
       ("mapping", Test_mapping.suite);

@@ -79,6 +79,50 @@ let test_counter_aggregation () =
   Metrics.reset m;
   Alcotest.(check (list (pair string int))) "reset" [] (Metrics.counters m)
 
+(* Histogram memory is a 512-slot reservoir: quantiles are exact up to
+   the capacity, and count/mean/min/max stay exact (and the summary well
+   inside the observed range) far beyond it. *)
+let test_histogram_reservoir () =
+  let m = Metrics.create () in
+  for i = 1 to 512 do
+    Metrics.observe m "h" (float_of_int i)
+  done;
+  (match Metrics.histograms m with
+  | [ ("h", s) ] ->
+    Alcotest.(check int) "count exact at capacity" 512 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "median exact at capacity" 256.5 s.Metrics.p50
+  | _ -> Alcotest.fail "expected one histogram");
+  for i = 513 to 20_000 do
+    Metrics.observe m "h" (float_of_int i)
+  done;
+  match Metrics.histograms m with
+  | [ ("h", s) ] ->
+    Alcotest.(check int) "count exact beyond capacity" 20_000 s.Metrics.count;
+    Alcotest.(check (float 1e-6)) "mean exact beyond capacity" 10_000.5
+      s.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "min exact" 1. s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max exact" 20_000. s.Metrics.max;
+    Alcotest.(check bool) "p50 sampled within range" true
+      (s.Metrics.p50 >= 1. && s.Metrics.p50 <= 20_000.);
+    Alcotest.(check bool) "p95 above p50" true (s.Metrics.p95 >= s.Metrics.p50)
+  | _ -> Alcotest.fail "expected one histogram"
+
+(* with_attrs decorates every event on the emitting side; explicit
+   attributes win on duplicate keys because they come first. *)
+let test_with_attrs_tags_events () =
+  let mem, read = Sink.memory () in
+  let tagged = Sink.with_attrs (fun () -> [ ("domain", Sink.Int 3) ]) mem in
+  Trace.with_sink tagged (fun () ->
+      Trace.event "plain";
+      Trace.event "clash" ~attrs:[ ("domain", Sink.Int 9) ]);
+  match read () with
+  | [ plain; clash ] ->
+    Alcotest.(check bool) "tag appended" true
+      (List.mem ("domain", Sink.Int 3) plain.Sink.attrs);
+    Alcotest.(check bool) "explicit attr first" true
+      (List.assoc "domain" clash.Sink.attrs = Sink.Int 9)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
 let test_trace_count_feeds_global () =
   Metrics.reset Metrics.global;
   let sink, _ = Sink.memory () in
@@ -236,12 +280,32 @@ let test_strategy_trace_shape () =
   in
   Alcotest.(check bool) "mapping rounds recorded" true (List.length rounds >= 2);
   Alcotest.(check bool) "deletion.object events" true
-    (List.exists (fun ev -> name_of ev = "deletion.object") events)
+    (List.exists (fun ev -> name_of ev = "deletion.object") events);
+  (* One attribution snapshot per phase, tagged with the phase name. *)
+  let phases_seen =
+    List.filter_map
+      (fun (ev : Sink.event) ->
+        match (ev.Sink.name, ev.Sink.payload) with
+        | "strategy.attribution", Sink.Attribution _ -> (
+          match List.assoc_opt "phase" ev.Sink.attrs with
+          | Some (Sink.Str p) -> Some p
+          | _ -> None)
+        | _ -> None)
+      events
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string))
+    "attribution snapshots for every phase"
+    [ "deletion"; "mapping"; "nibble" ]
+    phases_seen
 
 let suite =
   [
     Helpers.tc "span nesting and durations" test_span_nesting;
     Helpers.tc "counter aggregation" test_counter_aggregation;
+    Helpers.tc "histogram reservoir is bounded and exact in range"
+      test_histogram_reservoir;
+    Helpers.tc "with_attrs tags every event" test_with_attrs_tags_events;
     Helpers.tc "Trace.count feeds the global registry" test_trace_count_feeds_global;
     Helpers.tc "disabled tracer is inert" test_disabled_is_inert;
     Helpers.tc "JSONL round trip" test_jsonl_roundtrip;
