@@ -5,7 +5,8 @@
 # this repo pins does not ship ocamlformat. If you have it installed,
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
-.PHONY: all build test check bench bench-check bench-loads bench-parallel clean
+.PHONY: all build test check bench bench-check bench-loads bench-parallel \
+	bench-faults clean
 
 all: build
 
@@ -18,23 +19,38 @@ test:
 # The one-stop gate: what CI (and reviewers) run. The loads smoke run
 # cross-checks the incremental engine against the from-scratch climb on
 # a small instance; the parallel smoke run checks that the strategy is
-# bit-identical at 1, 2 and 4 domains (no JSON written by either);
-# bench-check re-runs the pipeline case matrix and diffs its
-# deterministic fields against the committed BENCH_pipeline.json.
+# bit-identical at 1, 2 and 4 domains; the faults smoke runs the
+# hardened distributed protocol under a seeded drop/crash/cut plan and
+# requires recovery (no JSON written by any of the three); the
+# simulate --faults line exercises the same machinery end to end
+# through the CLI; bench-check re-runs the pipeline and fault case
+# matrices and diffs their deterministic fields against the committed
+# BENCH_pipeline.json and BENCH_faults.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
 	  && dune exec bench/parallel.exe -- --smoke \
+	  && dune exec bench/faults.exe -- --smoke \
+	  && dune exec bin/hbn_cli.exe -- simulate --kind balanced --arity 3 \
+	       --height 3 --workload zipf --objects 8 --seed 7 \
+	       --faults "drop=0.15,until=60,crash=2:10-30" \
 	  && dune exec test/test_main.exe -- test exec \
 	  && $(MAKE) bench-check
 
 bench:
 	dune exec bench/pipeline.exe
 
-# Fails (exit 1) if the deterministic fields of a fresh pipeline run —
-# congestion, makespan, counters, instance shape — diverge from the
-# committed BENCH_pipeline.json. Timings and the meta header are ignored.
+# Fails (exit 1) if the deterministic fields of a fresh pipeline or
+# fault-recovery run — congestion, makespan, counters, instance shape,
+# retransmission/fault accounting — diverge from the committed
+# BENCH_pipeline.json / BENCH_faults.json. Timings and the meta header
+# are ignored.
 bench-check:
 	dune exec bench/check.exe
+
+# Fault-injection recovery profile of the hardened distributed nibble
+# under seeded drop/crash/cut plans; writes BENCH_faults.json.
+bench-faults:
+	dune exec bench/faults.exe
 
 # Scratch vs incremental hill-climb throughput; writes BENCH_loads.json.
 bench-loads:

@@ -1,16 +1,20 @@
-(* Regression gate over the committed pipeline baseline.
+(* Regression gate over the committed baselines.
 
-   Run with:  dune exec bench/check.exe [-- BASELINE.json]
+   Run with:  dune exec bench/check.exe [-- PIPELINE.json [FAULTS.json]]
    Re-runs the Pipeline_cases matrix and compares every deterministic
    field — instance shape, congestion, makespan, pipeline counters —
    against the committed BENCH_pipeline.json. Wall times ("phases"
    totals) and the environment header ("meta") are noise and are
    ignored, but phase names and call counts are behaviour, so they are
-   checked too. Exits 1 listing every divergence: a diff here means a
-   code change altered what the pipeline computes, not just how fast. *)
+   checked too. Then re-runs the Fault_cases matrix the same way against
+   BENCH_faults.json (the "micro" wall-clock note is ignored). Exits 1
+   listing every divergence: a diff here means a code change altered
+   what the pipeline (or the fault recovery) computes, not just how
+   fast. *)
 
 module Json = Hbn_obs.Json
 module PC = Pipeline_cases
+module FC = Fault_cases
 
 let failures = ref 0
 
@@ -92,10 +96,44 @@ let check_case baseline fresh =
       fail "%s: phase names/call counts diverged from baseline" label
   end
 
-let () =
-  let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_pipeline.json"
-  in
+(* Fault-recovery baseline: every field of a case is deterministic, so
+   the comparison is exact (congestion through the same %.3f the writer
+   used). *)
+let check_fault_case baseline fresh =
+  let label = Printf.sprintf "%s under %s" fresh.FC.topology fresh.FC.plan in
+  if
+    get "topology" Json.to_string baseline <> fresh.FC.topology
+    || get "plan" Json.to_string baseline <> fresh.FC.plan
+  then
+    fail "fault case order diverged at %s (baseline has %s under %s)" label
+      (get "topology" Json.to_string baseline)
+      (get "plan" Json.to_string baseline)
+  else begin
+    let check_str name v =
+      let b = get name Json.to_string baseline in
+      if b <> v then fail "%s: %s %S (baseline) <> %S (fresh)" label name b v
+    in
+    let check_int name v =
+      let b = get name Json.to_int baseline in
+      if b <> v then fail "%s: %s %d (baseline) <> %d (fresh)" label name b v
+    in
+    check_str "outcome" fresh.FC.outcome;
+    check_int "rounds" fresh.FC.rounds;
+    check_int "messages" fresh.FC.messages;
+    check_int "retransmissions" fresh.FC.retransmissions;
+    check_int "duplicates" fresh.FC.duplicates;
+    check_int "pure_acks" fresh.FC.pure_acks;
+    check_int "fault_events" fresh.FC.fault_events;
+    check_int "dropped" fresh.FC.dropped;
+    check_int "undecided" fresh.FC.undecided;
+    let b_congestion = fmt_congestion (get "congestion" Json.to_float baseline) in
+    let f_congestion = fmt_congestion fresh.FC.congestion in
+    if b_congestion <> f_congestion then
+      fail "%s: congestion %s (baseline) <> %s (fresh)" label b_congestion
+        f_congestion
+  end
+
+let load_baseline ~path ~schema =
   let doc =
     match In_channel.with_open_text path In_channel.input_all with
     | text -> (
@@ -109,33 +147,47 @@ let () =
       exit 1
   in
   (match Json.member "schema" doc with
-  | Some (Json.Str s) when s = PC.schema -> ()
+  | Some (Json.Str s) when s = schema -> ()
   | _ ->
-    Printf.eprintf "bench/check: %s is not a %s file\n" path PC.schema;
+    Printf.eprintf "bench/check: %s is not a %s file\n" path schema;
     exit 1);
-  let baseline_cases =
-    match Option.bind (Json.member "cases" doc) Json.to_list with
-    | Some l -> l
-    | None ->
-      Printf.eprintf "bench/check: %s has no cases array\n" path;
-      exit 1
-  in
-  let fresh = PC.all () in
+  match Option.bind (Json.member "cases" doc) Json.to_list with
+  | Some l -> l
+  | None ->
+    Printf.eprintf "bench/check: %s has no cases array\n" path;
+    exit 1
+
+let check_matrix ~what ~path baseline_cases fresh check_one =
   if List.length baseline_cases <> List.length fresh then
-    fail "case count %d (baseline) <> %d (fresh)"
+    fail "%s case count %d (baseline) <> %d (fresh)" what
       (List.length baseline_cases) (List.length fresh)
   else begin
-    try List.iter2 check_case baseline_cases fresh
-    with Json.Parse m ->
-      fail "malformed baseline case: %s" m
-  end;
+    try List.iter2 check_one baseline_cases fresh
+    with Json.Parse m -> fail "malformed baseline case in %s: %s" path m
+  end
+
+let () =
+  let arg i default = if Array.length Sys.argv > i then Sys.argv.(i) else default in
+  let pipeline_path = arg 1 "BENCH_pipeline.json" in
+  let faults_path = arg 2 "BENCH_faults.json" in
+  let pipeline_baseline = load_baseline ~path:pipeline_path ~schema:PC.schema in
+  let faults_baseline = load_baseline ~path:faults_path ~schema:FC.schema in
+  let pipeline_fresh = PC.all () in
+  check_matrix ~what:"pipeline" ~path:pipeline_path pipeline_baseline
+    pipeline_fresh check_case;
+  let faults_fresh = FC.all () in
+  check_matrix ~what:"faults" ~path:faults_path faults_baseline faults_fresh
+    check_fault_case;
   if !failures > 0 then begin
     Printf.eprintf
-      "bench/check: %d divergence(s) from %s — a code change altered \
-       pipeline results (regenerate the baseline only if that was the \
-       point)\n"
-      !failures path;
+      "bench/check: %d divergence(s) from the committed baselines — a code \
+       change altered pipeline or fault-recovery results (regenerate the \
+       baselines only if that was the point)\n"
+      !failures;
     exit 1
   end;
-  Printf.printf "bench/check: %d cases match %s (deterministic fields)\n"
-    (List.length fresh) path
+  Printf.printf
+    "bench/check: %d pipeline cases match %s, %d fault cases match %s \
+     (deterministic fields)\n"
+    (List.length pipeline_fresh) pipeline_path (List.length faults_fresh)
+    faults_path

@@ -21,6 +21,9 @@ module Lower_bounds = Hbn_exact.Lower_bounds
 module Gadget_opt = Hbn_exact.Gadget_opt
 module Sim = Hbn_sim.Sim
 module Dist = Hbn_dist.Dist
+module Dist_nibble = Hbn_dist.Dist_nibble
+module Faults = Hbn_dist.Faults
+module Runtime = Hbn_dist.Runtime
 module Table = Hbn_util.Table
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
@@ -632,8 +635,23 @@ let gadget_cmd =
 
 let simulate_cmd =
   let scale = Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Frequency downscaling for the simulation.") in
+  let faults_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Run the distributed protocol under a deterministic fault \
+             plan instead of the lossless emulation. $(docv) is \
+             comma-separated clauses: drop=P (per-message drop \
+             probability), until=R (drop horizon, default inf), \
+             crash=N:A-B (node N down rounds A..B, B may be 'inf'), \
+             cut=E:A-B (edge E severed rounds A..B); e.g. \
+             drop=0.1,until=200,crash=3:10-40. The plan is seeded from \
+             --seed, so reruns are bit-identical.")
+  in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      scale opts =
+      scale faults_spec opts =
     with_run_opts opts @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
@@ -644,33 +662,83 @@ let simulate_cmd =
       out.Sim.transmissions;
     Printf.printf "makespan: %d rounds (lower bound %.1f)\n" out.Sim.makespan
       (Sim.lower_bound w res.Strategy.placement out);
-    let placement, stats = Dist.strategy_rounds w in
     (* The distributed protocol must reproduce the centralized strategy:
        identical placements ideally, congestion-equal at minimum. A
        divergence is a bug in one of the two implementations, so it
        fails the command rather than being quietly dropped. *)
-    (if placement = res.Strategy.placement then
-       print_endline "distributed placement: identical to centralized strategy"
-     else
-       let cd = (Placement.evaluate ~exec w placement).Placement.value in
-       let cc = (Placement.evaluate ~exec w res.Strategy.placement).Placement.value in
-       if cd = cc then
-         Printf.printf
-           "distributed placement: differs structurally but is congestion-equal \
-            (%.3f)\n"
-           cd
-       else
-         die
-           "distributed placement diverges from centralized strategy: \
-            congestion %.3f vs %.3f"
-           cd cc);
-    Printf.printf
-      "distributed computation of the placement: %d rounds, %d messages, max node work %d\n"
-      stats.Dist.rounds stats.Dist.messages stats.Dist.max_node_work
+    let check_against_centralized ~what placement =
+      if placement = res.Strategy.placement then
+        Printf.printf "%s: identical to centralized strategy\n" what
+      else
+        let cd = (Placement.evaluate ~exec w placement).Placement.value in
+        let cc = (Placement.evaluate ~exec w res.Strategy.placement).Placement.value in
+        if cd = cc then
+          Printf.printf
+            "%s: differs structurally but is congestion-equal (%.3f)\n" what cd
+        else
+          die "%s diverges from centralized strategy: congestion %.3f vs %.3f"
+            what cd cc
+    in
+    match faults_spec with
+    | None ->
+      let placement, stats = Dist.strategy_rounds w in
+      check_against_centralized ~what:"distributed placement" placement;
+      Printf.printf
+        "distributed computation of the placement: %d rounds, %d messages, max node work %d\n"
+        stats.Dist.rounds stats.Dist.messages stats.Dist.max_node_work
+    | Some spec ->
+      let plan =
+        match Faults.of_spec ~seed spec with
+        | Ok p -> p
+        | Error e -> die "bad --faults spec: %s" e
+      in
+      Printf.printf "fault plan: %s (seed %d)\n" (Faults.to_spec plan)
+        (Faults.seed plan);
+      let summarize_log log =
+        let count p = List.length (List.filter p log) in
+        Printf.printf
+          "fault log: %d events (%d dropped, %d crash/restart, %d cut/restore)\n"
+          (List.length log)
+          (count (fun e ->
+               match e.Faults.kind with Faults.Dropped _ -> true | _ -> false))
+          (count (fun e ->
+               match e.Faults.kind with
+               | Faults.Crashed _ | Faults.Restarted _ -> true
+               | _ -> false))
+          (count (fun e ->
+               match e.Faults.kind with
+               | Faults.Cut _ | Faults.Restored _ -> true
+               | _ -> false))
+      in
+      let print_nibble (ns : Dist_nibble.robust_stats) =
+        Printf.printf
+          "hardened nibble: %d rounds, %d messages, %d retransmissions, %d \
+           duplicates, %d pure acks\n"
+          ns.Dist_nibble.runtime.Runtime.rounds
+          ns.Dist_nibble.runtime.Runtime.messages
+          ns.Dist_nibble.retransmissions ns.Dist_nibble.duplicates
+          ns.Dist_nibble.pure_acks
+      in
+      (match Dist.run_with_faults ~faults:plan w with
+      | Dist.Recovered { placement; nibble; log; _ } ->
+        summarize_log log;
+        print_nibble nibble;
+        check_against_centralized ~what:"recovered distributed placement"
+          placement
+      | Dist.Degraded { reason; nibble; log; _ } ->
+        summarize_log log;
+        print_nibble nibble;
+        die "fault recovery degraded: %s (%d node/object decisions open)"
+          (match reason with
+          | `Round_limit -> "round limit reached"
+          | `Undecided -> "quiescent with undecided nodes"
+          | `Diverged -> "recovered placement diverges from sequential nibble")
+          nibble.Dist_nibble.undecided)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
-          $ bandwidth $ workload_kind $ objects $ scale $ run_opts_term)
+          $ bandwidth $ workload_kind $ objects $ scale $ faults_spec
+          $ run_opts_term)
 
 let () =
   let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in

@@ -141,3 +141,65 @@ let strategy_rounds w =
         ]
   end;
   (res.Strategy.placement, stats)
+
+type fault_report =
+  | Recovered of {
+      placement : Placement.t;
+      emulated : stats;
+      nibble : Dist_nibble.robust_stats;
+      log : Faults.event list;
+    }
+  | Degraded of {
+      reason : [ `Round_limit | `Undecided | `Diverged ];
+      partial : int list array;
+      nibble : Dist_nibble.robust_stats;
+      log : Faults.event list;
+    }
+
+let reason_name = function
+  | `Round_limit -> "round_limit"
+  | `Undecided -> "undecided"
+  | `Diverged -> "diverged"
+
+let run_with_faults ?max_rounds ?timeout ?(faults = Faults.none) w =
+  let report =
+    match Dist_nibble.run_robust ?max_rounds ?timeout ~faults w with
+    | Dist_nibble.Degraded { reason; partial; stats; log } ->
+      Degraded
+        {
+          reason = (reason :> [ `Round_limit | `Undecided | `Diverged ]);
+          partial;
+          nibble = stats;
+          log;
+        }
+    | Dist_nibble.Complete { placement = sets; stats = nibble; log } ->
+      let seq = Nibble.place_all w in
+      if not (Array.for_all2 (fun got cs -> got = cs.Nibble.nodes) sets seq)
+      then Degraded { reason = `Diverged; partial = sets; nibble; log }
+      else
+        (* The recovered copy sets equal the pristine nibble's, so the
+           remainder of the pipeline (deletion, mapping) proceeds exactly
+           as in the fault-free emulation. *)
+        let placement, emulated = strategy_rounds w in
+        Recovered { placement; emulated; nibble; log }
+  in
+  if Trace.enabled () then begin
+    match report with
+    | Recovered { nibble; log; _ } ->
+      Trace.event "dist.recovered"
+        ~attrs:
+          [
+            ("rounds", Sink.Int nibble.Dist_nibble.runtime.Runtime.rounds);
+            ("retransmissions", Sink.Int nibble.Dist_nibble.retransmissions);
+            ("faults", Sink.Int (List.length log));
+          ]
+    | Degraded { reason; nibble; log; _ } ->
+      Trace.event "dist.degraded"
+        ~attrs:
+          [
+            ("reason", Sink.Str (reason_name reason));
+            ("undecided", Sink.Int nibble.Dist_nibble.undecided);
+            ("faults", Sink.Int (List.length log));
+          ]
+  end;
+  report

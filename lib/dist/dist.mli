@@ -40,3 +40,35 @@ val strategy_rounds : Workload.t -> Placement.t * stats
     nibble rounds, one wave per object for deletion, and [2·height]
     mapping rounds, with heap-based [⌈log₂ degree⌉] work per copy
     movement. *)
+
+(** {1 Execution under injected faults} *)
+
+type fault_report =
+  | Recovered of {
+      placement : Placement.t;
+          (** equals {!Hbn_core.Strategy.run}'s placement *)
+      emulated : stats;  (** fault-free cost model of the full pipeline *)
+      nibble : Dist_nibble.robust_stats;  (** the actual hardened run *)
+      log : Faults.event list;
+    }
+  | Degraded of {
+      reason : [ `Round_limit | `Undecided | `Diverged ];
+      partial : int list array;  (** per-object copy sets decided so far *)
+      nibble : Dist_nibble.robust_stats;
+      log : Faults.event list;
+    }
+
+val run_with_faults :
+  ?max_rounds:int ->
+  ?timeout:int ->
+  ?faults:Faults.plan ->
+  Workload.t ->
+  fault_report
+(** Runs the hardened distributed nibble ({!Dist_nibble.run_robust})
+    under the plan and verifies the recovered copy sets against the
+    sequential {!Hbn_nibble.Nibble.place_all}. On agreement the rest of
+    the strategy proceeds as in the fault-free emulation and the report
+    is [Recovered] with the centralized placement; any other ending —
+    round budget exhausted, permanently crashed node, or (would be a
+    bug) divergence — is a structured [Degraded]. Never raises on
+    faults. *)

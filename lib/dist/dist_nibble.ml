@@ -1,5 +1,6 @@
 module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
+module Trace = Hbn_obs.Trace
 
 type msg =
   | Sub of { obj : int; h : int; w : int }
@@ -93,33 +94,81 @@ let finish_sub st ~node ~obj =
     else maybe_finish_min st ~node ~obj
   end
 
+(* One protocol message, applied to the local state. Shared between the
+   lossless step function and the fault-hardened one — the reliable link
+   layer below delivers each payload exactly once and in order, so the
+   handlers need no idempotence of their own. *)
+let handle st ~node ~sender msg =
+  match msg with
+  | Sub { obj; h; w = wr } ->
+    let i = child_index st sender in
+    st.child_h.(obj).(i) <- h;
+    st.child_w.(obj).(i) <- wr;
+    st.h_sub.(obj) <- st.h_sub.(obj) + h;
+    st.w_sub.(obj) <- st.w_sub.(obj) + wr;
+    st.subs_missing.(obj) <- st.subs_missing.(obj) - 1;
+    if st.subs_missing.(obj) = 0 then finish_sub st ~node ~obj
+  | Tot { obj; total_h; total_w } ->
+    st.total_h.(obj) <- total_h;
+    st.total_w.(obj) <- total_w;
+    List.iter (fun c -> enqueue st c (Tot { obj; total_h; total_w })) st.children;
+    maybe_finish_min st ~node ~obj
+  | Min_cand { obj; cand } ->
+    let i = child_index st sender in
+    st.child_min.(obj).(i) <- cand;
+    st.mins_missing.(obj) <- st.mins_missing.(obj) - 1;
+    maybe_finish_min st ~node ~obj
+  | Grav { obj; gravity } ->
+    decide st ~node ~obj ~gravity;
+    List.iter (fun c -> enqueue st c (Grav { obj; gravity })) st.children
+
+let neighbors_of (r : Tree.rooted) v =
+  (if v = r.Tree.root then [] else [ r.Tree.parent.(v) ])
+  @ Array.to_list r.Tree.children.(v)
+
+let proto_init w (r : Tree.rooted) objects v =
+  let children = Array.to_list r.Tree.children.(v) in
+  let nc = List.length children in
+  {
+    parent = r.Tree.parent.(v);
+    children;
+    child_h = Array.init objects (fun _ -> Array.make nc 0);
+    child_w = Array.init objects (fun _ -> Array.make nc 0);
+    subs_missing = Array.make objects nc;
+    h_sub = Array.init objects (fun obj -> Workload.weight w ~obj v);
+    w_sub = Array.init objects (fun obj -> Workload.writes w ~obj v);
+    total_h = Array.make objects (-1);
+    total_w = Array.make objects (-1);
+    child_min = Array.init objects (fun _ -> Array.make nc max_int);
+    mins_missing = Array.make objects nc;
+    holds_copy = Array.make objects false;
+    decided = Array.make objects false;
+    outq = List.map (fun u -> (u, Queue.create ())) (neighbors_of r v);
+  }
+
+(* Drain at most one queued message per incident edge. *)
+let drain_one st =
+  List.filter_map
+    (fun (u, q) ->
+      match Queue.take_opt q with Some m -> Some (u, m) | None -> None)
+    st.outq
+
+let collect_result tree objects states ~decided ~holds_copy =
+  let result = Array.make objects [] in
+  let undecided = ref 0 in
+  for obj = objects - 1 downto 0 do
+    for v = Tree.n tree - 1 downto 0 do
+      if not (decided states.(v) obj) then incr undecided
+      else if holds_copy states.(v) obj then result.(obj) <- v :: result.(obj)
+    done
+  done;
+  (result, !undecided)
+
 let run w =
   let tree = Workload.tree w in
   let r = Tree.rooting tree in
   let objects = Workload.num_objects w in
-  let init v =
-    let children = Array.to_list r.Tree.children.(v) in
-    let nc = List.length children in
-    let neighbors =
-      (if v = r.Tree.root then [] else [ r.Tree.parent.(v) ]) @ children
-    in
-    {
-      parent = r.Tree.parent.(v);
-      children;
-      child_h = Array.init objects (fun _ -> Array.make nc 0);
-      child_w = Array.init objects (fun _ -> Array.make nc 0);
-      subs_missing = Array.make objects nc;
-      h_sub = Array.init objects (fun obj -> Workload.weight w ~obj v);
-      w_sub = Array.init objects (fun obj -> Workload.writes w ~obj v);
-      total_h = Array.make objects (-1);
-      total_w = Array.make objects (-1);
-      child_min = Array.init objects (fun _ -> Array.make nc max_int);
-      mins_missing = Array.make objects nc;
-      holds_copy = Array.make objects false;
-      decided = Array.make objects false;
-      outq = List.map (fun u -> (u, Queue.create ())) neighbors;
-    }
-  in
+  let init = proto_init w r objects in
   let step ~round ~node st ~inbox =
     (* Nodes without children (and the single-node network's root) kick
        off their convergecast contributions in round 1. *)
@@ -127,49 +176,186 @@ let run w =
       for obj = 0 to objects - 1 do
         if st.subs_missing.(obj) = 0 then finish_sub st ~node ~obj
       done;
+    List.iter (fun (sender, msg) -> handle st ~node ~sender msg) inbox;
+    (st, drain_one st)
+  in
+  let out = Runtime.run tree ~init ~step in
+  if out.Runtime.termination = Runtime.Round_limit then
+    failwith "Runtime.run: round limit reached";
+  let result, undecided =
+    collect_result tree objects out.Runtime.states
+      ~decided:(fun st obj -> st.decided.(obj))
+      ~holds_copy:(fun st obj -> st.holds_copy.(obj))
+  in
+  if undecided > 0 then failwith "Dist_nibble.run: a node never decided";
+  (result, out.Runtime.stats)
+
+(* -- fault-hardened execution ------------------------------------------- *)
+
+(* A reliable link: stop-and-wait with cumulative acknowledgements over
+   one directed edge. Frames carry a sequence number, the highest
+   delivered sequence of the reverse direction (piggybacked ack), and an
+   optional payload; a frame with no payload is a pure ack. The sender
+   keeps at most one frame in flight and retransmits it every [timeout]
+   rounds until acked; the receiver delivers in sequence order exactly
+   once and re-acks duplicates. *)
+type frame = { seq : int; ack : int; payload : msg option }
+
+type link = {
+  mutable next_seq : int;  (* sequence for the next fresh payload *)
+  mutable unacked : (int * msg) option;  (* the frame in flight *)
+  mutable last_send : int;  (* round [unacked] was last transmitted *)
+  mutable expected : int;  (* next sequence to deliver from the peer *)
+  mutable ack_pending : bool;  (* delivered since our last frame out *)
+}
+
+type hardened_state = {
+  p : node_state;
+  links : (int * link) list;
+  mutable started : bool;
+      (* the convergecast kickoff ran — a flag rather than [round = 1] so
+         a node crashed in round 1 still initiates after its restart *)
+}
+
+type robust_stats = {
+  runtime : Runtime.stats;
+  retransmissions : int;
+  duplicates : int;
+  pure_acks : int;
+  undecided : int;
+}
+
+type outcome =
+  | Complete of {
+      placement : int list array;
+      stats : robust_stats;
+      log : Faults.event list;
+    }
+  | Degraded of {
+      reason : [ `Round_limit | `Undecided ];
+      partial : int list array;
+      stats : robust_stats;
+      log : Faults.event list;
+    }
+
+let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none) w
+    =
+  if timeout < 1 then invalid_arg "Dist_nibble.run_robust: timeout must be >= 1";
+  let tree = Workload.tree w in
+  let r = Tree.rooting tree in
+  let objects = Workload.num_objects w in
+  let retransmissions = ref 0 and duplicates = ref 0 and pure_acks = ref 0 in
+  let init v =
+    {
+      p = proto_init w r objects v;
+      links =
+        List.map
+          (fun u ->
+            ( u,
+              {
+                next_seq = 0;
+                unacked = None;
+                last_send = 0;
+                expected = 0;
+                ack_pending = false;
+              } ))
+          (neighbors_of r v);
+      started = false;
+    }
+  in
+  let step ~round ~node st ~inbox =
+    if not st.started then begin
+      st.started <- true;
+      for obj = 0 to objects - 1 do
+        if st.p.subs_missing.(obj) = 0 then finish_sub st.p ~node ~obj
+      done
+    end;
     List.iter
-      (fun (sender, msg) ->
-        match msg with
-        | Sub { obj; h; w = wr } ->
-          let i = child_index st sender in
-          st.child_h.(obj).(i) <- h;
-          st.child_w.(obj).(i) <- wr;
-          st.h_sub.(obj) <- st.h_sub.(obj) + h;
-          st.w_sub.(obj) <- st.w_sub.(obj) + wr;
-          st.subs_missing.(obj) <- st.subs_missing.(obj) - 1;
-          if st.subs_missing.(obj) = 0 then finish_sub st ~node ~obj
-        | Tot { obj; total_h; total_w } ->
-          st.total_h.(obj) <- total_h;
-          st.total_w.(obj) <- total_w;
-          List.iter
-            (fun c -> enqueue st c (Tot { obj; total_h; total_w }))
-            st.children;
-          maybe_finish_min st ~node ~obj
-        | Min_cand { obj; cand } ->
-          let i = child_index st sender in
-          st.child_min.(obj).(i) <- cand;
-          st.mins_missing.(obj) <- st.mins_missing.(obj) - 1;
-          maybe_finish_min st ~node ~obj
-        | Grav { obj; gravity } ->
-          decide st ~node ~obj ~gravity;
-          List.iter (fun c -> enqueue st c (Grav { obj; gravity })) st.children)
+      (fun (sender, fr) ->
+        let l = List.assoc sender st.links in
+        (match l.unacked with
+        | Some (s, _) when fr.ack >= s -> l.unacked <- None
+        | _ -> ());
+        match fr.payload with
+        | None -> ()
+        | Some m ->
+          if fr.seq = l.expected then begin
+            l.expected <- l.expected + 1;
+            l.ack_pending <- true;
+            handle st.p ~node ~sender m
+          end
+          else begin
+            (* A retransmit of something already delivered: the ack back
+               must have been lost, so re-ack. *)
+            incr duplicates;
+            l.ack_pending <- true
+          end)
       inbox;
-    (* Drain at most one queued message per incident edge. *)
     let sends =
       List.filter_map
-        (fun (u, q) ->
-          match Queue.take_opt q with Some m -> Some (u, m) | None -> None)
-        st.outq
+        (fun (peer, l) ->
+          let frame seq payload =
+            l.ack_pending <- false;
+            Some (peer, { seq; ack = l.expected - 1; payload })
+          in
+          match l.unacked with
+          | Some (s, m) ->
+            if round - l.last_send >= timeout then begin
+              incr retransmissions;
+              l.last_send <- round;
+              frame s (Some m)
+            end
+            else if l.ack_pending then begin
+              incr pure_acks;
+              frame (-1) None
+            end
+            else None
+          | None -> (
+            match Queue.take_opt (List.assoc peer st.p.outq) with
+            | Some m ->
+              let s = l.next_seq in
+              l.next_seq <- s + 1;
+              l.unacked <- Some (s, m);
+              l.last_send <- round;
+              frame s (Some m)
+            | None ->
+              if l.ack_pending then begin
+                incr pure_acks;
+                frame (-1) None
+              end
+              else None))
+        st.links
     in
     (st, sends)
   in
-  let states, stats = Runtime.run tree ~init ~step in
-  let result = Array.make objects [] in
-  for obj = objects - 1 downto 0 do
-    for v = Tree.n tree - 1 downto 0 do
-      if not states.(v).decided.(obj) then
-        failwith "Dist_nibble.run: a node never decided";
-      if states.(v).holds_copy.(obj) then result.(obj) <- v :: result.(obj)
-    done
-  done;
-  (result, stats)
+  let out =
+    Runtime.run ~max_rounds ~quiet_rounds:(timeout + 1) ~faults tree ~init
+      ~step
+  in
+  let placement, undecided =
+    collect_result tree objects out.Runtime.states
+      ~decided:(fun st obj -> st.p.decided.(obj))
+      ~holds_copy:(fun st obj -> st.p.holds_copy.(obj))
+  in
+  let stats =
+    {
+      runtime = out.Runtime.stats;
+      retransmissions = !retransmissions;
+      duplicates = !duplicates;
+      pure_acks = !pure_acks;
+      undecided;
+    }
+  in
+  if Trace.enabled () && !retransmissions > 0 then
+    Trace.count ~by:!retransmissions "dist.retransmissions";
+  match (out.Runtime.termination, undecided) with
+  | Runtime.Quiescent, 0 ->
+    Complete { placement; stats; log = out.Runtime.faults }
+  | Runtime.Round_limit, _ ->
+    Degraded
+      { reason = `Round_limit; partial = placement; stats;
+        log = out.Runtime.faults }
+  | Runtime.Quiescent, _ ->
+    Degraded
+      { reason = `Undecided; partial = placement; stats;
+        log = out.Runtime.faults }

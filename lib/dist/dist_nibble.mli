@@ -20,3 +20,56 @@ module Workload = Hbn_workload.Workload
 val run : Workload.t -> int list array * Runtime.stats
 (** [run w] executes the protocol; result [i] holds the nodes that
     decided to keep a copy of object [i] (ascending). *)
+
+(** {1 Fault-hardened execution}
+
+    {!run} assumes the synchronous model delivers every message. Under a
+    {!Faults.plan} it would wedge (a lost [Sub] stalls the convergecast
+    forever), so {!run_robust} wraps the identical protocol logic in a
+    reliable link layer: per-edge stop-and-wait with piggybacked
+    cumulative acknowledgements, retransmission after [timeout] silent
+    rounds, and in-order exactly-once delivery to the protocol handlers.
+    Crashed nodes resume from their frozen state on restart (the model's
+    stand-in for stable storage) and re-initiate their convergecast
+    contributions if the crash preempted round 1. *)
+
+type robust_stats = {
+  runtime : Runtime.stats;
+  retransmissions : int;  (** frames re-sent after a timeout *)
+  duplicates : int;  (** already-delivered frames received again *)
+  pure_acks : int;  (** frames carrying only an acknowledgement *)
+  undecided : int;  (** (node, object) pairs still open at the end *)
+}
+
+type outcome =
+  | Complete of {
+      placement : int list array;
+      stats : robust_stats;
+      log : Faults.event list;
+    }
+      (** Every node decided every object. Under bounded faults the
+          placement equals the one {!run} computes on the pristine
+          network — the tests and [simulate --faults] check it against
+          the sequential nibble. *)
+  | Degraded of {
+      reason : [ `Round_limit | `Undecided ];
+      partial : int list array;
+      stats : robust_stats;
+      log : Faults.event list;
+    }
+      (** The run ended without full agreement — the round budget ran
+          out, or quiescence was reached with open decisions (a
+          permanently crashed node). [partial] holds what was decided. *)
+
+val run_robust :
+  ?max_rounds:int ->
+  ?timeout:int ->
+  ?faults:Faults.plan ->
+  Workload.t ->
+  outcome
+(** [run_robust w] executes the hardened protocol under [faults]
+    (default {!Faults.none}). [timeout] (default 4) is the retransmit
+    interval in rounds; the quiescence window is [timeout + 1] so a lull
+    while retransmit timers tick is not mistaken for completion. Never
+    raises on faults — any ending is reported as an {!outcome}.
+    [Invalid_argument] only for [timeout < 1]. *)

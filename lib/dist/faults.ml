@@ -1,0 +1,190 @@
+module Prng = Hbn_prng.Prng
+module Sink = Hbn_obs.Sink
+
+type kind =
+  | Dropped of { edge : int; src : int; dst : int }
+  | Crashed of { node : int }
+  | Restarted of { node : int }
+  | Cut of { edge : int }
+  | Restored of { edge : int }
+
+type event = { round : int; kind : kind }
+
+type plan = {
+  seed : int;
+  drop : float;
+  drop_until : int;
+  crashes : (int * int * int) list;  (* (node, from, to) inclusive *)
+  cuts : (int * int * int) list;  (* (edge, from, to) inclusive *)
+}
+
+let none = { seed = 0; drop = 0.; drop_until = 64; crashes = []; cuts = [] }
+
+let check_window what (id, a, b) =
+  if id < 0 then
+    invalid_arg (Printf.sprintf "Faults.make: negative %s id %d" what id);
+  if a < 1 || b < a then
+    invalid_arg
+      (Printf.sprintf "Faults.make: bad %s window %d-%d (rounds start at 1)"
+         what a b)
+
+let make ?(seed = 0) ?(drop = 0.) ?(drop_until = 64) ?(crashes = [])
+    ?(cuts = []) () =
+  if drop < 0. || drop > 1. then
+    invalid_arg "Faults.make: drop probability must be in [0, 1]";
+  if drop_until < 0 then invalid_arg "Faults.make: negative drop horizon";
+  List.iter (check_window "node") crashes;
+  List.iter (check_window "edge") cuts;
+  { seed; drop; drop_until; crashes; cuts }
+
+let is_empty p = p.drop = 0. && p.crashes = [] && p.cuts = []
+
+let seed p = p.seed
+
+let quiet_after p =
+  List.fold_left
+    (fun acc (_, _, b) -> if b = max_int then max_int else max acc (b + 1))
+    0 (p.crashes @ p.cuts)
+
+(* -- queries ------------------------------------------------------------- *)
+
+let drops p ~round ~edge ~src =
+  p.drop > 0. && round <= p.drop_until
+  && Prng.hash_float ~seed:p.seed [ round; edge; src ] < p.drop
+
+let in_window round (_, a, b) = round >= a && round <= b
+
+let node_down p ~round ~node =
+  List.exists (fun ((n, _, _) as w) -> n = node && in_window round w) p.crashes
+
+let edge_cut p ~round ~edge =
+  List.exists (fun ((e, _, _) as w) -> e = edge && in_window round w) p.cuts
+
+(* -- spec grammar -------------------------------------------------------- *)
+
+let parse_window clause s =
+  (* "N:A-B" with B a round number or "inf". *)
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad %s clause %S (expected %s=ID:FROM-TO, TO a round or \"inf\")"
+         clause s clause)
+  in
+  match String.split_on_char ':' s with
+  | [ id; window ] -> (
+    match (int_of_string_opt id, String.split_on_char '-' window) with
+    | Some id, [ a; b ] -> (
+      let b = if b = "inf" then Some max_int else int_of_string_opt b in
+      match (int_of_string_opt a, b) with
+      | Some a, Some b -> Ok (id, a, b)
+      | _ -> fail ())
+    | _ -> fail ())
+  | _ -> fail ()
+
+let of_spec ?(seed = 0) s =
+  let ( let* ) r f = Result.bind r f in
+  let clauses =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let* () =
+    if clauses = [] then
+      Error "empty fault spec (an explicitly fault-free plan is \"drop=0\")"
+    else Ok ()
+  in
+  let* parsed =
+    List.fold_left
+      (fun acc clause ->
+        let* acc = acc in
+        match String.index_opt clause '=' with
+        | None -> Error (Printf.sprintf "clause %S has no '='" clause)
+        | Some i ->
+          let key = String.sub clause 0 i in
+          let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+          let* item =
+            match key with
+            | "drop" -> (
+              match float_of_string_opt v with
+              | Some p when p >= 0. && p <= 1. -> Ok (`Drop p)
+              | _ -> Error (Printf.sprintf "bad drop probability %S" v))
+            | "until" -> (
+              match int_of_string_opt v with
+              | Some r when r >= 0 -> Ok (`Until r)
+              | _ -> Error (Printf.sprintf "bad drop horizon %S" v))
+            | "crash" ->
+              let* w = parse_window "crash" v in
+              Ok (`Crash w)
+            | "cut" ->
+              let* w = parse_window "cut" v in
+              Ok (`Cut w)
+            | _ -> Error (Printf.sprintf "unknown fault clause %S" key)
+          in
+          Ok (item :: acc))
+      (Ok []) clauses
+  in
+  let parsed = List.rev parsed in
+  let pick f = List.filter_map f parsed in
+  let drop =
+    match pick (function `Drop p -> Some p | _ -> None) with
+    | [] -> Ok 0.
+    | [ p ] -> Ok p
+    | _ -> Error "duplicate drop clause"
+  in
+  let* drop = drop in
+  let* drop_until =
+    match pick (function `Until r -> Some r | _ -> None) with
+    | [] -> Ok 64
+    | [ r ] -> Ok r
+    | _ -> Error "duplicate until clause"
+  in
+  let crashes = pick (function `Crash w -> Some w | _ -> None) in
+  let cuts = pick (function `Cut w -> Some w | _ -> None) in
+  match make ~seed ~drop ~drop_until ~crashes ~cuts () with
+  | p -> Ok p
+  | exception Invalid_argument m -> Error m
+
+let to_spec p =
+  let window (id, a, b) =
+    if b = max_int then Printf.sprintf "%d:%d-inf" id a
+    else Printf.sprintf "%d:%d-%d" id a b
+  in
+  let clauses =
+    (if p.drop > 0. then
+       [ Printf.sprintf "drop=%g" p.drop; Printf.sprintf "until=%d" p.drop_until ]
+     else [])
+    @ List.map (fun w -> "crash=" ^ window w) p.crashes
+    @ List.map (fun w -> "cut=" ^ window w) p.cuts
+  in
+  (* The empty plan still renders to something {!of_spec} accepts. *)
+  if clauses = [] then "drop=0" else String.concat "," clauses
+
+(* -- rendering ----------------------------------------------------------- *)
+
+let describe ev =
+  let what =
+    match ev.kind with
+    | Dropped { edge; src; dst } ->
+      Printf.sprintf "message %d->%d dropped on edge %d" src dst edge
+    | Crashed { node } -> Printf.sprintf "crash of node %d" node
+    | Restarted { node } -> Printf.sprintf "restart of node %d" node
+    | Cut { edge } -> Printf.sprintf "outage of edge %d" edge
+    | Restored { edge } -> Printf.sprintf "edge %d restored" edge
+  in
+  Printf.sprintf "round %d: %s" ev.round what
+
+let sink_event ev =
+  let fault, node, edge =
+    match ev.kind with
+    | Dropped { edge; src; dst = _ } -> ("dropped", src, edge)
+    | Crashed { node } -> ("crashed", node, -1)
+    | Restarted { node } -> ("restarted", node, -1)
+    | Cut { edge } -> ("cut", -1, edge)
+    | Restored { edge } -> ("restored", -1, edge)
+  in
+  {
+    Sink.name = "runtime.fault";
+    id = 0;
+    parent = 0;
+    payload = Sink.Fault { round = ev.round; fault; node; edge };
+    attrs = [];
+  }

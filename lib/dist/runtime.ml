@@ -16,53 +16,141 @@ type stats = {
   max_node_messages : int;
 }
 
-let run ?(max_rounds = 100_000) tree ~init ~step =
+type termination = Quiescent | Round_limit
+
+type 'state outcome = {
+  states : 'state array;
+  stats : stats;
+  termination : termination;
+  faults : Faults.event list;
+}
+
+let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults tree ~init ~step =
+  if quiet_rounds < 1 then invalid_arg "Runtime.run: quiet_rounds must be >= 1";
   let n = Tree.n tree in
+  (* An empty plan and no plan are the same run, bit for bit. *)
+  let plan =
+    match faults with
+    | Some p when not (Faults.is_empty p) -> Some p
+    | _ -> None
+  in
+  let quiet_after = match plan with None -> 0 | Some p -> Faults.quiet_after p in
   let states = Array.init n init in
   let inboxes = Array.make n [] in
   let next_inboxes = Array.make n [] in
   let through = Array.make n 0 in
   let rounds = ref 0 and messages = ref 0 and max_inbox = ref 0 in
   let quiescent = ref false in
-  let is_neighbor v u =
-    Array.exists (fun (x, _) -> x = u) (Tree.neighbors tree v)
+  let termination = ref Quiescent in
+  let silent = ref 0 in
+  let log = ref [] (* reverse chronological *) in
+  let record round kind = log := { Faults.round; kind } :: !log in
+  (* Per-node neighbor membership, precomputed once: [edge_of.(v)] maps a
+     neighbor [u] to the id of the edge {v,u}. Sends used to re-scan
+     [Tree.neighbors] per message — O(degree), quadratic over a round on a
+     star — and the fault layer needs the edge id anyway. *)
+  let edge_of =
+    Array.init n (fun v ->
+        let nbrs = Tree.neighbors tree v in
+        let tbl = Hashtbl.create (Array.length nbrs) in
+        Array.iter (fun (u, e) -> Hashtbl.add tbl u e) nbrs;
+        tbl)
+  in
+  (* Crash/outage window transitions, logged as they open and close. *)
+  let down_prev = Array.make n false in
+  let cut_prev = Array.make (Tree.num_edges tree) false in
+  let log_transitions p round =
+    for v = 0 to n - 1 do
+      let d = Faults.node_down p ~round ~node:v in
+      if d <> down_prev.(v) then
+        record round
+          (if d then Faults.Crashed { node = v }
+           else Faults.Restarted { node = v });
+      down_prev.(v) <- d
+    done;
+    for e = 0 to Tree.num_edges tree - 1 do
+      let c = Faults.edge_cut p ~round ~edge:e in
+      if c <> cut_prev.(e) then
+        record round
+          (if c then Faults.Cut { edge = e } else Faults.Restored { edge = e });
+      cut_prev.(e) <- c
+    done
   in
   while not !quiescent do
-    if !rounds >= max_rounds then failwith "Runtime.run: round limit reached";
-    incr rounds;
-    let any_sent = ref false in
-    for v = 0 to n - 1 do
-      let inbox = List.rev inboxes.(v) in
-      inboxes.(v) <- [];
-      let k = List.length inbox in
-      if k > !max_inbox then max_inbox := k;
-      let state, sends = step ~round:!rounds ~node:v states.(v) ~inbox in
-      states.(v) <- state;
-      let used = Hashtbl.create 4 in
-      List.iter
-        (fun (target, msg) ->
-          if not (is_neighbor v target) then
-            invalid_arg
-              (Printf.sprintf "Runtime.run: node %d is no neighbor of %d"
-                 target v);
-          if Hashtbl.mem used target then
-            invalid_arg
-              (Printf.sprintf
-                 "Runtime.run: node %d sent twice over edge to %d in round %d"
-                 v target !rounds);
-          Hashtbl.add used target ();
-          any_sent := true;
-          incr messages;
-          through.(v) <- through.(v) + 1;
-          through.(target) <- through.(target) + 1;
-          next_inboxes.(target) <- (v, msg) :: next_inboxes.(target))
-        sends
-    done;
-    for v = 0 to n - 1 do
-      inboxes.(v) <- next_inboxes.(v);
-      next_inboxes.(v) <- []
-    done;
-    if not !any_sent then quiescent := true
+    if !rounds >= max_rounds then begin
+      termination := Round_limit;
+      quiescent := true
+    end
+    else begin
+      incr rounds;
+      let round = !rounds in
+      (match plan with None -> () | Some p -> log_transitions p round);
+      let any_sent = ref false in
+      for v = 0 to n - 1 do
+        let v_down =
+          match plan with
+          | None -> false
+          | Some p -> Faults.node_down p ~round ~node:v
+        in
+        if v_down then
+          (* A crashed node neither steps nor receives; its state is
+             frozen. Its inbox is empty by construction: messages to it
+             were dropped at send time. *)
+          inboxes.(v) <- []
+        else begin
+          let inbox = List.rev inboxes.(v) in
+          inboxes.(v) <- [];
+          let k = List.length inbox in
+          if k > !max_inbox then max_inbox := k;
+          let state, sends = step ~round ~node:v states.(v) ~inbox in
+          states.(v) <- state;
+          let used = Hashtbl.create 4 in
+          List.iter
+            (fun (target, msg) ->
+              (match Hashtbl.find_opt edge_of.(v) target with
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Runtime.run: node %d is no neighbor of %d"
+                     target v)
+              | Some edge ->
+                if Hashtbl.mem used target then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Runtime.run: node %d sent twice over edge to %d in \
+                        round %d"
+                       v target round);
+                Hashtbl.add used target ();
+                any_sent := true;
+                incr messages;
+                through.(v) <- through.(v) + 1;
+                through.(target) <- through.(target) + 1;
+                let lost =
+                  match plan with
+                  | None -> false
+                  | Some p ->
+                    Faults.edge_cut p ~round ~edge
+                    || Faults.drops p ~round ~edge ~src:v
+                    || Faults.node_down p ~round:(round + 1) ~node:target
+                in
+                if lost then
+                  record round (Faults.Dropped { edge; src = v; dst = target })
+                else next_inboxes.(target) <- (v, msg) :: next_inboxes.(target)))
+            sends
+        end
+      done;
+      for v = 0 to n - 1 do
+        inboxes.(v) <- next_inboxes.(v);
+        next_inboxes.(v) <- []
+      done;
+      if !any_sent then silent := 0 else incr silent;
+      (* Drop-tolerant termination detection: silence only proves
+         quiescence once every pending retransmit timer would have fired
+         ([quiet_rounds] consecutive silent rounds) and no crash or
+         outage window can still wake a node up ([quiet_after]). With no
+         plan and the default window of 1 this is the classic rule: one
+         round without sends. *)
+      if !silent >= quiet_rounds && round >= quiet_after then quiescent := true
+    end
   done;
   let stats =
     {
@@ -72,16 +160,31 @@ let run ?(max_rounds = 100_000) tree ~init ~step =
       max_node_messages = Array.fold_left max 0 through;
     }
   in
+  let faults_log = List.rev !log in
   if Trace.enabled () then begin
     Trace.count ~by:stats.messages "runtime.messages";
     Trace.count ~by:stats.rounds "runtime.rounds";
-    Trace.event "runtime.quiescent"
+    Trace.event
+      (match !termination with
+      | Quiescent -> "runtime.quiescent"
+      | Round_limit -> "runtime.round_limit")
       ~attrs:
         [
           ("rounds", Sink.Int stats.rounds);
           ("messages", Sink.Int stats.messages);
           ("max_inbox", Sink.Int stats.max_inbox);
           ("max_node_messages", Sink.Int stats.max_node_messages);
-        ]
+        ];
+    if plan <> None then begin
+      List.iter (fun ev -> Trace.emit (Faults.sink_event ev)) faults_log;
+      let dropped =
+        List.length
+          (List.filter
+             (fun ev ->
+               match ev.Faults.kind with Faults.Dropped _ -> true | _ -> false)
+             faults_log)
+      in
+      if dropped > 0 then Trace.count ~by:dropped "runtime.dropped"
+    end
   end;
-  (states, stats)
+  { states; stats; termination = !termination; faults = faults_log }

@@ -10,7 +10,15 @@
 
     The engine enforces the model: a node may only address its tree
     neighbors, and sending two messages over one edge in one round is an
-    error (that is what pipelining has to work around). *)
+    error (that is what pipelining has to work around). Neighbor
+    membership is precomputed per node once per run, so validating a
+    send is O(1) regardless of degree.
+
+    A {!Faults.plan} degrades the network deterministically: scheduled
+    messages are dropped, crashed nodes neither step nor receive (state
+    frozen until restart), and cut edges lose everything crossing them.
+    Every fault is logged. With no plan — or an empty one — the run is
+    bit-identical to the fault-free engine. *)
 
 module Tree = Hbn_tree.Tree
 
@@ -27,17 +35,56 @@ type ('state, 'msg) node_fn =
 type stats = {
   rounds : int;
   messages : int;
+      (** sends attempted, including those a fault plan then dropped *)
   max_inbox : int;  (** largest inbox any node saw in one round *)
   max_node_messages : int;  (** most messages through a single node *)
 }
 
+type termination =
+  | Quiescent  (** the protocol went silent — the normal ending *)
+  | Round_limit
+      (** [max_rounds] elapsed with traffic still flowing; the outcome
+          carries the partial states and everything counted so far *)
+
+type 'state outcome = {
+  states : 'state array;
+  stats : stats;
+  termination : termination;
+  faults : Faults.event list;  (** chronological fault log; [[]] without
+                                   a plan *)
+}
+
 val run :
   ?max_rounds:int ->
+  ?quiet_rounds:int ->
+  ?faults:Faults.plan ->
   Tree.t ->
   init:(int -> 'state) ->
   step:('state, 'msg) node_fn ->
-  'state array * stats
-(** Runs rounds until quiescence — a round in which no node sends
-    anything — or [max_rounds] (default 100_000; reaching it raises
-    [Failure]). Returns the final states. Raises [Invalid_argument] if a
-    node addresses a non-neighbor or doubles up on an edge. *)
+  'state outcome
+(** Runs rounds until quiescence or [max_rounds] (default 100_000;
+    reaching it yields [termination = Round_limit] instead of raising,
+    preserving states and stats). Raises [Invalid_argument] if a node
+    addresses a non-neighbor or doubles up on an edge — those are
+    protocol bugs, not runtime conditions.
+
+    [quiet_rounds] (default 1) is the termination-detection window: the
+    run is quiescent after that many consecutive rounds without a send.
+    Protocols with retransmit timers must pass their timeout plus one,
+    so a lull while every sender waits on a timer is not mistaken for
+    completion; under a fault plan the window additionally cannot close
+    before {!Faults.quiet_after}, since a crashed node may still restart
+    and resume sending.
+
+    [faults] applies a {!Faults.plan}: a message sent in round [r] is
+    delivered iff its edge is not cut in [r], the drop schedule spares
+    it in [r], and the target is not down in [r + 1]. Dropped messages
+    still count into [stats.messages] (the send happened) but never
+    reach an inbox. With [Faults.none] — or no plan — behavior, stats
+    and traces are bit-identical to the fault-free engine.
+
+    When {!Hbn_obs.Trace} is enabled, the run emits the
+    [runtime.messages] / [runtime.rounds] counters and a final
+    [runtime.quiescent] (or [runtime.round_limit]) event; under a
+    non-empty plan it additionally emits one [fault] event per log entry
+    and a [runtime.dropped] counter when any message was lost. *)

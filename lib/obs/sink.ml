@@ -15,6 +15,7 @@ type payload =
       p95 : float;
     }
   | Attribution of { edge : int; obj : int; component : string; amount : int }
+  | Fault of { round : int; fault : string; node : int; edge : int }
 
 type event = {
   name : string;
@@ -69,7 +70,8 @@ let to_json ev =
     | Counter _ -> "counter"
     | Gauge _ -> "gauge"
     | Histogram _ -> "histogram"
-    | Attribution _ -> "attribution");
+    | Attribution _ -> "attribution"
+    | Fault _ -> "fault");
   field "name" (fun b -> escape_to b ev.name);
   field "id" (fun b -> Buffer.add_string b (string_of_int ev.id));
   field "parent" (fun b -> Buffer.add_string b (string_of_int ev.parent));
@@ -91,7 +93,12 @@ let to_json ev =
     field "edge" (fun b -> Buffer.add_string b (string_of_int edge));
     field "obj" (fun b -> Buffer.add_string b (string_of_int obj));
     field "component" (fun b -> escape_to b component);
-    field "amount" (fun b -> Buffer.add_string b (string_of_int amount)));
+    field "amount" (fun b -> Buffer.add_string b (string_of_int amount))
+  | Fault { round; fault; node; edge } ->
+    field "round" (fun b -> Buffer.add_string b (string_of_int round));
+    field "fault" (fun b -> escape_to b fault);
+    field "node" (fun b -> Buffer.add_string b (string_of_int node));
+    field "edge" (fun b -> Buffer.add_string b (string_of_int edge)));
   Buffer.add_char buf ',';
   attrs_to buf ev.attrs;
   Buffer.add_char buf '}';
@@ -157,6 +164,14 @@ let of_json line =
                component = str "component";
                amount = int "amount";
              }
+         | "fault" ->
+           Fault
+             {
+               round = int "round";
+               fault = str "fault";
+               node = int "node";
+               edge = int "edge";
+             }
          | ev -> raise (Json.Parse (Printf.sprintf "unknown event kind %S" ev))
        in
        let attrs =
@@ -215,7 +230,8 @@ let timings () =
        | None ->
          Hashtbl.add tbl ev.name (ref 1, ref duration_ns);
          order := ev.name :: !order)
-    | Span_start | Point | Counter _ | Gauge _ | Histogram _ | Attribution _ ->
+    | Span_start | Point | Counter _ | Gauge _ | Histogram _ | Attribution _
+    | Fault _ ->
       ()
   in
   ( { emit; flush = (fun () -> ()) },

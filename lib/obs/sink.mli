@@ -21,13 +21,19 @@
     {"ev":"attribution","name":N,"id":0,"parent":P,"edge":E,"obj":O,
      "component":"read_path|write_path|write_steiner","amount":A,
      "attrs":{...}}
+    {"ev":"fault","name":N,"id":0,"parent":P,"round":R,
+     "fault":"dropped|crashed|restarted|cut|restored","node":V,"edge":E,
+     "attrs":{...}}
     v}
 
     [parent] is the id of the enclosing span (0 at top level). An
     [attribution] event reports one cell of a per-edge load-attribution
     table ({!Attribution}): object [O] contributes [A] absolute load
     units to edge [E] through the named component of Section 1.1's load
-    definition. *)
+    definition. A [fault] event reports one injected fault of a
+    [Runtime.run] under a fault plan — a dropped message, a node
+    crash/restart, or an edge outage opening/closing — with [node] or
+    [edge] set to [-1] when not applicable. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -46,6 +52,7 @@ type payload =
       p95 : float;
     }
   | Attribution of { edge : int; obj : int; component : string; amount : int }
+  | Fault of { round : int; fault : string; node : int; edge : int }
 
 type event = {
   name : string;

@@ -73,6 +73,23 @@ let zipf_sampler ~n ~s =
   let cdf = zipf_cdf ~n ~s in
   fun g -> search_cdf cdf (float g 1.0)
 
+(* Stateless hashing for schedule-style randomness: callers that must
+   answer "is event (a, b, c) selected?" in any order and from any domain
+   cannot thread a mutable generator through; they hash the coordinates
+   instead. Each word is folded through the SplitMix64 finalizer, so
+   adjacent coordinates land in unrelated points of the output space. *)
+let hash ~seed data =
+  let st = ref (mix64 (Int64.of_int seed)) in
+  List.iter
+    (fun v ->
+      st := mix64 (Int64.add (Int64.mul !st golden_gamma) (Int64.of_int v)))
+    data;
+  !st
+
+let hash_float ~seed data =
+  Int64.to_float (Int64.shift_right_logical (hash ~seed data) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
 let shuffle g arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int g (i + 1) in

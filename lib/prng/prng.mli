@@ -49,6 +49,16 @@ val zipf_sampler : n:int -> s:float -> t -> int
 (** [zipf_sampler ~n ~s] precomputes the CDF once and returns a sampling
     function using binary search; use when drawing many samples. *)
 
+val hash : seed:int -> int list -> int64
+(** [hash ~seed data] is a stateless, order-sensitive hash of the integer
+    coordinates [data] under [seed] (SplitMix64 finalizer per word). Used
+    for schedule-style randomness — e.g. "does the fault plan drop the
+    message of round [r] on edge [e]?" — where queries arrive in arbitrary
+    order and must not perturb each other. *)
+
+val hash_float : seed:int -> int list -> float
+(** [hash_float ~seed data] maps {!hash} uniformly into [\[0, 1)]. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

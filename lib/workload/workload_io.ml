@@ -66,6 +66,10 @@ let of_string tree s =
     else begin
       let w = Workload.empty tree ~objects:!objects in
       let problem = ref None in
+      (* A (object, node) pair may be declared once. Accumulating
+         duplicates silently used to double rates on concatenated or
+         hand-edited files; the error names both lines involved. *)
+      let declared = Hashtbl.create 64 in
       List.iter
         (fun (lineno, obj, node, r, wr) ->
           if !problem = None then
@@ -74,13 +78,23 @@ let of_string tree s =
             else if node < 0 || node >= Tree.n tree then
               problem := Some (Printf.sprintf "line %d: node %d out of range" lineno node)
             else
-              match
-                Workload.set_read w ~obj node (Workload.reads w ~obj node + r);
-                Workload.set_write w ~obj node (Workload.writes w ~obj node + wr)
-              with
-              | () -> ()
-              | exception Invalid_argument msg ->
-                problem := Some (Printf.sprintf "line %d: %s" lineno msg))
+              match Hashtbl.find_opt declared (obj, node) with
+              | Some first ->
+                problem :=
+                  Some
+                    (Printf.sprintf
+                       "line %d: duplicate rate for object %d at node %d \
+                        (first declared on line %d)"
+                       lineno obj node first)
+              | None -> (
+                Hashtbl.add declared (obj, node) lineno;
+                match
+                  Workload.set_read w ~obj node r;
+                  Workload.set_write w ~obj node wr
+                with
+                | () -> ()
+                | exception Invalid_argument msg ->
+                  problem := Some (Printf.sprintf "line %d: %s" lineno msg)))
         (List.rev !rates);
       match !problem with None -> Ok w | Some msg -> Error msg
     end

@@ -11,7 +11,10 @@
 
     Unlisted (object, processor) pairs have zero frequencies. Parsing
     validates against the tree: rates on non-processors or out-of-range
-    ids are rejected. *)
+    ids are rejected, and so is a second [rate] line for an (object,
+    processor) pair already declared — the error names both line
+    numbers. (Duplicates used to accumulate silently, doubling rates on
+    concatenated files.) *)
 
 val to_string : Workload.t -> string
 (** Render; only nonzero rates are emitted. *)

@@ -24,6 +24,11 @@ let check_ok what = function
   | Ok () -> ()
   | Error msg -> Alcotest.failf "%s: %s" what msg
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
 let profile_of prng =
   match Prng.int prng 3 with
   | 0 -> Builders.Uniform (Prng.int_in prng 1 4)

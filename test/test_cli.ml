@@ -49,6 +49,21 @@ let check_run name args expectations =
           Alcotest.failf "%s: missing %S in output:\n%s" name sub out)
       expectations
 
+let check_fails name args expectations =
+  match run_cli_merged args with
+  | None -> ()
+  | Some (status, out) ->
+    (match status with
+    | Unix.WEXITED 0 ->
+      Alcotest.failf "%s: expected a failing exit, got 0\n%s" name out
+    | Unix.WEXITED _ -> ()
+    | _ -> Alcotest.failf "%s: killed by a signal" name);
+    List.iter
+      (fun sub ->
+        if not (contains out sub) then
+          Alcotest.failf "%s: missing %S in output:\n%s" name sub out)
+      expectations
+
 let test_topology () =
   check_run "topology"
     [ "topology"; "--kind"; "star"; "--leaves"; "4" ]
@@ -107,6 +122,47 @@ let test_simulate () =
       "--objects"; "4" ]
     [ "makespan:"; "distributed computation" ]
 
+let faults_args extra =
+  [ "simulate"; "--kind"; "star"; "--leaves"; "8"; "--workload"; "uniform";
+    "--objects"; "6"; "--seed"; "3"; "--faults";
+    "drop=0.1,until=40,crash=2:5-20,cut=1:8-16" ]
+  @ extra
+
+let test_simulate_faults () =
+  check_run "simulate --faults" (faults_args [])
+    [
+      "fault plan: drop=0.1,until=40,crash=2:5-20,cut=1:8-16 (seed 3)";
+      "fault log:";
+      "hardened nibble:";
+      "recovered distributed placement: identical to centralized strategy";
+    ]
+
+(* The fault schedule is a pure function of (seed, plan): the whole
+   report — log counts included — must not depend on --jobs. *)
+let test_simulate_faults_jobs_identical () =
+  match (run_cli (faults_args [ "--jobs"; "1" ]),
+         run_cli (faults_args [ "--jobs"; "4" ])) with
+  | Some (Unix.WEXITED 0, o1), Some (Unix.WEXITED 0, o4) ->
+    Alcotest.(check string) "identical output at --jobs 1 and 4" o1 o4
+  | Some _, Some _ -> Alcotest.fail "simulate --faults exited non-zero"
+  | _ -> ()
+
+let test_simulate_faults_degraded () =
+  (* A node that never restarts: the run must end in a structured
+     degraded report with a non-zero exit, not an exception or a hang. *)
+  check_fails "simulate --faults permanent crash"
+    [ "simulate"; "--kind"; "star"; "--leaves"; "4"; "--objects"; "2";
+      "--seed"; "3"; "--faults"; "crash=1:1-inf" ]
+    [ "hbn_cli:"; "fault recovery degraded" ]
+
+let test_simulate_faults_bad_spec () =
+  check_fails "simulate --faults bad spec"
+    [ "simulate"; "--kind"; "star"; "--leaves"; "4"; "--faults"; "drop=woof" ]
+    [ "hbn_cli:"; "bad --faults spec" ];
+  check_fails "simulate --faults empty spec"
+    [ "simulate"; "--kind"; "star"; "--leaves"; "4"; "--faults"; "" ]
+    [ "hbn_cli:"; "bad --faults spec" ]
+
 (* explain runs its internal cross-checks (one-shot vs incremental vs
    evaluator) before printing anything, so a zero exit here is already a
    consistency statement; the output checks pin the three formats. *)
@@ -152,20 +208,6 @@ let test_save_load_roundtrip () =
     Sys.remove tmp)
 
 (* Every failure path must exit non-zero and say why on stderr. *)
-let check_fails name args expectations =
-  match run_cli_merged args with
-  | None -> ()
-  | Some (status, out) ->
-    (match status with
-    | Unix.WEXITED 0 ->
-      Alcotest.failf "%s: expected a failing exit, got 0\n%s" name out
-    | Unix.WEXITED _ -> ()
-    | _ -> Alcotest.failf "%s: killed by a signal" name);
-    List.iter
-      (fun sub ->
-        if not (contains out sub) then
-          Alcotest.failf "%s: missing %S in output:\n%s" name sub out)
-      expectations
 
 let test_failures_exit_nonzero () =
   check_fails "topology bad load"
@@ -264,6 +306,11 @@ let suite =
     Helpers.tc "cli gadget odd sum" test_gadget_odd;
     Helpers.tc "cli dynamic" test_dynamic;
     Helpers.tc "cli simulate" test_simulate;
+    Helpers.tc "cli simulate --faults" test_simulate_faults;
+    Helpers.tc "cli simulate --faults jobs-invariant"
+      test_simulate_faults_jobs_identical;
+    Helpers.tc "cli simulate --faults degraded" test_simulate_faults_degraded;
+    Helpers.tc "cli simulate --faults bad spec" test_simulate_faults_bad_spec;
     Helpers.tc "cli explain table" test_explain_table;
     Helpers.tc "cli explain json" test_explain_json;
     Helpers.tc "cli explain dot" test_explain_dot;

@@ -86,6 +86,29 @@ let test_workload_parse_errors () =
   (* node 0 is the bus *)
   err "objects 1\nrate 0 1 -2 0\n"
 
+(* Duplicate (object, node) rate lines used to accumulate silently —
+   concatenating two workload files doubled every shared rate. They are
+   now rejected, and the error names both lines. *)
+let test_workload_duplicate_rate_lines () =
+  let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  (match Workload_io.of_string t "objects 1\nrate 0 1 2 0\nrate 0 1 3 1\n" with
+  | Ok _ -> Alcotest.fail "duplicate rate lines must be rejected"
+  | Error m ->
+    List.iter
+      (fun needle ->
+        if not (Helpers.contains m needle) then
+          Alcotest.failf "error %S does not mention %S" m needle)
+      [ "line 3"; "line 2"; "duplicate rate" ]);
+  (* Distinct objects or nodes on separate lines stay legal. *)
+  match
+    Workload_io.of_string t "objects 2\nrate 0 1 2 0\nrate 1 1 3 0\nrate 0 2 1 1\n"
+  with
+  | Ok w ->
+    Alcotest.(check int) "obj 0 node 1" 2 (Workload.reads w ~obj:0 1);
+    Alcotest.(check int) "obj 1 node 1" 3 (Workload.reads w ~obj:1 1);
+    Alcotest.(check int) "obj 0 node 2 write" 1 (Workload.writes w ~obj:0 2)
+  | Error m -> Alcotest.failf "distinct rate lines rejected: %s" m
+
 let test_file_round_trip () =
   let dir = Filename.temp_file "hbn" "" in
   Sys.remove dir;
@@ -143,6 +166,7 @@ let suite =
     Helpers.tc "topology parse errors" test_topology_parse_errors;
     Helpers.tc "workload round trip" test_workload_round_trip_example;
     Helpers.tc "workload parse errors" test_workload_parse_errors;
+    Helpers.tc "workload duplicate rate lines" test_workload_duplicate_rate_lines;
     Helpers.tc "file round trips" test_file_round_trip;
     Helpers.tc "missing file" test_load_missing_file;
     Helpers.qt "random topologies round trip" Helpers.seed_arb

@@ -30,6 +30,7 @@ let () =
       ("ablation", Test_ablation.suite);
       ("io", Test_io.suite);
       ("runtime", Test_runtime.suite);
+      ("faults", Test_faults.suite);
       ("certificates", Test_certificates.suite);
       ("cli", Test_cli.suite);
       ("examples", Test_examples.suite);

@@ -221,6 +221,31 @@ let test_json_rejects_garbage () =
       "{\"ev\":\"point\",\"name\":\"x\",\"id\":0,\"parent\":0,\"attrs\":{}} trailing";
     ]
 
+let test_fault_event_roundtrips () =
+  (* One of each fault shape, including the -1 "not applicable" markers
+     the runtime uses for node-only and edge-only faults. *)
+  List.iter
+    (fun payload ->
+      let ev =
+        {
+          Sink.name = "runtime.fault";
+          id = 0;
+          parent = 0;
+          payload;
+          attrs = [ ("plan_seed", Sink.Int 9) ];
+        }
+      in
+      match Sink.of_json (Sink.to_json ev) with
+      | Ok ev' ->
+        if ev <> ev' then
+          Alcotest.failf "fault round trip mismatch: %s" (Sink.to_json ev)
+      | Error m -> Alcotest.failf "fault event unparseable: %s" m)
+    [
+      Sink.Fault { round = 7; fault = "dropped"; node = 2; edge = 3 };
+      Sink.Fault { round = 1; fault = "crashed"; node = 4; edge = -1 };
+      Sink.Fault { round = 12; fault = "restored"; node = -1; edge = 0 };
+    ]
+
 let test_nan_gauge_roundtrips () =
   let ev =
     {
@@ -311,6 +336,7 @@ let suite =
     Helpers.tc "JSONL round trip" test_jsonl_roundtrip;
     Helpers.tc "parser rejects garbage" test_json_rejects_garbage;
     Helpers.tc "nan gauge round-trips" test_nan_gauge_roundtrips;
+    Helpers.tc "fault events round-trip" test_fault_event_roundtrips;
     Helpers.tc "strategy trace has all three steps" test_strategy_trace_shape;
     Helpers.qt ~count:60 "tracing never changes strategy results"
       Helpers.seed_arb prop_tracing_does_not_change_results;

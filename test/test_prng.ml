@@ -108,6 +108,32 @@ let test_pick () =
   Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list")
     (fun () -> ignore (Prng.pick g []))
 
+let test_hash_stateless () =
+  (* The stateless hash backs the fault-injection drop schedule: equal
+     inputs must agree across calls, and every component of the input —
+     seed, values, order — must matter. *)
+  Alcotest.(check int64) "deterministic"
+    (Prng.hash ~seed:1 [ 1; 2; 3 ])
+    (Prng.hash ~seed:1 [ 1; 2; 3 ]);
+  Alcotest.(check bool) "seed sensitive" true
+    (Prng.hash ~seed:1 [ 1; 2; 3 ] <> Prng.hash ~seed:2 [ 1; 2; 3 ]);
+  Alcotest.(check bool) "value sensitive" true
+    (Prng.hash ~seed:1 [ 1; 2; 3 ] <> Prng.hash ~seed:1 [ 1; 2; 4 ]);
+  Alcotest.(check bool) "order sensitive" true
+    (Prng.hash ~seed:1 [ 1; 2; 3 ] <> Prng.hash ~seed:1 [ 3; 2; 1 ])
+
+let test_hash_float_range_and_balance () =
+  let inside = ref true and below = ref 0 in
+  let total = 2000 in
+  for i = 1 to total do
+    let f = Prng.hash_float ~seed:7 [ i; 0; 1 ] in
+    if not (f >= 0. && f < 1.) then inside := false;
+    if f < 0.5 then incr below
+  done;
+  Alcotest.(check bool) "all in [0, 1)" true !inside;
+  Alcotest.(check bool) "roughly balanced around 0.5" true
+    (!below > total * 2 / 5 && !below < total * 3 / 5)
+
 let prop_int_nonneg seed =
   let g = Prng.create seed in
   let bound = 1 + (seed mod 1000) in
@@ -137,6 +163,8 @@ let suite =
     Helpers.tc "zipf single call" test_zipf_single_call;
     Helpers.tc "shuffle is a permutation" test_shuffle_permutation;
     Helpers.tc "pick stays in list" test_pick;
+    Helpers.tc "stateless hash" test_hash_stateless;
+    Helpers.tc "hash_float range and balance" test_hash_float_range_and_balance;
     Helpers.qt "int in range" Helpers.seed_arb prop_int_nonneg;
     Helpers.qt "split deterministic" Helpers.seed_arb prop_split_deterministic;
   ]

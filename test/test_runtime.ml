@@ -23,13 +23,17 @@ let test_engine_convergecast () =
       ((missing, acc, sent), [])
     end
   in
-  let states, stats = Runtime.run t ~init ~step in
-  let _, root_acc, _ = states.(r.Tree.root) in
+  let out = Runtime.run t ~init ~step in
+  let _, root_acc, _ = out.Runtime.states.(r.Tree.root) in
   Alcotest.(check int) "root counted the leaves" (Tree.num_leaves t) root_acc;
   Alcotest.(check int) "one message per non-root node" (Tree.n t - 1)
-    stats.Runtime.messages;
+    out.Runtime.stats.Runtime.messages;
   Alcotest.(check bool) "rounds ~ height" true
-    (stats.Runtime.rounds >= Tree.height t)
+    (out.Runtime.stats.Runtime.rounds >= Tree.height t);
+  Alcotest.(check bool) "quiescent" true
+    (out.Runtime.termination = Runtime.Quiescent);
+  Alcotest.(check int) "no faults without a plan" 0
+    (List.length out.Runtime.faults)
 
 let test_engine_rejects_non_neighbor () =
   let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 1) in
@@ -54,14 +58,17 @@ let test_engine_rejects_double_send () =
 
 let test_engine_round_limit () =
   let t = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
-  (try
-     (* Nodes 1 and 0 ping-pong forever. *)
-     ignore
-       (Runtime.run ~max_rounds:50 t ~init:(fun _ -> ()) ~step:(fun ~round:_ ~node () ~inbox ->
-            ignore inbox;
-            if node = 1 then ((), [ (0, ()) ]) else ((), [])));
-     Alcotest.fail "expected round limit"
-   with Failure _ -> ())
+  (* Node 1 talks forever: the engine must stop at the budget and report
+     it as a structured outcome, not raise. *)
+  let out =
+    Runtime.run ~max_rounds:50 t ~init:(fun _ -> ())
+      ~step:(fun ~round:_ ~node () ~inbox ->
+        ignore inbox;
+        if node = 1 then ((), [ (0, ()) ]) else ((), []))
+  in
+  Alcotest.(check bool) "round limit reported" true
+    (out.Runtime.termination = Runtime.Round_limit);
+  Alcotest.(check int) "stats survive" 50 out.Runtime.stats.Runtime.rounds
 
 let test_dist_nibble_hand_example () =
   let t = Builders.star ~leaves:3 ~profile:(Builders.Uniform 1) in
