@@ -6,7 +6,7 @@
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
 .PHONY: all build test check bench bench-check bench-loads bench-parallel \
-	bench-faults clean
+	bench-faults report-smoke clean
 
 all: build
 
@@ -23,8 +23,10 @@ test:
 # hardened distributed protocol under a seeded drop/crash/cut plan and
 # requires recovery (no JSON written by any of the three); the
 # simulate --faults line exercises the same machinery end to end
-# through the CLI; bench-check re-runs the pipeline and fault case
-# matrices and diffs their deterministic fields against the committed
+# through the CLI; report-smoke drives --trace/--telemetry recording and
+# the report command's three renderers; bench-check re-runs the pipeline
+# and fault case matrices and diffs their deterministic fields (now
+# including the telemetry series) against the committed
 # BENCH_pipeline.json and BENCH_faults.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
@@ -34,6 +36,7 @@ check:
 	       --height 3 --workload zipf --objects 8 --seed 7 \
 	       --faults "drop=0.15,until=60,crash=2:10-30" \
 	  && dune exec test/test_main.exe -- test exec \
+	  && $(MAKE) report-smoke \
 	  && $(MAKE) bench-check
 
 bench:
@@ -51,6 +54,32 @@ bench-check:
 # under seeded drop/crash/cut plans; writes BENCH_faults.json.
 bench-faults:
 	dune exec bench/faults.exe
+
+# Trace-analytics smoke: trace a pipeline run plus a telemetry-recording
+# fault run, then feed both files to `report` in all three formats
+# (table to the terminal, json/chrome parse-checked by the command
+# itself — any malformed line or analysis crash fails the target).
+report-smoke:
+	dune build bin/hbn_cli.exe
+	dune exec --no-build bin/hbn_cli.exe -- place --kind balanced --arity 3 \
+	  --height 3 --workload zipf --objects 8 --seed 7 \
+	  --trace /tmp/hbn_report_smoke_trace.jsonl > /dev/null
+	dune exec --no-build bin/hbn_cli.exe -- simulate --kind balanced \
+	  --arity 3 --height 2 --workload zipf --seed 7 \
+	  --faults "drop=0.1,until=50" \
+	  --telemetry /tmp/hbn_report_smoke_tel.jsonl > /dev/null
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_trace.jsonl
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_trace.jsonl \
+	  --format json > /dev/null
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_trace.jsonl \
+	  --format chrome > /dev/null
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_tel.jsonl
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_tel.jsonl \
+	  --format json > /dev/null
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_tel.jsonl \
+	  --format chrome > /dev/null
+	rm -f /tmp/hbn_report_smoke_trace.jsonl /tmp/hbn_report_smoke_tel.jsonl
+	@echo "report-smoke: table/json/chrome renderers ok on trace + telemetry"
 
 # Scratch vs incremental hill-climb throughput; writes BENCH_loads.json.
 bench-loads:

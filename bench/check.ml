@@ -126,6 +126,10 @@ let check_fault_case baseline fresh =
     check_int "fault_events" fresh.FC.fault_events;
     check_int "dropped" fresh.FC.dropped;
     check_int "undecided" fresh.FC.undecided;
+    check_int "tel_points" fresh.FC.tel_points;
+    check_int "tel_sent" fresh.FC.tel_sent;
+    check_int "tel_bytes" fresh.FC.tel_bytes;
+    check_int "tel_peak_sent" fresh.FC.tel_peak_sent;
     let b_congestion = fmt_congestion (get "congestion" Json.to_float baseline) in
     let f_congestion = fmt_congestion fresh.FC.congestion in
     if b_congestion <> f_congestion then

@@ -18,6 +18,7 @@ module Dist = Hbn_dist.Dist
 module Dist_nibble = Hbn_dist.Dist_nibble
 module Faults = Hbn_dist.Faults
 module Runtime = Hbn_dist.Runtime
+module Telemetry = Hbn_obs.Telemetry
 
 let schema = "hbn.bench.faults/v1"
 let seed = 20260806
@@ -39,6 +40,12 @@ type case = {
   dropped : int;
   undecided : int;
   congestion : float;  (* recovered placement; -1 when degraded *)
+  (* Telemetry series fields — as deterministic as the run itself, so a
+     diff means the collector (folding, edge cut, hooks) changed. *)
+  tel_points : int;  (* retained points after bounded-memory folding *)
+  tel_sent : int;  (* Σ sent over the series = total frames attempted *)
+  tel_bytes : int;  (* Σ bytes over the series *)
+  tel_peak_sent : int;  (* busiest point's sent count *)
 }
 
 let topologies () =
@@ -64,7 +71,8 @@ let run_case ~prng ~topology:(tname, tree) ~plan:spec =
     | Ok p -> p
     | Error e -> invalid_arg (Printf.sprintf "fault_cases: bad plan %S: %s" spec e)
   in
-  let report = Dist.run_with_faults ~max_rounds ~faults:plan w in
+  let telemetry = Telemetry.create ~num_edges:(Tree.num_edges tree) () in
+  let report = Dist.run_with_faults ~max_rounds ~faults:plan ~telemetry w in
   let outcome, nibble, log, congestion =
     match report with
     | Dist.Recovered { placement; nibble; log; _ } ->
@@ -97,6 +105,19 @@ let run_case ~prng ~topology:(tname, tree) ~plan:spec =
     dropped;
     undecided = nibble.Dist_nibble.undecided;
     congestion;
+    tel_points = List.length (Telemetry.points telemetry);
+    tel_sent =
+      List.fold_left
+        (fun acc p -> acc + p.Telemetry.sent)
+        0 (Telemetry.points telemetry);
+    tel_bytes =
+      List.fold_left
+        (fun acc p -> acc + p.Telemetry.bytes)
+        0 (Telemetry.points telemetry);
+    tel_peak_sent =
+      List.fold_left
+        (fun acc p -> max acc p.Telemetry.sent)
+        0 (Telemetry.points telemetry);
   }
 
 let all () =
@@ -110,6 +131,8 @@ let json_of_case c =
     "    {\"topology\":%S,\"plan\":%S,\"outcome\":%S,\"rounds\":%d,\
      \"messages\":%d,\"retransmissions\":%d,\"duplicates\":%d,\
      \"pure_acks\":%d,\"fault_events\":%d,\"dropped\":%d,\"undecided\":%d,\
-     \"congestion\":%.3f}"
+     \"congestion\":%.3f,\"tel_points\":%d,\"tel_sent\":%d,\"tel_bytes\":%d,\
+     \"tel_peak_sent\":%d}"
     c.topology c.plan c.outcome c.rounds c.messages c.retransmissions
     c.duplicates c.pure_acks c.fault_events c.dropped c.undecided c.congestion
+    c.tel_points c.tel_sent c.tel_bytes c.tel_peak_sent

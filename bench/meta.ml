@@ -6,16 +6,19 @@
    can tell an algorithmic change from a host change. The deterministic
    payload fields follow; bench/check.exe ignores "meta" entirely. *)
 
+(* Best-effort only: spawning can fail (no /bin/sh, fork limits), git can
+   be absent or print nothing (not a repo, empty repo), and reaping can
+   raise (ECHILD under some process managers). Every such path must
+   degrade to "unknown" — a bench run on a weird host should still write
+   a valid baseline, just an unattributed one. *)
 let git_describe () =
-  try
-    let ic =
-      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
-    in
-    let line = try input_line ic with End_of_file -> "" in
-    match Unix.close_process_in ic with
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+    let line = String.trim (try input_line ic with _ -> "") in
+    (match Unix.close_process_in ic with
     | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown"
-  with _ -> "unknown"
+    | _ | (exception _) -> "unknown")
 
 (* The opening brace, schema and meta fields of one BENCH file; the
    caller appends its own fields after the trailing comma. *)

@@ -29,6 +29,8 @@ module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Metrics = Hbn_obs.Metrics
 module Attribution = Hbn_obs.Attribution
+module Telemetry = Hbn_obs.Telemetry
+module Report = Hbn_obs.Report
 module Exec = Hbn_exec.Exec
 
 open Cmdliner
@@ -635,6 +637,20 @@ let gadget_cmd =
 
 let simulate_cmd =
   let scale = Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Frequency downscaling for the simulation.") in
+  let telemetry_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Record per-round runtime telemetry (sent/delivered/dropped \
+             messages, bytes, retransmits, duplicate suppressions, live \
+             nodes, hottest-edge utilization) and write it to $(docv) as \
+             JSONL series events — the packet simulation under prefix \
+             $(b,sim), the hardened distributed protocol (with --faults) \
+             under prefix $(b,dist). Feed the file to $(b,hbn_cli report). \
+             The series is bit-identical across reruns and --jobs values.")
+  in
   let faults_spec =
     Arg.(
       value
@@ -651,13 +667,22 @@ let simulate_cmd =
              --seed, so reruns are bit-identical.")
   in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      scale faults_spec opts =
+      scale faults_spec telemetry_path opts =
     with_run_opts opts @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
     let w = build_workload wkind ~prng t ~objects in
+    (* One collector per engine so the sim schedule and the distributed
+       protocol each get their own round axis in the output file. *)
+    let mk_tel () =
+      Option.map
+        (fun _ -> Telemetry.create ~num_edges:(Tree.num_edges t) ())
+        telemetry_path
+    in
+    let sim_tel = mk_tel () in
+    let dist_tel = mk_tel () in
     let res = Strategy.run ~exec w in
-    let out = Sim.run ~scale w res.Strategy.placement in
+    let out = Sim.run ~scale ?telemetry:sim_tel w res.Strategy.placement in
     Printf.printf "packets: %d, edge transmissions: %d\n" out.Sim.packets
       out.Sim.transmissions;
     Printf.printf "makespan: %d rounds (lower bound %.1f)\n" out.Sim.makespan
@@ -679,9 +704,10 @@ let simulate_cmd =
           die "%s diverges from centralized strategy: congestion %.3f vs %.3f"
             what cd cc
     in
-    match faults_spec with
-    | None ->
-      let placement, stats = Dist.strategy_rounds w in
+    let () =
+      match faults_spec with
+      | None ->
+        let placement, stats = Dist.strategy_rounds w in
       check_against_centralized ~what:"distributed placement" placement;
       Printf.printf
         "distributed computation of the placement: %d rounds, %d messages, max node work %d\n"
@@ -719,7 +745,7 @@ let simulate_cmd =
           ns.Dist_nibble.retransmissions ns.Dist_nibble.duplicates
           ns.Dist_nibble.pure_acks
       in
-      (match Dist.run_with_faults ~faults:plan w with
+      (match Dist.run_with_faults ~faults:plan ?telemetry:dist_tel w with
       | Dist.Recovered { placement; nibble; log; _ } ->
         summarize_log log;
         print_nibble nibble;
@@ -734,11 +760,84 @@ let simulate_cmd =
           | `Undecided -> "quiescent with undecided nodes"
           | `Diverged -> "recovered placement diverges from sequential nibble")
           nibble.Dist_nibble.undecided)
+    in
+    match telemetry_path with
+    | None -> ()
+    | Some path -> (
+      match open_out path with
+      | exception Sys_error m -> die "cannot open telemetry file: %s" m
+      | oc ->
+        let sink = Sink.jsonl oc in
+        let dump prefix tel =
+          Option.iter (fun t -> Telemetry.emit t ~prefix sink.Sink.emit) tel
+        in
+        dump "sim" sim_tel;
+        dump "dist" dist_tel;
+        sink.Sink.flush ();
+        close_out oc;
+        let rounds tel =
+          match tel with Some t -> Telemetry.rounds_recorded t | None -> 0
+        in
+        Printf.printf "telemetry: %d sim rounds%s -> %s\n" (rounds sim_tel)
+          (if rounds dist_tel > 0 then
+             Printf.sprintf " + %d dist rounds" (rounds dist_tel)
+           else "")
+          path)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
           $ bandwidth $ workload_kind $ objects $ scale $ faults_spec
-          $ run_opts_term)
+          $ telemetry_file $ run_opts_term)
+
+(* -- report ------------------------------------------------------------- *)
+
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "JSONL trace to analyze — written by $(b,--trace) or \
+             $(b,--telemetry) on any pipeline subcommand.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("chrome", `Chrome) ])
+          `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) prints a human-readable report \
+             (phases, critical path, counters, series, hottest edges), \
+             $(b,json) a hbn.report/v1 document, $(b,chrome) Chrome \
+             trace-event JSON — load it in Perfetto (ui.perfetto.dev) or \
+             chrome://tracing to browse the trace as a flame chart.")
+  in
+  let top =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Rows in the hottest-edge table (default 5).")
+  in
+  let run file format top =
+    if top < 1 then die "--top must be >= 1 (got %d)" top;
+    match Report.load ~path:file with
+    | Error m -> die "%s" m
+    | Ok r -> (
+      match format with
+      | `Table -> print_string (Report.to_table ~top r)
+      | `Json -> print_endline (Report.to_json ~top r)
+      | `Chrome -> print_endline (Report.to_chrome r))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyze a recorded JSONL trace offline: per-phase self/total \
+          time, the critical path, counter and telemetry-series rollups, \
+          hottest edges over time.")
+    Term.(const run $ file $ format $ top)
 
 let () =
   let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in
@@ -748,5 +847,5 @@ let () =
        (Cmd.group info
           [
             topology_cmd; workload_cmd; place_cmd; compare_cmd; explain_cmd;
-            gadget_cmd; simulate_cmd; dynamic_cmd;
+            gadget_cmd; simulate_cmd; dynamic_cmd; report_cmd;
           ]))

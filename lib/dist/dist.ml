@@ -161,9 +161,9 @@ let reason_name = function
   | `Undecided -> "undecided"
   | `Diverged -> "diverged"
 
-let run_with_faults ?max_rounds ?timeout ?(faults = Faults.none) w =
+let run_with_faults ?max_rounds ?timeout ?(faults = Faults.none) ?telemetry w =
   let report =
-    match Dist_nibble.run_robust ?max_rounds ?timeout ~faults w with
+    match Dist_nibble.run_robust ?max_rounds ?timeout ~faults ?telemetry w with
     | Dist_nibble.Degraded { reason; partial; stats; log } ->
       Degraded
         {

@@ -62,6 +62,7 @@ val run_with_faults :
   ?max_rounds:int ->
   ?timeout:int ->
   ?faults:Faults.plan ->
+  ?telemetry:Hbn_obs.Telemetry.t ->
   Workload.t ->
   fault_report
 (** Runs the hardened distributed nibble ({!Dist_nibble.run_robust})
@@ -71,4 +72,6 @@ val run_with_faults :
     is [Recovered] with the centralized placement; any other ending —
     round budget exhausted, permanently crashed node, or (would be a
     bug) divergence — is a structured [Degraded]. Never raises on
-    faults. *)
+    faults. [telemetry] is passed through to the hardened run
+    ({!Dist_nibble.run_robust}) so the recovery's round-by-round message
+    and retransmission pressure lands in the collector. *)

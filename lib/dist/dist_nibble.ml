@@ -1,6 +1,7 @@
 module Tree = Hbn_tree.Tree
 module Workload = Hbn_workload.Workload
 module Trace = Hbn_obs.Trace
+module Telemetry = Hbn_obs.Telemetry
 
 type msg =
   | Sub of { obj : int; h : int; w : int }
@@ -238,13 +239,30 @@ type outcome =
       log : Faults.event list;
     }
 
-let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none) w
-    =
+(* Frame sizing for the telemetry byte series: a link-layer header of
+   two ints (seq + piggybacked ack), plus the payload's own fields. *)
+let msg_payload_bytes = function
+  | Sub _ | Tot _ -> 24  (* obj + two aggregates *)
+  | Min_cand _ | Grav _ -> 16  (* obj + one value *)
+
+let frame_bytes fr =
+  16 + match fr.payload with None -> 0 | Some m -> msg_payload_bytes m
+
+let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none)
+    ?telemetry w =
   if timeout < 1 then invalid_arg "Dist_nibble.run_robust: timeout must be >= 1";
   let tree = Workload.tree w in
   let r = Tree.rooting tree in
   let objects = Workload.num_objects w in
   let retransmissions = ref 0 and duplicates = ref 0 and pure_acks = ref 0 in
+  (* Protocol-level telemetry hooks: these fire from inside [step],
+     between the runtime's begin_round/end_round, so retransmits and
+     duplicate suppressions land in the round they happened in. *)
+  let tel_retransmit () =
+    match telemetry with None -> () | Some t -> Telemetry.retransmit t
+  and tel_duplicate () =
+    match telemetry with None -> () | Some t -> Telemetry.duplicate t
+  in
   let init v =
     {
       p = proto_init w r objects v;
@@ -288,6 +306,7 @@ let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none) w
             (* A retransmit of something already delivered: the ack back
                must have been lost, so re-ack. *)
             incr duplicates;
+            tel_duplicate ();
             l.ack_pending <- true
           end)
       inbox;
@@ -302,6 +321,7 @@ let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none) w
           | Some (s, m) ->
             if round - l.last_send >= timeout then begin
               incr retransmissions;
+              tel_retransmit ();
               l.last_send <- round;
               frame s (Some m)
             end
@@ -329,8 +349,8 @@ let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none) w
     (st, sends)
   in
   let out =
-    Runtime.run ~max_rounds ~quiet_rounds:(timeout + 1) ~faults tree ~init
-      ~step
+    Runtime.run ~max_rounds ~quiet_rounds:(timeout + 1) ~faults ?telemetry
+      ~msg_bytes:frame_bytes tree ~init ~step
   in
   let placement, undecided =
     collect_result tree objects out.Runtime.states

@@ -65,6 +65,7 @@ val run_robust :
   ?max_rounds:int ->
   ?timeout:int ->
   ?faults:Faults.plan ->
+  ?telemetry:Hbn_obs.Telemetry.t ->
   Workload.t ->
   outcome
 (** [run_robust w] executes the hardened protocol under [faults]
@@ -72,4 +73,11 @@ val run_robust :
     interval in rounds; the quiescence window is [timeout + 1] so a lull
     while retransmit timers tick is not mistaken for completion. Never
     raises on faults — any ending is reported as an {!outcome}.
-    [Invalid_argument] only for [timeout < 1]. *)
+    [Invalid_argument] only for [timeout < 1].
+
+    [telemetry] threads a fresh {!Hbn_obs.Telemetry} collector through
+    the underlying {!Runtime.run}: per-round sends/deliveries/drops and
+    per-edge traversals from the engine, frame bytes from a sizer that
+    charges a 16-byte link header plus the payload's fields, and
+    retransmissions/duplicate-suppressions attributed to the round they
+    occur in. *)

@@ -1,6 +1,7 @@
 module Tree = Hbn_tree.Tree
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
+module Telemetry = Hbn_obs.Telemetry
 
 type ('state, 'msg) node_fn =
   round:int ->
@@ -25,7 +26,8 @@ type 'state outcome = {
   faults : Faults.event list;
 }
 
-let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults tree ~init ~step =
+let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
+    ?(msg_bytes = fun _ -> 1) tree ~init ~step =
   if quiet_rounds < 1 then invalid_arg "Runtime.run: quiet_rounds must be >= 1";
   let n = Tree.n tree in
   (* An empty plan and no plan are the same run, bit for bit. *)
@@ -84,19 +86,25 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults tree ~init ~step =
     else begin
       incr rounds;
       let round = !rounds in
+      (match telemetry with
+      | None -> ()
+      | Some tel -> Telemetry.begin_round tel ~round);
       (match plan with None -> () | Some p -> log_transitions p round);
       let any_sent = ref false in
+      let live = ref n in
       for v = 0 to n - 1 do
         let v_down =
           match plan with
           | None -> false
           | Some p -> Faults.node_down p ~round ~node:v
         in
-        if v_down then
+        if v_down then begin
           (* A crashed node neither steps nor receives; its state is
              frozen. Its inbox is empty by construction: messages to it
              were dropped at send time. *)
+          decr live;
           inboxes.(v) <- []
+        end
         else begin
           let inbox = List.rev inboxes.(v) in
           inboxes.(v) <- [];
@@ -124,6 +132,9 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults tree ~init ~step =
                 incr messages;
                 through.(v) <- through.(v) + 1;
                 through.(target) <- through.(target) + 1;
+                (match telemetry with
+                | None -> ()
+                | Some tel -> Telemetry.send tel ~edge ~bytes:(msg_bytes msg));
                 let lost =
                   match plan with
                   | None -> false
@@ -132,8 +143,12 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults tree ~init ~step =
                     || Faults.drops p ~round ~edge ~src:v
                     || Faults.node_down p ~round:(round + 1) ~node:target
                 in
-                if lost then
+                if lost then begin
+                  (match telemetry with
+                  | None -> ()
+                  | Some tel -> Telemetry.drop tel);
                   record round (Faults.Dropped { edge; src = v; dst = target })
+                end
                 else next_inboxes.(target) <- (v, msg) :: next_inboxes.(target)))
             sends
         end
@@ -142,6 +157,9 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults tree ~init ~step =
         inboxes.(v) <- next_inboxes.(v);
         next_inboxes.(v) <- []
       done;
+      (match telemetry with
+      | None -> ()
+      | Some tel -> Telemetry.end_round tel ~live_nodes:!live);
       if !any_sent then silent := 0 else incr silent;
       (* Drop-tolerant termination detection: silence only proves
          quiescence once every pending retransmit timer would have fired

@@ -58,6 +58,8 @@ val run :
   ?max_rounds:int ->
   ?quiet_rounds:int ->
   ?faults:Faults.plan ->
+  ?telemetry:Hbn_obs.Telemetry.t ->
+  ?msg_bytes:('msg -> int) ->
   Tree.t ->
   init:(int -> 'state) ->
   step:('state, 'msg) node_fn ->
@@ -82,6 +84,15 @@ val run :
     still count into [stats.messages] (the send happened) but never
     reach an inbox. With [Faults.none] — or no plan — behavior, stats
     and traces are bit-identical to the fault-free engine.
+
+    [telemetry] records one {!Hbn_obs.Telemetry} sample per round —
+    sends, deliveries, drops, bytes, live nodes, per-edge traversals —
+    into a caller-owned collector ([begin_round]/[end_round] are driven
+    here; protocol hooks like retransmit counting fire from [step] in
+    between). Pass a fresh collector per run: rounds restart at 1.
+    [msg_bytes] sizes one message's payload for the byte series
+    (default: 1 abstract unit per message). Recording is pure
+    bookkeeping on the side; behavior, stats and traces are unchanged.
 
     When {!Hbn_obs.Trace} is enabled, the run emits the
     [runtime.messages] / [runtime.rounds] counters and a final

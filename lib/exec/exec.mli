@@ -13,8 +13,11 @@
     — results land in index order regardless of which domain computed
     them — so a pipeline whose tasks are pure functions of their index
     produces bit-identical output at any [jobs]. Tasks must not touch
-    shared mutable state; in this codebase that means no {!Hbn_obs.Trace}
-    spans inside tasks (the sequential merge phases emit them instead). *)
+    shared mutable state. {!Hbn_obs.Trace} is domain-safe (a mutex
+    serializes emission), so a span inside a task is not a race — but
+    its position in the trace would depend on scheduling, so pipeline
+    tasks still emit no spans and leave tracing to the sequential merge
+    phases, keeping traces byte-identical at any job count. *)
 
 type t
 

@@ -1,0 +1,574 @@
+module Table = Hbn_util.Table
+
+(* One reconstructed span. [dur_ns < 0] marks a span whose end never
+   made it into the trace (crash mid-run, truncated file): it still
+   anchors its children but contributes no durations. *)
+type node = {
+  id : int;
+  name : string;
+  parent : int;
+  mutable dur_ns : int64;
+  mutable children : int list;  (* ids, emission order *)
+  domain : int;
+  seq : int;  (* start order, for stable layout *)
+}
+
+type t = {
+  evs : Sink.event list;
+  nodes : (int, node) Hashtbl.t;
+  roots : int list;  (* ids with parent 0, emission order *)
+}
+
+let domain_of attrs =
+  match List.assoc_opt "domain" attrs with Some (Sink.Int d) -> d | _ -> 0
+
+let of_events evs =
+  let nodes = Hashtbl.create 64 in
+  let roots = ref [] in
+  let seq = ref 0 in
+  let ensure ~id ~name ~parent ~attrs =
+    match Hashtbl.find_opt nodes id with
+    | Some n -> n
+    | None ->
+      let n =
+        {
+          id;
+          name;
+          parent;
+          dur_ns = -1L;
+          children = [];
+          domain = domain_of attrs;
+          seq = !seq;
+        }
+      in
+      incr seq;
+      Hashtbl.add nodes id n;
+      if parent = 0 then roots := id :: !roots
+      else (
+        match Hashtbl.find_opt nodes parent with
+        | Some p -> p.children <- id :: p.children
+        | None -> roots := id :: !roots);
+      n
+  in
+  List.iter
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Span_start ->
+        ignore
+          (ensure ~id:ev.Sink.id ~name:ev.Sink.name ~parent:ev.Sink.parent
+             ~attrs:ev.Sink.attrs)
+      | Sink.Span_end { duration_ns } ->
+        (* The end event's [parent] is the enclosing span after the pop,
+           i.e. the same parent the start recorded. *)
+        let n =
+          ensure ~id:ev.Sink.id ~name:ev.Sink.name ~parent:ev.Sink.parent
+            ~attrs:ev.Sink.attrs
+        in
+        n.dur_ns <- duration_ns
+      | _ -> ())
+    evs;
+  Hashtbl.iter (fun _ n -> n.children <- List.rev n.children) nodes;
+  { evs; nodes; roots = List.rev !roots }
+
+let events t = t.evs
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text ->
+    let lines = String.split_on_char '\n' text in
+    let rec parse acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | [ "" ] -> Ok (List.rev acc)  (* trailing newline *)
+      | line :: rest -> (
+        if String.trim line = "" then parse acc (lineno + 1) rest
+        else
+          match Sink.of_json line with
+          | Ok ev -> parse (ev :: acc) (lineno + 1) rest
+          | Error m -> Error (Printf.sprintf "%s:%d: %s" path lineno m))
+    in
+    Result.map of_events (parse [] 1 lines)
+
+(* -- phases ------------------------------------------------------------- *)
+
+type phase = { name : string; calls : int; total_ns : int64; self_ns : int64 }
+
+let span_self t n =
+  if n.dur_ns < 0L then 0L
+  else
+    let child_time =
+      List.fold_left
+        (fun acc c ->
+          let ch = Hashtbl.find t.nodes c in
+          if ch.dur_ns > 0L then Int64.add acc ch.dur_ns else acc)
+        0L n.children
+    in
+    Int64.max 0L (Int64.sub n.dur_ns child_time)
+
+let phases t =
+  let tbl : (string, int ref * int64 ref * int64 ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun _ n ->
+      if n.dur_ns >= 0L then begin
+        let calls, total, self =
+          match Hashtbl.find_opt tbl n.name with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0L, ref 0L) in
+            Hashtbl.add tbl n.name cell;
+            cell
+        in
+        incr calls;
+        total := Int64.add !total n.dur_ns;
+        self := Int64.add !self (span_self t n)
+      end)
+    t.nodes;
+  Hashtbl.fold
+    (fun name (calls, total, self) acc ->
+      { name; calls = !calls; total_ns = !total; self_ns = !self } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         if a.total_ns <> b.total_ns then compare b.total_ns a.total_ns
+         else compare a.name b.name)
+
+let critical_path t =
+  let closed_dur n = if n.dur_ns >= 0L then n.dur_ns else -1L in
+  let best ids =
+    List.fold_left
+      (fun acc id ->
+        let n = Hashtbl.find t.nodes id in
+        match acc with
+        | Some m when closed_dur m >= closed_dur n -> acc
+        | _ -> if closed_dur n >= 0L then Some n else acc)
+      None ids
+  in
+  let rec descend acc (n : node) =
+    let acc = (n.name, n.dur_ns) :: acc in
+    match best n.children with
+    | Some c -> descend acc c
+    | None -> List.rev acc
+  in
+  match best t.roots with None -> [] | Some root -> descend [] root
+
+(* -- metric rollups ----------------------------------------------------- *)
+
+let counters t =
+  (* Counter events are whole-run snapshots ([Metrics.emit]); the last
+     one per name wins. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Counter { value } -> Hashtbl.replace tbl ev.Sink.name value
+      | _ -> ())
+    t.evs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let gauges t =
+  (* Gauges stream per sample: summarize count/min/max/last. *)
+  let tbl : (string, int ref * float ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Gauge { value } -> (
+        match Hashtbl.find_opt tbl ev.Sink.name with
+        | Some (n, lo, hi, last) ->
+          incr n;
+          if value < !lo then lo := value;
+          if value > !hi then hi := value;
+          last := value
+        | None ->
+          Hashtbl.add tbl ev.Sink.name (ref 1, ref value, ref value, ref value))
+      | _ -> ())
+    t.evs;
+  Hashtbl.fold
+    (fun k (n, lo, hi, last) acc -> (k, (!n, !lo, !hi, !last)) :: acc)
+    tbl []
+  |> List.sort compare
+
+let fault_counts t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Fault { fault; _ } ->
+        Hashtbl.replace tbl fault
+          (1 + try Hashtbl.find tbl fault with Not_found -> 0)
+      | _ -> ())
+    t.evs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* -- series ------------------------------------------------------------- *)
+
+type series = {
+  s_name : string;
+  points : int;
+  first_round : int;
+  last_round : int;
+  total : int;
+  peak : int;
+  peak_round : int;
+}
+
+let series_events t =
+  List.filter_map
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Series { round; span; value; edge } ->
+        Some (ev.Sink.name, round, span, value, edge)
+      | _ -> None)
+    t.evs
+
+let series t =
+  let tbl : (string, series ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, round, _span, value, _edge) ->
+      match Hashtbl.find_opt tbl name with
+      | Some s ->
+        let v = !s in
+        s :=
+          {
+            v with
+            points = v.points + 1;
+            first_round = min v.first_round round;
+            last_round = max v.last_round round;
+            total = v.total + value;
+            peak = max v.peak value;
+            peak_round = (if value > v.peak then round else v.peak_round);
+          }
+      | None ->
+        Hashtbl.add tbl name
+          (ref
+             {
+               s_name = name;
+               points = 1;
+               first_round = round;
+               last_round = round;
+               total = value;
+               peak = value;
+               peak_round = round;
+             }))
+    (series_events t);
+  Hashtbl.fold (fun _ s acc -> !s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.s_name b.s_name)
+
+let edge_series t =
+  List.filter
+    (fun (_, _, _, _, edge) -> edge >= 0)
+    (series_events t)
+
+let round_range t =
+  match edge_series t with
+  | [] -> None
+  | (_, r, _, _, _) :: _ as es ->
+    Some
+      (List.fold_left
+         (fun (lo, hi) (_, r, _, _, _) -> (min lo r, max hi r))
+         (r, r) es)
+
+let bucket_bounds ?(buckets = 8) t =
+  match round_range t with
+  | None -> [||]
+  | Some (lo, hi) ->
+    let buckets = max 1 buckets in
+    let width = max 1 ((hi - lo + buckets) / buckets) in
+    Array.init
+      ((hi - lo) / width + 1)
+      (fun i -> (lo + (i * width), min hi (lo + ((i + 1) * width) - 1)))
+
+let hottest_edges ?(top = 5) ?(buckets = 8) t =
+  match round_range t with
+  | None -> [||]
+  | Some (lo, hi) ->
+    let buckets = max 1 buckets in
+    let width = max 1 ((hi - lo + buckets) / buckets) in
+    let nbuckets = ((hi - lo) / width) + 1 in
+    let totals = Hashtbl.create 16 in
+    List.iter
+      (fun (_, round, _, value, edge) ->
+        let cells =
+          match Hashtbl.find_opt totals edge with
+          | Some c -> c
+          | None ->
+            let c = (ref 0, Array.make nbuckets 0) in
+            Hashtbl.add totals edge c;
+            c
+        in
+        let total, per_bucket = cells in
+        total := !total + value;
+        let b = (round - lo) / width in
+        per_bucket.(b) <- per_bucket.(b) + value)
+      (edge_series t);
+    let all =
+      Hashtbl.fold
+        (fun edge (total, per_bucket) acc -> (edge, !total, per_bucket) :: acc)
+        totals []
+      |> List.sort (fun (e1, t1, _) (e2, t2, _) ->
+             if t1 <> t2 then compare t2 t1 else compare e1 e2)
+    in
+    let rec take i = function
+      | x :: rest when i < top -> x :: take (i + 1) rest
+      | _ -> []
+    in
+    Array.of_list (take 0 all)
+
+(* -- table renderer ----------------------------------------------------- *)
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let to_table ?(top = 5) t =
+  let buf = Buffer.create 1024 in
+  let section title body =
+    if body <> "" then begin
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf body;
+      Buffer.add_char buf '\n'
+    end
+  in
+  let table_str headers rows =
+    if rows = [] then ""
+    else begin
+      let table = Table.create headers in
+      List.iter (Table.add_row table) rows;
+      Table.render table
+    end
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d events\n\n" (List.length t.evs));
+  section "phases (wall time per span name)"
+    (table_str
+       [ "phase"; "calls"; "total ms"; "self ms"; "mean ms" ]
+       (List.map
+          (fun p ->
+            [
+              p.name;
+              string_of_int p.calls;
+              Table.fmt_float (ms p.total_ns);
+              Table.fmt_float (ms p.self_ns);
+              Table.fmt_float (ms p.total_ns /. float_of_int p.calls);
+            ])
+          (phases t)));
+  (match critical_path t with
+  | [] -> ()
+  | ((_, root_ns) :: _) as path ->
+    Buffer.add_string buf "critical path (heaviest nested chain)\n";
+    List.iteri
+      (fun depth (name, dur) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s  %s ms  (%.1f%% of root)\n"
+             (String.make (2 * depth) ' ')
+             name
+             (Table.fmt_float (ms dur))
+             (if root_ns > 0L then 100. *. ms dur /. ms root_ns else 100.)))
+      path;
+    Buffer.add_char buf '\n');
+  section "counters"
+    (table_str [ "counter"; "total" ]
+       (List.map (fun (k, v) -> [ k; string_of_int v ]) (counters t)));
+  section "gauges"
+    (table_str
+       [ "gauge"; "samples"; "min"; "max"; "last" ]
+       (List.map
+          (fun (k, (n, lo, hi, last)) ->
+            [
+              k;
+              string_of_int n;
+              Table.fmt_float lo;
+              Table.fmt_float hi;
+              Table.fmt_float last;
+            ])
+          (gauges t)));
+  section "series (per-round telemetry)"
+    (table_str
+       [ "series"; "points"; "rounds"; "total"; "peak"; "peak@round" ]
+       (List.map
+          (fun s ->
+            [
+              s.s_name;
+              string_of_int s.points;
+              Printf.sprintf "%d-%d" s.first_round s.last_round;
+              string_of_int s.total;
+              string_of_int s.peak;
+              string_of_int s.peak_round;
+            ])
+          (series t)));
+  (let edges = hottest_edges ~top t in
+   if Array.length edges > 0 then begin
+     let bounds = bucket_bounds t in
+     let headers =
+       [ "edge"; "total" ]
+       @ (Array.to_list bounds
+         |> List.map (fun (lo, hi) ->
+                if lo = hi then Printf.sprintf "r%d" lo
+                else Printf.sprintf "r%d-%d" lo hi))
+     in
+     section "hottest edges over time (traversals per round bucket)"
+       (table_str headers
+          (Array.to_list edges
+          |> List.map (fun (edge, total, per_bucket) ->
+                 [ string_of_int edge; string_of_int total ]
+                 @ List.map string_of_int (Array.to_list per_bucket))))
+   end);
+  section "faults"
+    (table_str [ "fault"; "events" ]
+       (List.map (fun (k, v) -> [ k; string_of_int v ]) (fault_counts t)));
+  Buffer.contents buf
+
+(* -- JSON renderer ------------------------------------------------------ *)
+
+let to_json ?(top = 5) t =
+  let buf = Buffer.create 1024 in
+  let str s = Json.escape_string buf s in
+  let fmt fmtstr = Printf.ksprintf (Buffer.add_string buf) fmtstr in
+  fmt "{\"schema\":\"hbn.report/v1\",\"events\":%d" (List.length t.evs);
+  fmt ",\"phases\":[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"name\":";
+      str p.name;
+      fmt ",\"calls\":%d,\"total_ns\":%Ld,\"self_ns\":%Ld}" p.calls p.total_ns
+        p.self_ns)
+    (phases t);
+  fmt "],\"critical_path\":[";
+  List.iteri
+    (fun i (name, dur) ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"name\":";
+      str name;
+      fmt ",\"dur_ns\":%Ld}" dur)
+    (critical_path t);
+  fmt "],\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      str k;
+      fmt ":%d" v)
+    (counters t);
+  fmt "},\"gauges\":[";
+  List.iteri
+    (fun i (k, (n, lo, hi, last)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"name\":";
+      str k;
+      fmt ",\"samples\":%d,\"min\":" n;
+      Json.float_to_string buf lo;
+      fmt ",\"max\":";
+      Json.float_to_string buf hi;
+      fmt ",\"last\":";
+      Json.float_to_string buf last;
+      fmt "}")
+    (gauges t);
+  fmt "],\"series\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"name\":";
+      str s.s_name;
+      fmt
+        ",\"points\":%d,\"first_round\":%d,\"last_round\":%d,\"total\":%d,\
+         \"peak\":%d,\"peak_round\":%d}"
+        s.points s.first_round s.last_round s.total s.peak s.peak_round)
+    (series t);
+  fmt "],\"hottest_edges\":[";
+  Array.iteri
+    (fun i (edge, total, per_bucket) ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"edge\":%d,\"total\":%d,\"buckets\":[%s]}" edge total
+        (String.concat ","
+           (List.map string_of_int (Array.to_list per_bucket))))
+    (hottest_edges ~top t);
+  fmt "],\"faults\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      str k;
+      fmt ":%d" v)
+    (fault_counts t);
+  fmt "}}";
+  Buffer.contents buf
+
+(* -- Chrome trace-event renderer ---------------------------------------- *)
+
+(* Only durations survive into a trace, so the flame chart's time axis
+   is reconstructed: roots are laid end to end, children sequentially
+   from their parent's start. Widths are real; offsets are synthetic. *)
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit_obj f =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '{';
+    f ();
+    Buffer.add_char buf '}'
+  in
+  let fmt fmtstr = Printf.ksprintf (Buffer.add_string buf) fmtstr in
+  let str s = Json.escape_string buf s in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  emit_obj (fun () ->
+      fmt
+        "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"spans (reconstructed timeline)\"}");
+  emit_obj (fun () ->
+      fmt
+        "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+         \"args\":{\"name\":\"telemetry (round axis)\"}");
+  let us ns = Int64.to_float ns /. 1e3 in
+  (* Depth-first layout; [at] is the span's synthetic start in µs. *)
+  let rec lay at id =
+    let n = Hashtbl.find t.nodes id in
+    let dur = if n.dur_ns >= 0L then us n.dur_ns else 0. in
+    if n.dur_ns >= 0L then
+      emit_obj (fun () ->
+          fmt "\"name\":";
+          str n.name;
+          fmt ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d" at
+            dur n.domain);
+    let _ =
+      List.fold_left
+        (fun cursor c ->
+          let cn = Hashtbl.find t.nodes c in
+          let cdur = if cn.dur_ns >= 0L then us cn.dur_ns else 0. in
+          lay cursor c;
+          cursor +. cdur)
+        at n.children
+    in
+    ()
+  in
+  let _ =
+    List.fold_left
+      (fun cursor id ->
+        let n = Hashtbl.find t.nodes id in
+        lay cursor id;
+        cursor +. (if n.dur_ns >= 0L then us n.dur_ns else 0.))
+      0. t.roots
+  in
+  (* Series on the round axis: one counter track per series name (and
+     per edge for per-edge series). *)
+  List.iter
+    (fun (name, round, _span, value, edge) ->
+      emit_obj (fun () ->
+          fmt "\"name\":";
+          str (if edge >= 0 then Printf.sprintf "%s[%d]" name edge else name);
+          fmt
+            ",\"ph\":\"C\",\"ts\":%d,\"pid\":2,\"tid\":0,\
+             \"args\":{\"value\":%d}"
+            round value))
+    (series_events t);
+  List.iter
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Fault { round; fault; _ } ->
+        emit_obj (fun () ->
+            fmt "\"name\":";
+            str ("fault." ^ fault);
+            fmt ",\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":2,\"tid\":0" round)
+      | _ -> ())
+    t.evs;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf

@@ -1,0 +1,100 @@
+(** Offline trace analytics: everything a JSONL trace can tell you,
+    recomputed after the fact.
+
+    A trace written by [--trace] (or a telemetry file written by
+    [--telemetry]) is a stream of {!Sink} events. This module parses it
+    back through {!Sink.of_json}, reconstructs the span tree from the
+    [id]/[parent] links, and derives the analyses the live pipeline
+    never computes: per-phase self vs. total time, the critical path,
+    counter and gauge rollups, {!Sink.Series} time-series summaries, the
+    hottest-edges-over-time profile, and fault tallies. Three renderers
+    share the analysis: a human table, a [hbn.report/v1] JSON document,
+    and Chrome trace-event JSON loadable in Perfetto ([chrome://tracing]),
+    which turns a [place --trace] run into a browsable flame chart.
+
+    Everything here is a pure function of the event list, so reports are
+    deterministic and the golden tests can pin renderer output byte for
+    byte. *)
+
+type t
+(** An analyzed trace. *)
+
+val of_events : Sink.event list -> t
+(** Analyzes an in-memory event stream (e.g. from {!Sink.memory}).
+    Tolerant of partial traces: spans without a matching [Span_end]
+    are dropped from duration accounting but keep their children. *)
+
+val load : path:string -> (t, string) result
+(** Reads a JSONL trace file. The first malformed line fails the whole
+    load with [Error "path:N: explanation"] — a trace that does not
+    round-trip is a bug worth failing loudly on, not skipping. *)
+
+val events : t -> Sink.event list
+(** The parsed events, in file order. *)
+
+(** {1 Analyses} *)
+
+type phase = {
+  name : string;
+  calls : int;
+  total_ns : int64;  (** wall time inside spans of this name *)
+  self_ns : int64;  (** [total_ns] minus time inside child spans *)
+}
+
+val phases : t -> phase list
+(** Closed spans aggregated by name, total time descending (ties by
+    name). *)
+
+val critical_path : t -> (string * int64) list
+(** The heaviest chain of nested spans: starting from the
+    longest-duration root span, descend at every level into the child
+    span with the largest duration. Each element is [(name,
+    duration_ns)], outermost first; empty when the trace has no closed
+    root span. *)
+
+type series = {
+  s_name : string;
+  points : int;  (** Series events (per-edge entries counted each) *)
+  first_round : int;
+  last_round : int;
+  total : int;  (** sum of point values *)
+  peak : int;  (** largest point value *)
+  peak_round : int;  (** round of the first peak *)
+}
+
+val series : t -> series list
+(** {!Sink.Series} events aggregated by name, in name order. *)
+
+val hottest_edges : ?top:int -> ?buckets:int -> t -> (int * int * int array) array
+(** Per-edge utilization over time, from [Series] events carrying
+    [edge >= 0]: the [top] (default 5) edges by total traversals, as
+    [(edge, total, per_bucket)] with the covered round range split into
+    [buckets] (default 8) equal intervals, busiest first. *)
+
+val bucket_bounds : ?buckets:int -> t -> (int * int) array
+(** The [(first_round, last_round)] intervals the {!hottest_edges}
+    buckets cover; empty when the trace has no per-edge series. *)
+
+(** {1 Renderers} *)
+
+val to_table : ?top:int -> t -> string
+(** Human-readable report: phase table (total/self/mean), critical
+    path, counters, gauges, series rollups, hottest edges over time,
+    fault tallies. [top] (default 5) bounds the per-edge table. Empty
+    sections are omitted. *)
+
+val to_json : ?top:int -> t -> string
+(** The same analyses as one [{"schema":"hbn.report/v1", ...}]
+    document. *)
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]). Spans become
+    complete ("X") events on pid 1 with a {e reconstructed} timeline:
+    only durations are recorded in the trace, so each root span starts
+    where the previous ended and children are laid out sequentially
+    inside their parent — widths are real measured nanoseconds, offsets
+    are synthetic. The [tid] is the emitting domain when the event
+    carries the CLI's [domain] attribute. Series events become counter
+    ("C") samples and faults instant ("i") events on pid 2, whose time
+    axis is the runtime round. Load the file in Perfetto or
+    [chrome://tracing]. *)

@@ -16,6 +16,7 @@ type payload =
     }
   | Attribution of { edge : int; obj : int; component : string; amount : int }
   | Fault of { round : int; fault : string; node : int; edge : int }
+  | Series of { round : int; span : int; value : int; edge : int }
 
 type event = {
   name : string;
@@ -71,7 +72,8 @@ let to_json ev =
     | Gauge _ -> "gauge"
     | Histogram _ -> "histogram"
     | Attribution _ -> "attribution"
-    | Fault _ -> "fault");
+    | Fault _ -> "fault"
+    | Series _ -> "series");
   field "name" (fun b -> escape_to b ev.name);
   field "id" (fun b -> Buffer.add_string b (string_of_int ev.id));
   field "parent" (fun b -> Buffer.add_string b (string_of_int ev.parent));
@@ -98,6 +100,11 @@ let to_json ev =
     field "round" (fun b -> Buffer.add_string b (string_of_int round));
     field "fault" (fun b -> escape_to b fault);
     field "node" (fun b -> Buffer.add_string b (string_of_int node));
+    field "edge" (fun b -> Buffer.add_string b (string_of_int edge))
+  | Series { round; span; value; edge } ->
+    field "round" (fun b -> Buffer.add_string b (string_of_int round));
+    field "span" (fun b -> Buffer.add_string b (string_of_int span));
+    field "value" (fun b -> Buffer.add_string b (string_of_int value));
     field "edge" (fun b -> Buffer.add_string b (string_of_int edge)));
   Buffer.add_char buf ',';
   attrs_to buf ev.attrs;
@@ -172,6 +179,14 @@ let of_json line =
                node = int "node";
                edge = int "edge";
              }
+         | "series" ->
+           Series
+             {
+               round = int "round";
+               span = int "span";
+               value = int "value";
+               edge = int "edge";
+             }
          | ev -> raise (Json.Parse (Printf.sprintf "unknown event kind %S" ev))
        in
        let attrs =
@@ -231,7 +246,7 @@ let timings () =
          Hashtbl.add tbl ev.name (ref 1, ref duration_ns);
          order := ev.name :: !order)
     | Span_start | Point | Counter _ | Gauge _ | Histogram _ | Attribution _
-    | Fault _ ->
+    | Fault _ | Series _ ->
       ()
   in
   ( { emit; flush = (fun () -> ()) },

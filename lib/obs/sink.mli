@@ -24,6 +24,8 @@
     {"ev":"fault","name":N,"id":0,"parent":P,"round":R,
      "fault":"dropped|crashed|restarted|cut|restored","node":V,"edge":E,
      "attrs":{...}}
+    {"ev":"series","name":N,"id":0,"parent":P,"round":R,"span":S,
+     "value":V,"edge":E,"attrs":{}}
     v}
 
     [parent] is the id of the enclosing span (0 at top level). An
@@ -33,7 +35,12 @@
     definition. A [fault] event reports one injected fault of a
     [Runtime.run] under a fault plan — a dropped message, a node
     crash/restart, or an edge outage opening/closing — with [node] or
-    [edge] set to [-1] when not applicable. *)
+    [edge] set to [-1] when not applicable. A [series] event is one
+    point of a {!Telemetry} time series: metric [N] had value [V] over
+    the [S] runtime rounds ending at round [R] ([S = 1] for an exact
+    per-round sample, [S > 1] after the bounded-memory collector folded
+    adjacent rounds together); [edge] names the measured edge for
+    per-edge utilization series and is [-1] for network-wide series. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -53,6 +60,7 @@ type payload =
     }
   | Attribution of { edge : int; obj : int; component : string; amount : int }
   | Fault of { round : int; fault : string; node : int; edge : int }
+  | Series of { round : int; span : int; value : int; edge : int }
 
 type event = {
   name : string;

@@ -1,0 +1,93 @@
+(** Bounded-memory per-round telemetry time series.
+
+    The end-state instrumentation ({!Attribution} tables, span
+    durations) says {e where} load ended up; this collector records how
+    it {e evolved}: one sample per runtime round holding messages
+    sent/delivered/dropped, payload bytes, retransmissions, duplicate
+    suppressions, the live-node count, and per-edge utilization — the
+    [k] busiest edges of the round exactly, everything else folded into
+    one aggregate. That is the congestion-over-rounds signal the paper's
+    claim (congestion, not hop count, predicts execution time) needs
+    under drift and faults.
+
+    Memory is bounded no matter how long the run: a collector holds at
+    most [capacity] points. When round [capacity + 1] arrives, adjacent
+    points are folded pairwise — counters summed, [live_nodes] taking
+    the minimum, edge tables merged and re-cut to the top [k] — so the
+    series keeps full time coverage at halved resolution. Every point
+    records how many rounds it spans, and folding is a pure function of
+    the sample sequence, so the resulting series is deterministic: the
+    same run produces the same points, bit for bit, at any job count.
+
+    Recording is driven by the synchronous engines
+    ({!Hbn_dist.Runtime.run}, [Hbn_sim.Sim.run]): {!begin_round} opens a
+    round, the per-message hooks accumulate into it, {!end_round} closes
+    it. Protocol-level hooks ({!retransmit}, {!duplicate}) may fire from
+    node step functions between the two — they attribute to the open
+    round. A collector is single-writer by construction (the engines are
+    sequential); it is not a concurrent data structure. *)
+
+type t
+
+type point = {
+  round : int;  (** last round folded into this point *)
+  rounds : int;  (** rounds covered; 1 = exact per-round sample *)
+  sent : int;  (** sends attempted, including later-dropped ones *)
+  delivered : int;  (** sends that reached an inbox: [sent - dropped] *)
+  dropped : int;  (** sends lost to faults *)
+  bytes : int;  (** payload bytes attempted (see the engine's sizer) *)
+  retransmits : int;  (** link-layer retransmissions *)
+  dup_suppressed : int;  (** duplicate deliveries suppressed *)
+  live_nodes : int;  (** nodes not crashed (minimum over folded rounds) *)
+  edges : (int * int) list;
+      (** the busiest edges as [(edge, traversals)], traversal count
+          descending, ties by edge id; at most [top_k] entries *)
+  other_edges : int;  (** traversals over edges outside [edges] *)
+}
+
+val create : ?top_k:int -> ?capacity:int -> num_edges:int -> unit -> t
+(** A fresh collector. [top_k] (default 4) bounds the exact per-edge
+    table of each point; [capacity] (default 256, minimum 2) bounds the
+    number of retained points. [num_edges] sizes the per-round scratch
+    counters. *)
+
+val begin_round : t -> round:int -> unit
+(** Opens the sample for [round]. Rounds must be opened in increasing
+    order; re-opening the current round is an error. *)
+
+val send : t -> edge:int -> bytes:int -> unit
+(** Records one attempted send of [bytes] payload bytes over [edge]
+    into the open round. *)
+
+val drop : t -> unit
+(** Marks the most recent send as lost (it still counts into [sent]
+    and [bytes], never into [delivered]). *)
+
+val retransmit : t -> unit
+(** Records one link-layer retransmission in the open round. *)
+
+val duplicate : t -> unit
+(** Records one suppressed duplicate delivery in the open round. *)
+
+val end_round : t -> live_nodes:int -> unit
+(** Closes the open round with the number of live (non-crashed) nodes,
+    cuts the per-edge counters down to the top-[k] table, and folds the
+    history if it now exceeds [capacity]. *)
+
+val points : t -> point list
+(** The retained series in round order. Calling this mid-round returns
+    only closed rounds. *)
+
+val rounds_recorded : t -> int
+(** Total rounds ever closed into this collector (unaffected by
+    folding). *)
+
+val emit : t -> prefix:string -> (Sink.event -> unit) -> unit
+(** Streams the series as {!Sink.Series} events, one per (point,
+    field): [<prefix>.sent], [.delivered], [.dropped], [.bytes],
+    [.retransmits], [.dup_suppressed], [.live_nodes] (all with
+    [edge = -1]), one [<prefix>.edge] per top-[k] entry carrying its
+    edge id, and [<prefix>.edge_rest] for the aggregate remainder
+    (emitted only when non-zero, like the edge entries). Events appear
+    in round order, fields in the order above — a pure function of
+    {!points}, so emission is as deterministic as the series itself. *)

@@ -20,8 +20,17 @@
     immune to wall-clock adjustments.
 
     Span ids start at 1 and reset whenever a sink is (un)installed, so
-    traces of a deterministic program are byte-identical run to run. The
-    tracer is not thread-safe — the whole code base is single-threaded. *)
+    traces of a deterministic program are byte-identical run to run.
+
+    The tracer is domain-safe: ids, the span stack and sink emission are
+    guarded by one mutex, and ids are allocated under the lock in call
+    order. [Hbn_exec] pipelines keep their determinism contract by
+    emitting spans only from the sequential merge phases — the fixed
+    allocation order then makes traces byte-identical at any job count —
+    but a span opened from a pool worker is merely serialized (and
+    parented to the innermost open span at that moment), never a data
+    race. The [enabled] fast path is a lock-free read; installing a sink
+    must happen before instrumented work is fanned out. *)
 
 type span
 (** A handle for an open span. *)

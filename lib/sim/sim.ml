@@ -3,6 +3,7 @@ module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
+module Telemetry = Hbn_obs.Telemetry
 
 type outcome = {
   makespan : int;
@@ -20,7 +21,7 @@ let scale_up amount scale = if amount = 0 then 0 else ((amount - 1) / scale) + 1
 
 type policy = Fifo | Round_robin | Reversed
 
-let run ?(scale = 1) ?(policy = Fifo) w placement =
+let run ?(scale = 1) ?(policy = Fifo) ?telemetry w placement =
   if scale < 1 then invalid_arg "Sim.run: scale must be >= 1";
   let sp_run = Trace.span "sim.run" in
   let tree = Workload.tree w in
@@ -126,6 +127,9 @@ let run ?(scale = 1) ?(policy = Fifo) w placement =
   let rounds = ref 0 in
   while !remaining > 0 do
     incr rounds;
+    (match telemetry with
+    | None -> ()
+    | Some tel -> Telemetry.begin_round tel ~round:!rounds);
     let remaining_before = !remaining in
     Array.blit edge_cap 0 edge_left 0 m;
     Array.iteri (fun v c -> bus_left.(v) <- c) bus_cap;
@@ -158,6 +162,9 @@ let run ?(scale = 1) ?(policy = Fifo) w placement =
         let u, v = Tree.edge_endpoints tree h.edge in
         let bus_ok b = (not is_bus.(b)) || bus_left.(b) > 0 in
         if edge_left.(h.edge) > 0 && bus_ok u && bus_ok v then begin
+          (match telemetry with
+          | None -> ()
+          | Some tel -> Telemetry.send tel ~edge:h.edge ~bytes:1);
           edge_left.(h.edge) <- edge_left.(h.edge) - 1;
           if is_bus.(u) then bus_left.(u) <- bus_left.(u) - 1;
           if is_bus.(v) then bus_left.(v) <- bus_left.(v) - 1;
@@ -168,6 +175,9 @@ let run ?(scale = 1) ?(policy = Fifo) w placement =
         else next := i :: !next)
       scheduled;
     frontier := List.rev_append !next (List.sort compare !newly);
+    (match telemetry with
+    | None -> ()
+    | Some tel -> Telemetry.end_round tel ~live_nodes:(Tree.n tree));
     if Trace.enabled () then begin
       Trace.gauge "sim.queue_depth" (float_of_int (List.length !frontier));
       Trace.gauge "sim.round_transmissions"

@@ -44,13 +44,27 @@ type policy =
   | Round_robin  (** rotate the service order every round *)
   | Reversed  (** youngest-first — the most unfair work-conserving order *)
 
-val run : ?scale:int -> ?policy:policy -> Workload.t -> Placement.t -> outcome
+val run :
+  ?scale:int ->
+  ?policy:policy ->
+  ?telemetry:Hbn_obs.Telemetry.t ->
+  Workload.t ->
+  Placement.t ->
+  outcome
 (** Simulates the workload under the placement. [scale] divides all
     frequencies (rounding up) to bound simulation cost on large workloads;
     default 1. [policy] picks the service order of ready transmissions —
     every policy is work-conserving, and experiment E16 shows the makespan
     (and hence the congestion-predicts-performance conclusion of E10) is
     robust to the choice.
+
+    [telemetry] records one {!Hbn_obs.Telemetry} sample per simulated
+    round into a fresh caller-owned collector: each hop transmitted in
+    the round is one delivered send of one byte-unit over its edge
+    (store-and-forward moves one packet one edge per round), nothing is
+    ever dropped, and all nodes are live. The per-edge top-k series is
+    the congestion-over-time profile of the schedule. Recording never
+    changes the schedule.
 
     When {!Hbn_obs.Trace} is enabled the run is wrapped in a [sim.run]
     span, every round streams the [sim.queue_depth] and

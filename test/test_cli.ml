@@ -294,6 +294,117 @@ let test_place_trace_leaves_stdout_alone () =
   | _ -> ());
   Sys.remove tmp
 
+(* The report command end to end: the golden file pins the exact table
+   rendering of the committed fixture trace. *)
+let test_report_golden () =
+  match run_cli [ "report"; "fixtures/report_fixture.jsonl" ] with
+  | None -> ()
+  | Some (status, out) ->
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | _ -> Alcotest.failf "report: non-zero exit\n%s" out);
+    let ic = open_in "fixtures/report_fixture.table" in
+    let n = in_channel_length ic in
+    let expected = really_input_string ic n in
+    close_in ic;
+    Alcotest.(check string) "table matches golden" expected out
+
+let test_report_malformed_fails_with_line () =
+  let tmp = Filename.temp_file "hbn_cli_report" ".jsonl" in
+  let oc = open_out tmp in
+  output_string oc
+    "{\"ev\":\"point\",\"name\":\"ok\",\"id\":0,\"parent\":0,\"attrs\":{}}\n\
+     not json at all\n";
+  close_out oc;
+  check_fails "report malformed trace" [ "report"; tmp ]
+    [ "hbn_cli:"; tmp ^ ":2:" ];
+  Sys.remove tmp
+
+let test_report_missing_file_fails () =
+  check_fails "report missing file"
+    [ "report"; "/nonexistent/nope.jsonl" ]
+    [ "hbn_cli:" ]
+
+(* The full telemetry acceptance path: simulate --faults --telemetry,
+   then report in all three formats; the series file must be
+   byte-identical across --jobs values and reruns. *)
+let test_simulate_telemetry_report () =
+  let read path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let tel_at jobs =
+    let tmp = Filename.temp_file "hbn_cli_tel" ".jsonl" in
+    match
+      run_cli
+        (faults_args
+           [ "--telemetry"; tmp; "--jobs"; string_of_int jobs ])
+    with
+    | None ->
+      Sys.remove tmp;
+      None
+    | Some (Unix.WEXITED 0, out) ->
+      let data = read tmp in
+      Sys.remove tmp;
+      Some (out, data)
+    | Some (_, out) -> Alcotest.failf "simulate --telemetry failed:\n%s" out
+  in
+  match (tel_at 1, tel_at 4, tel_at 1) with
+  | Some (out1, tel1), Some (_, tel4), Some (_, tel1') ->
+    if not (contains out1 "telemetry:") then
+      Alcotest.failf "missing telemetry summary line:\n%s" out1;
+    Alcotest.(check bool) "series non-empty" true (String.length tel1 > 0);
+    Alcotest.(check string) "bit-identical at --jobs 1 and 4" tel1 tel4;
+    Alcotest.(check string) "bit-identical across reruns" tel1 tel1';
+    (* Both engines contributed: sim rounds and dist (protocol) rounds. *)
+    List.iter
+      (fun sub ->
+        if not (contains tel1 sub) then
+          Alcotest.failf "telemetry misses %S" sub)
+      [ "\"sim.sent\""; "\"dist.sent\""; "\"dist.retransmits\"" ];
+    (* The recorded file feeds report in every format. *)
+    let tmp = Filename.temp_file "hbn_cli_tel" ".jsonl" in
+    let oc = open_out tmp in
+    output_string oc tel1;
+    close_out oc;
+    check_run "report on telemetry" [ "report"; tmp ]
+      [ "series (per-round telemetry)"; "dist.retransmits"; "hottest edges" ];
+    check_run "report --format json on telemetry"
+      [ "report"; tmp; "--format"; "json" ]
+      [ "\"schema\":\"hbn.report/v1\"" ];
+    check_run "report --format chrome on telemetry"
+      [ "report"; tmp; "--format"; "chrome" ]
+      [ "\"traceEvents\"" ];
+    Sys.remove tmp
+  | _ -> ()
+
+(* The acceptance criterion verbatim: report --format chrome on a
+   simulate --faults --trace file is valid Chrome trace-event JSON. *)
+let test_trace_to_chrome () =
+  let tmp = Filename.temp_file "hbn_cli_trace" ".jsonl" in
+  (match run_cli (faults_args [ "--trace"; tmp ]) with
+  | None -> ()
+  | Some (Unix.WEXITED 0, _) ->
+    (match run_cli [ "report"; tmp; "--format"; "chrome" ] with
+    | None -> ()
+    | Some (Unix.WEXITED 0, out) ->
+      (match Hbn_obs.Json.parse_result out with
+      | Error m -> Alcotest.failf "chrome output is not JSON: %s" m
+      | Ok doc ->
+        (match
+           Option.bind
+             (Hbn_obs.Json.member "traceEvents" doc)
+             Hbn_obs.Json.to_list
+         with
+        | Some (_ :: _) -> ()
+        | _ -> Alcotest.fail "chrome output has no trace events"))
+    | Some (_, out) -> Alcotest.failf "report --format chrome failed:\n%s" out)
+  | Some (_, out) -> Alcotest.failf "simulate --trace failed:\n%s" out);
+  Sys.remove tmp
+
 let suite =
   [
     Helpers.tc "cli topology" test_topology;
@@ -319,4 +430,11 @@ let suite =
     Helpers.tc "cli failures exit non-zero" test_failures_exit_nonzero;
     Helpers.tc "cli place --trace --timings" test_place_trace_timings;
     Helpers.tc "cli --trace leaves stdout alone" test_place_trace_leaves_stdout_alone;
+    Helpers.tc "cli report golden table" test_report_golden;
+    Helpers.tc "cli report malformed line number"
+      test_report_malformed_fails_with_line;
+    Helpers.tc "cli report missing file" test_report_missing_file_fails;
+    Helpers.tc "cli simulate --telemetry feeds report"
+      test_simulate_telemetry_report;
+    Helpers.tc "cli --trace to chrome trace-event JSON" test_trace_to_chrome;
   ]

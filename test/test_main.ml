@@ -32,6 +32,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("faults", Test_faults.suite);
       ("certificates", Test_certificates.suite);
+      ("report", Test_report.suite);
       ("cli", Test_cli.suite);
       ("examples", Test_examples.suite);
     ]

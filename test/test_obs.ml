@@ -246,6 +246,32 @@ let test_fault_event_roundtrips () =
       Sink.Fault { round = 12; fault = "restored"; node = -1; edge = 0 };
     ]
 
+(* Random Series events through the codec: the telemetry emitter is the
+   only producer, but the parser must accept the full field space. *)
+let series_event_arb =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun (name, round, span, value, edge) ->
+        {
+          Sink.name;
+          id = 0;
+          parent = 0;
+          payload = Sink.Series { round; span; value; edge };
+          attrs = [];
+        })
+      Gen.(
+        tup5
+          (oneofl [ "sim.sent"; "dist.edge"; "x.bytes"; "weird \"name\"\n" ])
+          (int_bound 100_000) (int_range 1 4096) int (int_range (-1) 500))
+  in
+  make ~print:Sink.to_json gen
+
+let prop_series_roundtrip ev =
+  match Sink.of_json (Sink.to_json ev) with
+  | Ok ev' -> ev = ev'
+  | Error _ -> false
+
 let test_nan_gauge_roundtrips () =
   let ev =
     {
@@ -337,6 +363,8 @@ let suite =
     Helpers.tc "parser rejects garbage" test_json_rejects_garbage;
     Helpers.tc "nan gauge round-trips" test_nan_gauge_roundtrips;
     Helpers.tc "fault events round-trip" test_fault_event_roundtrips;
+    Helpers.qt ~count:200 "series events round-trip" series_event_arb
+      prop_series_roundtrip;
     Helpers.tc "strategy trace has all three steps" test_strategy_trace_shape;
     Helpers.qt ~count:60 "tracing never changes strategy results"
       Helpers.seed_arb prop_tracing_does_not_change_results;
