@@ -6,7 +6,7 @@
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
 .PHONY: all build test check bench bench-check bench-loads bench-parallel \
-	bench-faults report-smoke clean
+	bench-faults bench-micro bench-quick report-smoke clean
 
 all: build
 
@@ -23,14 +23,17 @@ test:
 # hardened distributed protocol under a seeded drop/crash/cut plan and
 # requires recovery (no JSON written by any of the three); the
 # simulate --faults line exercises the same machinery end to end
-# through the CLI; report-smoke drives --trace/--telemetry recording and
-# the report command's three renderers; bench-check re-runs the pipeline
-# and fault case matrices and diffs their deterministic fields (now
-# including the telemetry series) against the committed
-# BENCH_pipeline.json and BENCH_faults.json.
+# through the CLI; bench-quick cross-checks the Tree.Flat kernels against
+# their list-returning Tree counterparts; report-smoke drives
+# --trace/--telemetry recording and the report command's three renderers;
+# bench-check re-runs the pipeline and fault case matrices and diffs
+# their deterministic fields (now including the telemetry series) against
+# the committed BENCH_pipeline.json and BENCH_faults.json, and validates
+# the chunk-scheduling fields of BENCH_parallel.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
 	  && dune exec bench/parallel.exe -- --smoke \
+	  && $(MAKE) bench-quick \
 	  && dune exec bench/faults.exe -- --smoke \
 	  && dune exec bin/hbn_cli.exe -- simulate --kind balanced --arity 3 \
 	       --height 3 --workload zipf --objects 8 --seed 7 \
@@ -80,6 +83,17 @@ report-smoke:
 	  --format chrome > /dev/null
 	rm -f /tmp/hbn_report_smoke_trace.jsonl /tmp/hbn_report_smoke_tel.jsonl
 	@echo "report-smoke: table/json/chrome renderers ok on trace + telemetry"
+
+# Bechamel timings of the Tree.Flat primitive kernels (path folds,
+# batched LCA, scratch reuse) next to their list-returning Tree
+# counterparts. No JSON written; ns/run estimates print as a table.
+bench-micro:
+	dune exec bench/micro_main.exe
+
+# Fast agreement pass over the same kernels — no timing, exit 1 on any
+# flat/Tree divergence. Part of `make check`.
+bench-quick:
+	dune exec bench/micro_main.exe -- --smoke
 
 # Scratch vs incremental hill-climb throughput; writes BENCH_loads.json.
 bench-loads:

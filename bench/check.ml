@@ -1,13 +1,16 @@
 (* Regression gate over the committed baselines.
 
-   Run with:  dune exec bench/check.exe [-- PIPELINE.json [FAULTS.json]]
+   Run with:
+     dune exec bench/check.exe [-- PIPELINE.json [FAULTS.json [PARALLEL.json]]]
    Re-runs the Pipeline_cases matrix and compares every deterministic
    field — instance shape, congestion, makespan, pipeline counters —
    against the committed BENCH_pipeline.json. Wall times ("phases"
    totals) and the environment header ("meta") are noise and are
    ignored, but phase names and call counts are behaviour, so they are
    checked too. Then re-runs the Fault_cases matrix the same way against
-   BENCH_faults.json (the "micro" wall-clock note is ignored). Exits 1
+   BENCH_faults.json (the "micro" wall-clock note is ignored), and
+   statically validates BENCH_parallel.json's deterministic fields
+   (schema, the identical flag, chunk-scheduling arithmetic). Exits 1
    listing every divergence: a diff here means a code change altered
    what the pipeline (or the fault recovery) computes, not just how
    fast. *)
@@ -137,7 +140,7 @@ let check_fault_case baseline fresh =
         f_congestion
   end
 
-let load_baseline ~path ~schema =
+let load_doc ~path ~schema =
   let doc =
     match In_channel.with_open_text path In_channel.input_all with
     | text -> (
@@ -155,11 +158,56 @@ let load_baseline ~path ~schema =
   | _ ->
     Printf.eprintf "bench/check: %s is not a %s file\n" path schema;
     exit 1);
-  match Option.bind (Json.member "cases" doc) Json.to_list with
+  doc
+
+let load_baseline ~path ~schema =
+  match Option.bind (Json.member "cases" (load_doc ~path ~schema)) Json.to_list with
   | Some l -> l
   | None ->
     Printf.eprintf "bench/check: %s has no cases array\n" path;
     exit 1
+
+(* The parallel baseline is checked statically, without re-running the
+   scaling bench: its wall times are host noise, but the schema tag, the
+   bit-identity flag and the chunk arithmetic are deterministic claims
+   about the code — a committed file whose chunk fields no longer match
+   [Exec.auto_chunk] means the scheduling math changed under it. *)
+let check_parallel ~path =
+  let doc = load_doc ~path ~schema:"hbn.bench.parallel/v2" in
+  (match Json.member "identical" doc with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: \"identical\" is not true" path);
+  let objects = get "objects" Json.to_int doc in
+  let runs =
+    match Option.bind (Json.member "runs" doc) Json.to_list with
+    | Some l -> l
+    | None ->
+      fail "%s has no runs array" path;
+      []
+  in
+  (try
+     List.iter
+       (fun run ->
+         let jobs = get "jobs" Json.to_int run in
+         let chunk = get "chunk" Json.to_int run in
+         let chunks = get "chunks" Json.to_int run in
+         let want_chunk = Hbn_exec.Exec.auto_chunk ~jobs objects in
+         let want_chunks = (objects + want_chunk - 1) / want_chunk in
+         if chunk <> want_chunk then
+           fail "%s: jobs=%d chunk %d (baseline) <> %d (auto_chunk)" path jobs
+             chunk want_chunk;
+         if chunks <> want_chunks then
+           fail "%s: jobs=%d chunks %d (baseline) <> %d (derived)" path jobs
+             chunks want_chunks;
+         let tpc = get "tasks_per_chunk" Json.to_float run in
+         let want_tpc = float_of_int objects /. float_of_int want_chunks in
+         if Printf.sprintf "%.2f" tpc <> Printf.sprintf "%.2f" want_tpc then
+           fail
+             "%s: jobs=%d tasks_per_chunk %.2f (baseline) <> %.2f (derived)"
+             path jobs tpc want_tpc)
+       runs
+   with Json.Parse m -> fail "malformed run in %s: %s" path m);
+  List.length runs
 
 let check_matrix ~what ~path baseline_cases fresh check_one =
   if List.length baseline_cases <> List.length fresh then
@@ -174,6 +222,7 @@ let () =
   let arg i default = if Array.length Sys.argv > i then Sys.argv.(i) else default in
   let pipeline_path = arg 1 "BENCH_pipeline.json" in
   let faults_path = arg 2 "BENCH_faults.json" in
+  let parallel_path = arg 3 "BENCH_parallel.json" in
   let pipeline_baseline = load_baseline ~path:pipeline_path ~schema:PC.schema in
   let faults_baseline = load_baseline ~path:faults_path ~schema:FC.schema in
   let pipeline_fresh = PC.all () in
@@ -182,6 +231,7 @@ let () =
   let faults_fresh = FC.all () in
   check_matrix ~what:"faults" ~path:faults_path faults_baseline faults_fresh
     check_fault_case;
+  let parallel_runs = check_parallel ~path:parallel_path in
   if !failures > 0 then begin
     Printf.eprintf
       "bench/check: %d divergence(s) from the committed baselines — a code \
@@ -191,7 +241,7 @@ let () =
     exit 1
   end;
   Printf.printf
-    "bench/check: %d pipeline cases match %s, %d fault cases match %s \
-     (deterministic fields)\n"
+    "bench/check: %d pipeline cases match %s, %d fault cases match %s, %d \
+     parallel runs consistent in %s (deterministic fields)\n"
     (List.length pipeline_fresh) pipeline_path (List.length faults_fresh)
-    faults_path
+    faults_path parallel_runs parallel_path

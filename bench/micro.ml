@@ -1,7 +1,10 @@
-(* Bechamel microbenchmarks (B1-B4): per-phase cost of the strategy on a
-   fixed mid-size instance. Results print as ns/run estimated by OLS. *)
+(* Bechamel microbenchmarks: B1-B4 cover per-phase cost of the strategy
+   on a fixed mid-size instance; F1-F3 cover the Tree.Flat primitives the
+   hot path is built from (path folds, batched LCA, scratch reuse).
+   Results print as ns/run estimated by OLS. *)
 
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Builders = Hbn_tree.Builders
 module Prng = Hbn_prng.Prng
 module Workload = Hbn_workload.Workload
@@ -36,8 +39,101 @@ let tests =
         (Staged.stage (fun () -> ignore (Sim.run ~scale:8 w placement)));
     ]
 
-let run () =
-  print_endline "\n=== B1-B4: Bechamel microbenchmarks ===";
+(* The flat-kernel instance is bigger than B1-B4's: primitive costs only
+   separate from loop overhead on a few hundred nodes. The leaf pairs and
+   Steiner node sets are drawn once, outside the timed region. *)
+let flat_instance () =
+  let tree = Builders.balanced ~arity:4 ~height:4 ~profile:(Builders.Uniform 2) in
+  let fl = Flat.of_tree tree in
+  let prng = Prng.create 20260809 in
+  let leaves = Tree.leaves_array tree in
+  let nl = Array.length leaves in
+  let pairs =
+    Array.init 256 (fun _ ->
+        (leaves.(Prng.int prng nl), leaves.(Prng.int prng nl)))
+  in
+  let steiner_sets =
+    Array.init 64 (fun _ ->
+        List.init (2 + Prng.int prng 6) (fun _ -> leaves.(Prng.int prng nl)))
+  in
+  (tree, fl, pairs, steiner_sets)
+
+let flat_tests =
+  let tree, fl, pairs, steiner_sets = flat_instance () in
+  let ix = Tree.flat_index tree in
+  let lix = Tree.lca_index (Tree.rooting tree) in
+  let r = Tree.rooting tree in
+  let scratch = Flat.Scratch.create fl in
+  Test.make_grouped ~name:"flat"
+    [
+      Test.make ~name:"F1 path fold (flat, scratch reuse)"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter
+               (fun (u, v) ->
+                 acc :=
+                   Flat.fold_path fl scratch u v ~init:!acc ~f:(fun a e ->
+                       a + e))
+               pairs;
+             ignore !acc));
+      Test.make ~name:"F1' path fold (Tree.path_edges lists)"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter
+               (fun (u, v) ->
+                 acc :=
+                   List.fold_left ( + ) !acc (Tree.path_edges tree u v))
+               pairs;
+             ignore !acc));
+      Test.make ~name:"F2 batched LCA (flat O(1))"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter (fun (u, v) -> acc := !acc + Tree.lca_flat ix u v) pairs;
+             ignore !acc));
+      Test.make ~name:"F2' batched LCA (lca_fast, O(log n))"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter (fun (u, v) -> acc := !acc + Tree.lca_fast lix u v) pairs;
+             ignore !acc));
+      Test.make ~name:"F2'' batched LCA (rooted walk)"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter (fun (u, v) -> acc := !acc + Tree.lca r u v) pairs;
+             ignore !acc));
+      Test.make ~name:"F3 steiner scan (scratch reuse)"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter
+               (fun nodes ->
+                 Flat.iter_steiner fl scratch
+                   ~nodes:(fun mark -> List.iter mark nodes)
+                   (fun e -> acc := !acc + e))
+               steiner_sets;
+             ignore !acc));
+      Test.make ~name:"F3' steiner scan (fresh scratch per call)"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter
+               (fun nodes ->
+                 let fresh = Flat.Scratch.create fl in
+                 Flat.iter_steiner fl fresh
+                   ~nodes:(fun mark -> List.iter mark nodes)
+                   (fun e -> acc := !acc + e))
+               steiner_sets;
+             ignore !acc));
+      Test.make ~name:"F3'' steiner scan (Tree.steiner_edges lists)"
+        (Staged.stage (fun () ->
+             let acc = ref 0 in
+             Array.iter
+               (fun nodes ->
+                 acc :=
+                   List.fold_left ( + ) !acc (Tree.steiner_edges tree nodes))
+               steiner_sets;
+             ignore !acc));
+    ]
+
+let run_group ~banner tests =
+  print_endline banner;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -64,3 +160,44 @@ let run () =
       Table.add_row table [ name; est; r2 ])
     (List.sort compare rows);
   Table.print table
+
+let run () = run_group ~banner:"\n=== B1-B4: Bechamel microbenchmarks ===" tests
+
+let run_flat () =
+  run_group ~banner:"\n=== F1-F3: Tree.Flat primitive kernels ===" flat_tests
+
+(* Fast correctness pass over the same kernels, for `make bench-quick`:
+   every flat primitive is cross-checked against its list-returning
+   counterpart on the bench instance, with one shared scratch to exercise
+   the reuse discipline. No timing claims. *)
+let smoke_flat () =
+  let tree, fl, pairs, steiner_sets = flat_instance () in
+  let ix = Tree.flat_index tree in
+  let lix = Tree.lca_index (Tree.rooting tree) in
+  let r = Tree.rooting tree in
+  let scratch = Flat.Scratch.create fl in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt in
+  Array.iter
+    (fun (u, v) ->
+      let a = Tree.lca r u v in
+      if Tree.lca_flat ix u v <> a || Tree.lca_fast lix u v <> a then
+        fail "bench/micro --smoke: LCA mismatch at (%d,%d)" u v;
+      let path = ref [] in
+      Flat.iter_path fl scratch u v (fun e -> path := e :: !path);
+      if List.rev !path <> Tree.path_edges tree u v then
+        fail "bench/micro --smoke: path order mismatch at (%d,%d)" u v)
+    pairs;
+  Array.iter
+    (fun nodes ->
+      let edges = ref [] in
+      Flat.iter_steiner fl scratch
+        ~nodes:(fun mark -> List.iter mark nodes)
+        (fun e -> edges := e :: !edges);
+      if List.rev !edges <> Tree.steiner_edges tree nodes then
+        fail "bench/micro --smoke: steiner order mismatch")
+    steiner_sets;
+  Printf.printf
+    "bench/micro --smoke: flat kernels agree with Tree on %d paths, %d \
+     steiner sets (shared scratch)\n"
+    (Array.length pairs)
+    (Array.length steiner_sets)

@@ -1,0 +1,13 @@
+(* Flat-kernel microbench driver.
+
+   Run with:  dune exec bench/micro_main.exe            # timed F1-F3
+          or  dune exec bench/micro_main.exe -- --smoke # fast agreement pass
+   The timed run prints Bechamel ns/run estimates for the Tree.Flat
+   primitives (path folds, batched LCA, scratch reuse) next to their
+   list-returning Tree counterparts. [--smoke] skips timing and instead
+   cross-checks every kernel against Tree on the bench instance — the
+   cheap gate `make bench-quick` (and through it `make check`) runs. *)
+
+let () =
+  if Array.exists (( = ) "--smoke") Sys.argv then Micro.smoke_flat ()
+  else Micro.run_flat ()

@@ -19,6 +19,7 @@ module Generators = Hbn_workload.Generators
 module Placement = Hbn_placement.Placement
 module Strategy = Hbn_core.Strategy
 module Exec = Hbn_exec.Exec
+module Json = Hbn_obs.Json
 
 let seed = 20260806
 let job_counts = [ 1; 2; 4 ]
@@ -96,11 +97,35 @@ let smoke () =
   print_endline
     "bench/parallel --smoke: jobs 1/2/4 bit-identical (strategy + evaluate)"
 
+(* The previous baseline's sequential time, carried into the fresh file
+   as "prev_seq_seconds" so a regeneration records the speed delta it
+   overwrote (accepts the v1 schema too, which lacked the field). *)
+let prev_seq_seconds path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+    match Json.parse_result text with
+    | Error _ -> None
+    | Ok doc ->
+      Option.bind (Json.member "runs" doc) Json.to_list
+      |> Option.map
+           (List.filter_map (fun run ->
+                match
+                  ( Option.bind (Json.member "jobs" run) Json.to_int,
+                    Option.bind (Json.member "seconds" run) Json.to_float )
+                with
+                | Some 1, Some s -> Some s
+                | _ -> None))
+      |> function
+      | Some (s :: _) -> Some s
+      | _ -> None)
+
 let full out_path =
   let repeats = 3 in
   let arity = 4 and height = 4 and objects = 384 in
   let mk = instance ~arity ~height ~objects in
   let tree, w = mk () in
+  let prev_seq = prev_seq_seconds out_path in
   let cores = Domain.recommended_domain_count () in
   let measured =
     List.map
@@ -117,19 +142,30 @@ let full out_path =
       if jobs <> 1 then check_identical ~reference ~jobs res)
     measured;
   let oc = open_out out_path in
-  output_string oc (Meta.header ~schema:"hbn.bench.parallel/v1");
+  output_string oc (Meta.header ~schema:"hbn.bench.parallel/v2");
   Printf.fprintf oc
     " \"topology\":\"balanced-a%dh%d\",\"leaves\":%d,\"objects\":%d,\n\
-    \ \"seed\":%d,\"repeats\":%d,\n\
+    \ \"seed\":%d,\"repeats\":%d,%s\n\
     \ \"runs\":[%s],\n\
     \ \"identical\":true}\n"
     arity height (Tree.num_leaves tree) (Workload.num_objects w) seed repeats
+    (match prev_seq with
+    | None -> ""
+    | Some s -> Printf.sprintf "\"prev_seq_seconds\":%.6f," s)
     (String.concat ","
        (List.map
           (fun (jobs, secs, _) ->
+            (* The scheduling shape of the per-object fan-out: auto chunk
+               size, task count, and tasks per chunk. Deterministic in
+               (jobs, objects) — bench/check.exe re-derives and gates
+               them. *)
+            let chunk = Exec.auto_chunk ~jobs objects in
+            let chunks = (objects + chunk - 1) / chunk in
             Printf.sprintf
-              "\n  {\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.2f}" jobs secs
-              (base_s /. secs))
+              "\n\
+              \  {\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.2f,\"chunk\":%d,\"chunks\":%d,\"tasks_per_chunk\":%.2f}"
+              jobs secs (base_s /. secs) chunk chunks
+              (float_of_int objects /. float_of_int chunks))
           measured));
   close_out oc;
   Printf.printf "wrote %s (detected cores: %d)\n" out_path cores;

@@ -1,4 +1,5 @@
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Workload = Hbn_workload.Workload
 module Nibble = Hbn_nibble.Nibble
 
@@ -56,8 +57,13 @@ let cut_groups groups sizes =
     sizes;
   List.rev !buckets
 
-let run ?(first_id = 0) w cs =
+let run ?(first_id = 0) ?scratch w cs =
   let tree = Workload.tree w in
+  let scratch =
+    match scratch with
+    | Some s -> s
+    | None -> Flat.Scratch.create (Flat.of_tree tree)
+  in
   let kappa = Workload.write_contention w ~obj:cs.Nibble.obj in
   if kappa <= 0 then invalid_arg "Deletion.run: kappa must be positive";
   if cs.Nibble.nodes = [] then invalid_arg "Deletion.run: empty copy set";
@@ -71,7 +77,7 @@ let run ?(first_id = 0) w cs =
     incr next_id;
     id
   in
-  let groups = Nibble.served_groups w cs in
+  let groups = Nibble.served_groups ~scratch w cs in
   let table = Array.make (Tree.n tree) None in
   List.iter
     (fun v ->
@@ -86,24 +92,32 @@ let run ?(first_id = 0) w cs =
   in
   let deletions = ref 0 in
   let nearest_survivor () =
-    (* BFS from the root of T(x) over the whole tree. *)
-    let seen = Array.make (Tree.n tree) false in
-    let queue = Queue.create () in
-    Queue.add cs.Nibble.gravity queue;
-    seen.(cs.Nibble.gravity) <- true;
+    (* BFS from the root of T(x) over the whole tree, on the scratch's
+       ring buffer and visit stamps (same FIFO order as a queue — each
+       node enters at most once, so [n] slots suffice). *)
+    scratch.Flat.Scratch.stamp <- scratch.Flat.Scratch.stamp + 1;
+    let stamp = scratch.Flat.Scratch.stamp in
+    let nstamp = scratch.Flat.Scratch.nstamp in
+    let queue = scratch.Flat.Scratch.queue in
+    let head = ref 0 and tail = ref 0 in
+    queue.(!tail) <- cs.Nibble.gravity;
+    incr tail;
+    nstamp.(cs.Nibble.gravity) <- stamp;
     let found = ref None in
-    while !found = None && not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
-      (match table.(v) with
+    while !found = None && !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      match table.(v) with
       | Some c when v <> cs.Nibble.gravity -> found := Some c
       | Some _ | None ->
         Array.iter
           (fun (u, _) ->
-            if not seen.(u) then begin
-              seen.(u) <- true;
-              Queue.add u queue
+            if nstamp.(u) <> stamp then begin
+              nstamp.(u) <- stamp;
+              queue.(!tail) <- u;
+              incr tail
             end)
-          (Tree.neighbors tree v))
+          (Tree.neighbors tree v)
     done;
     !found
   in

@@ -22,7 +22,12 @@ type outcome = {
   ids_used : int;  (** copy ids consumed: [|cs.nodes| + splits] *)
 }
 
-val run : ?first_id:int -> Workload.t -> Nibble.copy_set -> outcome
+val run :
+  ?first_id:int ->
+  ?scratch:Hbn_tree.Flat.Scratch.t ->
+  Workload.t ->
+  Nibble.copy_set ->
+  outcome
 (** [run w cs] executes the deletion algorithm for object [cs.obj]. The
     function is pure per object: copy ids are [first_id] (default 0)
     onwards, allocated deterministically, and no shared state is touched
@@ -30,7 +35,9 @@ val run : ?first_id:int -> Workload.t -> Nibble.copy_set -> outcome
     renumber ids into one global sequence at merge time (the
     ["deletion.object"] trace event is likewise emitted by the driver's
     sequential merge, not here). Requires [cs.nodes <> []] and [κ_x > 0];
-    the strategy driver handles the degenerate cases separately. *)
+    the strategy driver handles the degenerate cases separately.
+    [scratch] (fresh by default) must belong to the calling domain; the
+    driver hands each worker slot its own. *)
 
 val split_sizes : served:int -> kappa:int -> int list
 (** The bucket sizes used when splitting a copy: [max 1 (served / kappa)]

@@ -1,4 +1,5 @@
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Nibble = Hbn_nibble.Nibble
@@ -28,7 +29,7 @@ type stage =
 (* Building one object's placement from its stage is pure (all copy
    mutation is over by the time this runs), so it fans out too. *)
 let placement_of_stage ?exec w stages =
-  Exec.map
+  Exec.map_chunked
     (Option.value exec ~default:Exec.sequential)
     (Array.length stages)
     (fun obj ->
@@ -73,14 +74,14 @@ let placement_of_stage ?exec w stages =
 (* The pure per-object stage of Step 2: local ids from 0, no shared state,
    no tracing — safe on any domain. The sequential merge below renumbers
    ids into one global sequence and emits the per-object trace events. *)
-let stage_object w cs =
+let stage_object ~scratch w cs =
   let obj = cs.Nibble.obj in
-  let view = Workload.view w ~obj in
-  if Workload.View.total_weight view = 0 then (Unused, 0, 0, 0)
-  else if view.Workload.View.kappa = 0 then
-    (Read_only view.Workload.View.requesting, 0, 0, 0)
+  let wf = Workload.flat w in
+  if Workload.Flat.total_weight wf ~obj = 0 then (Unused, 0, 0, 0)
+  else if Workload.Flat.kappa wf ~obj = 0 then
+    (Read_only (Workload.requesting_leaves w ~obj), 0, 0, 0)
   else begin
-    let outcome = Deletion.run w cs in
+    let outcome = Deletion.run ~scratch w cs in
     ( Copies outcome.Deletion.copies,
       outcome.Deletion.deletions,
       outcome.Deletion.splits,
@@ -101,14 +102,19 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round
     ?(exec = Exec.sequential) w =
   let sp_run = Trace.span "strategy.run" in
   let tree = Workload.tree w in
-  (* Force every per-object view before fanning out: the tasks then only
-     read immutable records. *)
+  (* Force the shared flat structures before fanning out: the tasks then
+     only read immutable arrays, through one scratch per executor slot. *)
   let num_objects = Workload.num_objects w in
-  ignore (Workload.views w);
+  ignore (Workload.flat w);
+  let fl = Flat.of_tree tree in
+  let scratches =
+    Array.init (Exec.jobs exec) (fun _ -> Flat.Scratch.create fl)
+  in
+  let scratch () = scratches.(Exec.current_worker ()) in
   let sp_nibble = Trace.span "strategy.nibble" in
   let step1 =
-    Exec.map exec num_objects (fun obj ->
-        let cs = Nibble.place w ~obj in
+    Exec.map_chunked exec num_objects (fun obj ->
+        let cs = Nibble.place ~scratch:(scratch ()) w ~obj in
         (cs, Placement.nearest_object w ~obj ~copies:cs.Nibble.nodes))
   in
   let sets = Array.map fst step1 in
@@ -126,7 +132,10 @@ let run ?(move_leaf_copies = false) ?(verify = false) ?on_mapping_round
         ];
   emit_attribution "nibble" w nibble_placement;
   let sp_deletion = Trace.span "strategy.deletion" in
-  let staged = Exec.map exec num_objects (fun obj -> stage_object w sets.(obj)) in
+  let staged =
+    Exec.map_chunked exec num_objects (fun obj ->
+        stage_object ~scratch:(scratch ()) w sets.(obj))
+  in
   (* Deterministic merge, in object order: global totals, copy-id
      renumbering (bit-identical to the old shared-counter allocation at
      any job count), and the per-object trace events. *)

@@ -3,7 +3,8 @@
    No dependencies beyond the stdlib — the toolchain pins no domainslib. *)
 
 type pool = {
-  workers : int;  (* worker domains, excluding the calling domain *)
+  target : int;  (* configured worker domains, excluding the caller *)
+  mutable spawned : int;  (* workers actually running, <= target *)
   mutex : Mutex.t;
   work : Condition.t;  (* a new generation (or shutdown) is available *)
   idle : Condition.t;  (* a worker finished the current generation *)
@@ -70,12 +71,30 @@ let worker pool =
     end
   done
 
+(* Workers are spawned lazily, on first demand: a [jobs:4] runner used
+   only for a 2-task map spins up one domain, not three. Called with the
+   pool mutex held. A freshly spawned worker immediately blocks on that
+   mutex, so it observes the published generation only after [run_pool]
+   finishes setting it up. *)
+let ensure_workers pool n =
+  let want = min pool.target (max 0 (n - 1)) in
+  while pool.spawned < want do
+    let i = pool.spawned in
+    pool.spawned <- i + 1;
+    pool.domains <-
+      Domain.spawn (fun () ->
+          Domain.DLS.set worker_slot (i + 1);
+          worker pool)
+      :: pool.domains
+  done
+
 let create ~jobs =
   if jobs <= 1 then Sequential
-  else begin
-    let pool =
+  else
+    Pool
       {
-        workers = jobs - 1;
+        target = jobs - 1;
+        spawned = 0;
         mutex = Mutex.create ();
         work = Condition.create ();
         idle = Condition.create ();
@@ -88,16 +107,16 @@ let create ~jobs =
         closed = false;
         domains = [];
       }
-    in
-    pool.domains <-
-      List.init pool.workers (fun i ->
-          Domain.spawn (fun () ->
-              Domain.DLS.set worker_slot (i + 1);
-              worker pool));
-    Pool pool
-  end
 
-let jobs = function Sequential -> 1 | Pool p -> p.workers + 1
+let jobs = function Sequential -> 1 | Pool p -> p.target + 1
+
+let spawned_workers = function
+  | Sequential -> 0
+  | Pool p ->
+    Mutex.lock p.mutex;
+    let s = p.spawned in
+    Mutex.unlock p.mutex;
+    s
 
 let shutdown = function
   | Sequential -> ()
@@ -122,11 +141,12 @@ let run_pool pool n f =
     Mutex.unlock pool.mutex;
     invalid_arg "Exec.map: runner already shut down"
   end;
+  ensure_workers pool n;
   pool.task <- Some f;
   pool.total <- n;
   Atomic.set pool.next 0;
   pool.error <- None;
-  pool.unfinished <- pool.workers;
+  pool.unfinished <- pool.spawned;
   pool.generation <- pool.generation + 1;
   Condition.broadcast pool.work;
   Mutex.unlock pool.mutex;
@@ -168,3 +188,58 @@ let iter t n f =
       f i
     done
   | Pool pool -> if n > 0 then run_pool pool n f
+
+(* Chunked scheduling: tasks claim blocks of [chunk] consecutive indices
+   from the atomic counter instead of single indices, amortizing the
+   fetch-and-add and the per-task cache traffic (SNIPPETS snippet 3's
+   BLOCK partitioning, made dynamic). 8 blocks per executor keeps enough
+   slack for load balancing while shrinking counter contention by the
+   chunk factor. *)
+let auto_chunk ~jobs n = max 1 (n / (8 * jobs))
+
+let run_chunked pool n f ~chunk =
+  if chunk = 1 then run_pool pool n f
+  else begin
+    let chunks = (n + chunk - 1) / chunk in
+    run_pool pool chunks (fun ci ->
+        let lo = ci * chunk in
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          f i
+        done)
+  end
+
+let resolve_chunk t n = function
+  | Some c ->
+    if c < 1 then invalid_arg "Exec: chunk must be at least 1";
+    c
+  | None -> auto_chunk ~jobs:(jobs t) n
+
+let iter_chunked ?chunk t n f =
+  match t with
+  | Sequential ->
+    ignore (resolve_chunk t n chunk);
+    for i = 0 to n - 1 do
+      f i
+    done
+  | Pool pool ->
+    if n > 0 then run_chunked pool n f ~chunk:(resolve_chunk t n chunk)
+
+let map_chunked ?chunk t n f =
+  match t with
+  | Sequential ->
+    ignore (resolve_chunk t n chunk);
+    Array.init n f
+  | Pool pool ->
+    if n = 0 then [||]
+    else begin
+      let out = Array.make n None in
+      run_chunked pool n
+        (fun i -> out.(i) <- Some (f i))
+        ~chunk:(resolve_chunk t n chunk);
+      Array.map
+        (function
+          | Some v -> v
+          | None -> invalid_arg "Exec.map_chunked: task skipped after error")
+        out
+    end

@@ -26,12 +26,20 @@ val sequential : t
 
 val create : jobs:int -> t
 (** [create ~jobs] is a runner executing up to [jobs] tasks concurrently.
-    [jobs <= 1] returns {!sequential}; otherwise a pool of [jobs - 1]
-    worker domains is spawned eagerly (the caller is the [jobs]-th
-    executor). Call {!shutdown} when done, or use {!with_runner}. *)
+    [jobs <= 1] returns {!sequential}; otherwise the runner targets
+    [jobs - 1] worker domains plus the caller. Workers are spawned
+    {e lazily}: a map of [n] tasks spins up at most [min (jobs - 1)
+    (n - 1)] domains, so small fan-outs on a wide runner never pay for
+    idle domains. Call {!shutdown} when done, or use {!with_runner}. *)
 
 val jobs : t -> int
-(** Concurrency width: [1] for {!sequential}. *)
+(** Configured concurrency width: [1] for {!sequential}. Independent of
+    how many workers have actually been spawned
+    ({!spawned_workers}). *)
+
+val spawned_workers : t -> int
+(** Worker domains currently running: [0] for {!sequential} or an unused
+    pool, at most [jobs t - 1]. Grows monotonically with demand. *)
 
 val current_worker : unit -> int
 (** The executor slot of the calling domain: [0] on the main (or any
@@ -58,3 +66,26 @@ val map : t -> int -> (int -> 'a) -> 'a array
 
 val iter : t -> int -> (int -> unit) -> unit
 (** [iter r n f] is [map] without result collection. *)
+
+(** {1 Chunked scheduling}
+
+    {!map} costs one atomic fetch-and-add (plus cache traffic on the
+    shared counter) per task. When tasks are small, batching [chunk]
+    consecutive indices per claim amortizes that overhead. Results are
+    still written to per-index slots and returned in index order, so
+    chunked maps are bit-identical to {!map} for pure [f] at any [jobs]
+    and any chunk size — chunking changes scheduling, never results. *)
+
+val auto_chunk : jobs:int -> int -> int
+(** [auto_chunk ~jobs n = max 1 (n / (8 * jobs))]: 8 claimable blocks
+    per executor — enough slack for dynamic load balancing, few enough
+    that counter contention becomes negligible. *)
+
+val map_chunked : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** [map_chunked ?chunk r n f] is {!map} with [chunk] indices claimed
+    per counter round-trip ([chunk] defaults to {!auto_chunk}; a task
+    executes its chunk's indices in ascending order). Raises
+    [Invalid_argument] when [chunk < 1]. *)
+
+val iter_chunked : ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** {!map_chunked} without result collection. *)

@@ -1,4 +1,5 @@
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Marks = Hbn_tree.Marks
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
@@ -88,10 +89,12 @@ type t = {
   w : Workload.t;
   tree : Tree.t;
   rooted : Tree.rooted;
-  lca : Tree.lca_index;
+  fl : Flat.t;  (* O(1) LCA/distance over the canonical rooting *)
   raw : Raw.t;
   objs : obj_state array;
   eseen : int array;  (* per-edge visit stamps for root-path unions *)
+  estack : int array;  (* the current affected-edge set, in visit order *)
+  mutable esp : int;
   mutable stamp : int;
   mutable journal : undo list;
   mutable jlen : int;
@@ -127,10 +130,12 @@ let create w =
     w;
     tree;
     rooted;
-    lca = Tree.lca_index rooted;
+    fl = Flat.of_tree tree;
     raw = Raw.create tree;
     objs;
     eseen = Array.make m (-1);
+    estack = Array.make m 0;
+    esp = 0;
     stamp = 0;
     journal = [];
     jlen = 0;
@@ -159,20 +164,7 @@ let iter_root_path t v f =
     x := r.Tree.parent.(!x)
   done
 
-let iter_path_edges t u v f =
-  if u <> v then begin
-    let a = Tree.lca_fast t.lca u v in
-    let r = t.rooted in
-    let climb s =
-      let x = ref s in
-      while !x <> a do
-        f r.Tree.parent_edge.(!x);
-        x := r.Tree.parent.(!x)
-      done
-    in
-    climb u;
-    climb v
-  end
+let iter_path_edges t u v f = Flat.iter_path_unordered t.fl u v f
 
 (* {2 Steiner-tree accounting}
 
@@ -194,18 +186,27 @@ let steiner_load t o e amount =
   | None -> ()
   | Some h -> h ~obj:o ~component:Placement.Write_steiner ~edge:e ~amount
 
+(* Fills [estack] with the (deduplicated) union of the two root paths —
+   no list allocation; the set stays valid until the next call. *)
 let affected_edges t ~node ~other =
   t.stamp <- t.stamp + 1;
-  let out = ref [] in
+  t.esp <- 0;
   let visit e =
     if t.eseen.(e) <> t.stamp then begin
       t.eseen.(e) <- t.stamp;
-      out := e :: !out
+      t.estack.(t.esp) <- e;
+      t.esp <- t.esp + 1
     end
   in
   iter_root_path t node visit;
-  if other >= 0 then iter_root_path t other visit;
-  !out
+  if other >= 0 then iter_root_path t other visit
+
+let iter_affected t f =
+  (* Reversed fill order: the order the list-building implementation
+     historically visited, kept so hook deltas replay identically. *)
+  for i = t.esp - 1 downto 0 do
+    f t.estack.(i)
+  done
 
 (* Low-level add of copy [c]: marks, [below], anchor and Steiner loads.
    Assignments are the caller's business. *)
@@ -213,14 +214,13 @@ let steiner_add t o c =
   let os = t.objs.(o) in
   let n_new = os.ncopies + 1 in
   if os.total_writes > 0 then begin
-    let affected = affected_edges t ~node:c ~other:os.anchor in
+    affected_edges t ~node:c ~other:os.anchor;
     let wts = os.total_writes in
-    List.iter
-      (fun e -> if member os e os.ncopies then steiner_load t o e (-wts))
-      affected;
+    iter_affected t (fun e ->
+        if member os e os.ncopies then steiner_load t o e (-wts));
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) + 1);
     os.ncopies <- n_new;
-    List.iter (fun e -> if member os e n_new then steiner_load t o e wts) affected
+    iter_affected t (fun e -> if member os e n_new then steiner_load t o e wts)
   end
   else begin
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) + 1);
@@ -241,14 +241,13 @@ let steiner_remove t o c =
   in
   let n_new = os.ncopies - 1 in
   if os.total_writes > 0 then begin
-    let affected = affected_edges t ~node:c ~other:new_anchor in
+    affected_edges t ~node:c ~other:new_anchor;
     let wts = os.total_writes in
-    List.iter
-      (fun e -> if member os e os.ncopies then steiner_load t o e (-wts))
-      affected;
+    iter_affected t (fun e ->
+        if member os e os.ncopies then steiner_load t o e (-wts));
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) - 1);
     os.ncopies <- n_new;
-    List.iter (fun e -> if member os e n_new then steiner_load t o e wts) affected
+    iter_affected t (fun e -> if member os e n_new then steiner_load t o e wts)
   end
   else begin
     iter_root_path t c (fun e -> os.below.(e) <- os.below.(e) - 1);
@@ -300,7 +299,7 @@ let add_copy t ~obj c =
   let moved = ref [] in
   Array.iter
     (fun leaf ->
-      let d = Tree.distance t.lca leaf c in
+      let d = Flat.distance t.fl leaf c in
       let cur = os.server.(leaf) in
       if cur < 0 || d < os.sdist.(leaf) || (d = os.sdist.(leaf) && c < cur)
       then begin
@@ -346,7 +345,7 @@ let reassign t ~obj ~leaf ~server =
     invalid_arg "Loads.reassign: leaf has no requests for this object";
   push t
     (U_reassign { obj; leaf; server = os.server.(leaf); dist = os.sdist.(leaf) });
-  set_server t obj leaf ~server ~dist:(Tree.distance t.lca leaf server)
+  set_server t obj leaf ~server ~dist:(Flat.distance t.fl leaf server)
 
 (* {2 Checkpoint / rollback} *)
 

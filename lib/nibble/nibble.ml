@@ -1,4 +1,5 @@
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 
@@ -9,47 +10,60 @@ type copy_set = {
   rooted : Tree.rooted;
 }
 
-let gravity_center t ~weights =
-  let r = Tree.rooting t in
-  let total = Array.fold_left ( + ) 0 weights in
-  let sums = Tree.subtree_sums r weights in
-  (* Removing v leaves the children subtrees and the rest of the tree;
-     v is a center of gravity iff the heaviest such component carries at
-     most half the total weight. *)
+(* Center-of-gravity search shared by the public entry point and the flat
+   hot path: [acc] holds the canonical subtree sums of the weights,
+   [total] their sum. Removing v leaves the children subtrees and the
+   rest of the tree; v is a center of gravity iff the heaviest such
+   component carries at most half the total weight. *)
+let gravity_of_sums r ~acc ~total n =
   let heaviest v =
-    let above = total - sums.(v) in
-    Array.fold_left (fun acc c -> max acc sums.(c)) above r.Tree.children.(v)
+    let above = total - acc.(v) in
+    Array.fold_left (fun m c -> max m acc.(c)) above r.Tree.children.(v)
   in
   let rec search v =
-    if v >= Tree.n t then
+    if v >= n then
       invalid_arg "Nibble.gravity_center: no center found (impossible)"
     else if 2 * heaviest v <= total then v
     else search (v + 1)
   in
   search 0
 
+let gravity_center t ~weights =
+  let r = Tree.rooting t in
+  let total = Array.fold_left ( + ) 0 weights in
+  let sums = Tree.subtree_sums r weights in
+  gravity_of_sums r ~acc:sums ~total (Tree.n t)
+
 type group = { leaf : int; reads : int; writes : int }
 
 let group_weight g = g.reads + g.writes
 
-let place w ~obj =
+let place ?scratch w ~obj =
   let tree = Workload.tree w in
-  (* The instance view carries the weight vector, total and contention in
-     one precomputed record; reading it is safe from concurrent domains
-     once the workload's views are forced. *)
-  let view = Workload.view w ~obj in
-  let weights = view.Workload.View.weights in
-  let total = Workload.View.total_weight view in
+  let fl = Flat.of_tree tree in
+  let wf = Workload.flat w in
+  let total = Workload.Flat.total_weight wf ~obj in
   if total = 0 then
     { obj; nodes = []; gravity = 0; rooted = Tree.rooting tree }
   else begin
-    let gravity = gravity_center tree ~weights in
+    let scratch =
+      match scratch with Some s -> s | None -> Flat.Scratch.create fl
+    in
+    let weights = wf.Workload.Flat.weights in
+    let base = Workload.Flat.row_base wf ~obj in
+    (* Weight sums over the canonical rooting locate the gravity center
+       without materializing a per-object weight vector. *)
+    Flat.subtree_sums_into fl scratch ~src:weights ~src_off:base;
+    let acc = scratch.Flat.Scratch.acc in
+    let gravity = gravity_of_sums fl.Flat.r ~acc ~total fl.Flat.n in
     let rooted = Tree.reroot tree gravity in
-    let kappa = view.Workload.View.kappa in
-    let sums = Tree.subtree_sums rooted weights in
+    let kappa = Workload.Flat.kappa wf ~obj in
+    (* Re-aggregate in the gravity rooting; the nibble rule reads these
+       sums. [acc] is reused — the canonical sums are spent. *)
+    Tree.subtree_sums_into rooted ~src:weights ~src_off:base ~dst:acc;
     let nodes = ref [] in
     for v = Tree.n tree - 1 downto 0 do
-      if v = gravity || sums.(v) > kappa then nodes := v :: !nodes
+      if v = gravity || acc.(v) > kappa then nodes := v :: !nodes
     done;
     { obj; nodes = !nodes; gravity; rooted }
   end
@@ -63,14 +77,23 @@ let placement w =
 
 let edge_loads w = Placement.edge_loads w (placement w)
 
-let served_groups w cs =
+let served_groups ?scratch w cs =
   let tree = Workload.tree w in
-  let in_set = Array.make (Tree.n tree) false in
-  List.iter (fun v -> in_set.(v) <- true) cs.nodes;
+  let fl = Flat.of_tree tree in
+  let scratch =
+    match scratch with Some s -> s | None -> Flat.Scratch.create fl
+  in
+  (* Copy-set membership as stamps: no per-call boolean array. *)
+  scratch.Flat.Scratch.stamp <- scratch.Flat.Scratch.stamp + 1;
+  let stamp = scratch.Flat.Scratch.stamp in
+  let nstamp = scratch.Flat.Scratch.nstamp in
+  List.iter (fun v -> nstamp.(v) <- stamp) cs.nodes;
   let out = Array.make (Tree.n tree) [] in
-  List.iter
-    (fun leaf ->
-      match Tree.first_on_path cs.rooted ~member:(fun v -> in_set.(v)) leaf with
+  let wf = Workload.flat w in
+  Workload.Flat.iter_requesting wf ~obj:cs.obj (fun leaf ->
+      match
+        Tree.first_on_path cs.rooted ~member:(fun v -> nstamp.(v) = stamp) leaf
+      with
       | None ->
         invalid_arg "Nibble.served_groups: request with no copy on its path"
       | Some server ->
@@ -81,8 +104,7 @@ let served_groups w cs =
             writes = Workload.writes w ~obj:cs.obj leaf;
           }
         in
-        out.(server) <- g :: out.(server))
-    (Workload.requesting_leaves w ~obj:cs.obj);
+        out.(server) <- g :: out.(server));
   out
 
 let is_connected tree nodes =

@@ -27,9 +27,10 @@ val gravity_center : Tree.t -> weights:int array -> int
     splits the tree into components each of weight at most half the total
     (such a node always exists; for total weight 0 every node qualifies). *)
 
-val place : Workload.t -> obj:int -> copy_set
+val place : ?scratch:Hbn_tree.Flat.Scratch.t -> Workload.t -> obj:int -> copy_set
 (** The nibble copy set for one object. [nodes = []] iff the object has no
-    requests. *)
+    requests. [scratch] (fresh by default) lets hot loops reuse working
+    memory; it must belong to the calling domain and is left dirty. *)
 
 val place_all : Workload.t -> copy_set array
 
@@ -50,10 +51,11 @@ val edge_loads : Workload.t -> int array
 
 type group = { leaf : int; reads : int; writes : int }
 
-val served_groups : Workload.t -> copy_set -> group list array
+val served_groups :
+  ?scratch:Hbn_tree.Flat.Scratch.t -> Workload.t -> copy_set -> group list array
 (** [served_groups w cs] maps each node of [cs.nodes] to the request groups
     its copy serves (empty lists elsewhere). Every requesting leaf appears
-    in exactly one group. *)
+    in exactly one group. [scratch] as in {!place}. *)
 
 val group_weight : group -> int
 (** [reads + writes]. *)

@@ -5,14 +5,18 @@
    agreement [equal] checks. *)
 
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 module Loads = Hbn_loads.Loads
 
 type t = {
   tree : Tree.t;
-  cells : (int * Placement.component, int ref) Hashtbl.t array;
-      (* index = edge; key = (object, component); value = running sum *)
+  cells : (int, int ref) Hashtbl.t array;
+      (* index = edge; key = object * 3 + component rank; value = running
+         sum. Packing the pair into an immediate int keeps [record] — the
+         hottest call under tracing — free of tuple allocation and
+         structural hashing. *)
   totals : int array;  (* index = edge; sum of the edge's cells *)
 }
 
@@ -27,6 +31,13 @@ let component_rank = function
   | Placement.Write_path -> 1
   | Placement.Write_steiner -> 2
 
+let component_of_rank = function
+  | 0 -> Placement.Read_path
+  | 1 -> Placement.Write_path
+  | _ -> Placement.Write_steiner
+
+let cell_key ~obj ~component = (obj * 3) + component_rank component
+
 let create tree =
   {
     tree;
@@ -40,7 +51,7 @@ let record t ~obj ~component ~edge ~amount =
       invalid_arg "Attribution.record: edge out of range";
     t.totals.(edge) <- t.totals.(edge) + amount;
     let tbl = t.cells.(edge) in
-    let key = (obj, component) in
+    let key = cell_key ~obj ~component in
     match Hashtbl.find_opt tbl key with
     | Some r ->
       let v = !r + amount in
@@ -50,40 +61,40 @@ let record t ~obj ~component ~edge ~amount =
 
 let of_placement w p =
   let t = create (Workload.tree w) in
+  let fl = Flat.of_tree t.tree in
+  let scratch = Flat.Scratch.create fl in
   Array.iteri
     (fun obj op ->
-      Placement.iter_object_load_components t.tree op (fun edge component amount ->
-          record t ~obj ~component ~edge ~amount))
+      Placement.iter_object_load_components_scratch fl scratch op
+        (fun edge component amount -> record t ~obj ~component ~edge ~amount))
     p;
   t
 
 let of_loads eng =
   let w = Loads.workload eng in
   let t = create (Workload.tree w) in
+  let fl = Flat.of_tree t.tree in
+  let scratch = Flat.Scratch.create fl in
+  let wf = Workload.flat w in
   for obj = 0 to Workload.num_objects w - 1 do
     if Loads.num_copies eng ~obj > 0 then begin
-      let view = Workload.view w ~obj in
-      List.iter
-        (fun leaf ->
+      Workload.Flat.iter_requesting wf ~obj (fun leaf ->
           match Loads.server eng ~obj leaf with
           | None -> ()
           | Some server ->
             if leaf <> server then begin
               let rd = Workload.reads w ~obj leaf in
               let wr = Workload.writes w ~obj leaf in
-              List.iter
-                (fun edge ->
+              Flat.iter_path fl scratch leaf server (fun edge ->
                   record t ~obj ~component:Placement.Read_path ~edge ~amount:rd;
                   record t ~obj ~component:Placement.Write_path ~edge ~amount:wr)
-                (Tree.path_edges t.tree leaf server)
-            end)
-        view.Workload.View.requesting;
-      let kappa = view.Workload.View.kappa in
+            end);
+      let kappa = Workload.Flat.kappa wf ~obj in
       if kappa > 0 then
-        List.iter
+        Flat.iter_steiner fl scratch
+          ~nodes:(fun mark -> List.iter mark (Loads.copies eng ~obj))
           (fun edge ->
             record t ~obj ~component:Placement.Write_steiner ~edge ~amount:kappa)
-          (Tree.steiner_edges t.tree (Loads.copies eng ~obj))
     end
   done;
   t
@@ -108,7 +119,9 @@ let compare_contribution a b =
 
 let contributions_of_table tbl =
   Hashtbl.fold
-    (fun (obj, component) r acc -> { obj; component; amount = !r } :: acc)
+    (fun key r acc ->
+      { obj = key / 3; component = component_of_rank (key mod 3); amount = !r }
+      :: acc)
     tbl []
   |> List.sort compare_contribution
 
@@ -164,9 +177,7 @@ let congestion_value t =
   match hotspots t ~k:1 with [] -> 0. | (_, rel) :: _ -> rel
 
 let canonical_cells tbl =
-  Hashtbl.fold
-    (fun (obj, component) r acc -> ((obj, component_rank component), !r) :: acc)
-    tbl []
+  Hashtbl.fold (fun key r acc -> ((key / 3, key mod 3), !r) :: acc) tbl []
   |> List.sort compare
 
 let equal a b =
@@ -182,10 +193,17 @@ let equal a b =
   !ok
 
 let events ?(name = "attribution") ?(attrs = []) t =
+  (* Cells sorted by packed key = (object, component rank) ascending —
+     the same event order the contribution-record sort used to produce,
+     minus one decode/re-sort round trip. *)
   List.concat
     (List.init (Array.length t.totals) (fun edge ->
+         let cells =
+           Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.cells.(edge) []
+           |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+         in
          List.map
-           (fun { obj; component; amount } ->
+           (fun (key, amount) ->
              {
                Sink.name;
                id = 0;
@@ -195,17 +213,13 @@ let events ?(name = "attribution") ?(attrs = []) t =
                  Sink.Attribution
                    {
                      edge;
-                     obj;
-                     component = Placement.component_name component;
+                     obj = key / 3;
+                     component =
+                       Placement.component_name (component_of_rank (key mod 3));
                      amount;
                    };
              })
-           (List.sort
-              (fun a b ->
-                if a.obj <> b.obj then compare a.obj b.obj
-                else compare (component_rank a.component)
-                       (component_rank b.component))
-              (edge_contributions t ~edge))))
+           cells))
 
 let emit ?name ?attrs t sink =
   List.iter sink.Sink.emit (events ?name ?attrs t)

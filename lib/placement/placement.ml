@@ -1,4 +1,5 @@
 module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
 module Workload = Hbn_workload.Workload
 module Exec = Hbn_exec.Exec
 
@@ -11,16 +12,21 @@ type t = obj_placement array
 let dedup_sorted xs = List.sort_uniq compare xs
 
 let nearest_object w ~obj ~copies =
-  let tree = Workload.tree w in
+  let fl = Flat.of_tree (Workload.tree w) in
+  let wf = Workload.flat w in
   let cs = dedup_sorted copies in
-  let leaves = Workload.requesting_leaves w ~obj in
-  if leaves <> [] && cs = [] then
+  let lo = wf.Workload.Flat.req_off.(obj)
+  and hi = wf.Workload.Flat.req_off.(obj + 1) in
+  if hi > lo && cs = [] then
     invalid_arg "Placement.nearest: requests but no copies";
+  (* [cs] is sorted and only a strictly smaller distance displaces the
+     incumbent, so ties go to the lowest node id — the canonical
+     tie-break every evaluator and the incremental engine reproduce. *)
   let closest leaf =
     let best = ref (-1) and best_d = ref max_int in
     List.iter
       (fun c ->
-        let d = Tree.path_length tree leaf c in
+        let d = Flat.distance fl leaf c in
         if d < !best_d then begin
           best := c;
           best_d := d
@@ -28,22 +34,24 @@ let nearest_object w ~obj ~copies =
       cs;
     !best
   in
-  let assigns =
-    List.map
-      (fun leaf ->
-        {
-          leaf;
-          server = closest leaf;
-          reads = Workload.reads w ~obj leaf;
-          writes = Workload.writes w ~obj leaf;
-        })
-      leaves
-  in
-  { copies = cs; assigns }
+  let assigns = ref [] in
+  for i = hi - 1 downto lo do
+    let leaf = wf.Workload.Flat.req_leaf.(i) in
+    assigns :=
+      {
+        leaf;
+        server = closest leaf;
+        reads = Workload.reads w ~obj leaf;
+        writes = Workload.writes w ~obj leaf;
+      }
+      :: !assigns
+  done;
+  { copies = cs; assigns = !assigns }
 
 let nearest ?(exec = Exec.sequential) w ~copies =
-  ignore (Workload.views w);
-  Exec.map exec (Workload.num_objects w) (fun obj ->
+  ignore (Workload.flat w);
+  ignore (Tree.flat_index (Workload.tree w));
+  Exec.map_chunked exec (Workload.num_objects w) (fun obj ->
       nearest_object w ~obj ~copies:copies.(obj))
 
 let single w obj_to_node =
@@ -189,21 +197,23 @@ let component_of_name = function
    from-scratch entry points below, the incremental engine
    ([Hbn_loads.Loads]) and the attribution tables ([Hbn_obs.Attribution])
    all build on this, so they cannot drift apart. *)
-let iter_object_load_components tree op f =
+let iter_object_load_components_scratch fl scratch op f =
   List.iter
     (fun a ->
       if a.reads + a.writes > 0 && a.leaf <> a.server then
-        List.iter
-          (fun e ->
+        Flat.iter_path fl scratch a.leaf a.server (fun e ->
             if a.reads > 0 then f e Read_path a.reads;
-            if a.writes > 0 then f e Write_path a.writes)
-          (Tree.path_edges tree a.leaf a.server))
+            if a.writes > 0 then f e Write_path a.writes))
     op.assigns;
   let total_writes = List.fold_left (fun s a -> s + a.writes) 0 op.assigns in
   if total_writes > 0 then
-    List.iter
+    Flat.iter_steiner fl scratch
+      ~nodes:(fun mark -> List.iter mark op.copies)
       (fun e -> f e Write_steiner total_writes)
-      (Tree.steiner_edges tree op.copies)
+
+let iter_object_load_components tree op f =
+  let fl = Flat.of_tree tree in
+  iter_object_load_components_scratch fl (Flat.Scratch.create fl) op f
 
 let iter_object_loads tree op f =
   iter_object_load_components tree op (fun e _component amount -> f e amount)
@@ -217,31 +227,37 @@ let object_edge_loads w t ~obj =
 
 let edge_loads ?(exec = Exec.sequential) w t =
   let tree = Workload.tree w in
-  if Exec.jobs exec = 1 then begin
-    let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
+  let fl = Flat.of_tree tree in
+  let m = max 1 (Tree.num_edges tree) in
+  let jobs = Exec.jobs exec in
+  if jobs = 1 then begin
+    let scratch = Flat.Scratch.create fl in
+    let loads = Array.make m 0 in
     Array.iter
       (fun op ->
-        iter_object_loads tree op (fun e amount ->
-            loads.(e) <- loads.(e) + amount))
+        iter_object_load_components_scratch fl scratch op
+          (fun e _component amount -> loads.(e) <- loads.(e) + amount))
       t;
     loads
   end
   else begin
-    (* Per-object contributions in parallel, merged by summation — integer
-       addition commutes, so the merged loads are identical at any job
-       count. *)
-    let per_object =
-      Exec.map exec (Array.length t) (fun obj ->
-          let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
-          iter_object_loads tree t.(obj) (fun e amount ->
-              loads.(e) <- loads.(e) + amount);
-          loads)
-    in
-    let loads = Array.make (max 1 (Tree.num_edges tree)) 0 in
-    Array.iter
-      (fun contrib ->
-        Array.iteri (fun e amount -> loads.(e) <- loads.(e) + amount) contrib)
-      per_object;
+    (* One accumulator and one scratch per executor slot, summed in slot
+       order afterwards — integer addition commutes, so the merged loads
+       are identical at any job count or chunk size. *)
+    let partial = Array.init jobs (fun _ -> Array.make m 0) in
+    let scratches = Array.init jobs (fun _ -> Flat.Scratch.create fl) in
+    Exec.iter_chunked exec (Array.length t) (fun obj ->
+        let slot = Exec.current_worker () in
+        let loads = partial.(slot) in
+        iter_object_load_components_scratch fl scratches.(slot) t.(obj)
+          (fun e _component amount -> loads.(e) <- loads.(e) + amount));
+    let loads = partial.(0) in
+    for slot = 1 to jobs - 1 do
+      let p = partial.(slot) in
+      for e = 0 to m - 1 do
+        loads.(e) <- loads.(e) + p.(e)
+      done
+    done;
     loads
   end
 

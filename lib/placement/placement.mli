@@ -120,6 +120,17 @@ val iter_object_load_components :
     {!object_edge_loads}, the incremental engine ([Hbn_loads.Loads]) and
     attribution tables all agree with it by construction. *)
 
+val iter_object_load_components_scratch :
+  Hbn_tree.Flat.t ->
+  Hbn_tree.Flat.Scratch.t ->
+  obj_placement ->
+  (int -> component -> int -> unit) ->
+  unit
+(** {!iter_object_load_components} over the flat tree kernels with a
+    caller-owned scratch — the zero-allocation form hot loops use
+    (same calls, same order; the scratch must belong to the calling
+    domain). *)
+
 val iter_object_loads : Tree.t -> obj_placement -> (int -> int -> unit) -> unit
 (** [iter_object_loads tree op f] is {!iter_object_load_components} with
     the component dropped: callers that only accumulate per-edge sums

@@ -1,0 +1,147 @@
+(* The flat kernels reproduce the iteration orders of [Tree.path_edges]
+   and [Tree.steiner_edges] exactly: the pipeline's outputs are gated to
+   be bit-identical across representations and job counts, so order is
+   part of the contract here, not an accident. *)
+
+type t = {
+  tree : Tree.t;
+  r : Tree.rooted;
+  ix : Tree.flat_index;
+  n : int;
+  m : int;
+}
+
+let of_tree tree =
+  {
+    tree;
+    r = Tree.rooting tree;
+    ix = Tree.flat_index tree;
+    n = Tree.n tree;
+    m = Tree.num_edges tree;
+  }
+
+module Scratch = struct
+  type t = {
+    mutable stamp : int;
+    nstamp : int array;
+    estamp : int array;
+    acc : int array;
+    stack : int array;
+    mutable sp : int;
+    queue : int array;
+  }
+
+  let create fl =
+    {
+      stamp = 0;
+      nstamp = Array.make fl.n 0;
+      estamp = Array.make (max 1 fl.m) 0;
+      acc = Array.make fl.n 0;
+      stack = Array.make (max 1 fl.m) 0;
+      sp = 0;
+      queue = Array.make fl.n 0;
+    }
+end
+
+let lca fl u v = Tree.lca_flat fl.ix u v
+
+let depth fl v = fl.r.Tree.depth.(v)
+
+let distance fl u v =
+  let d = fl.r.Tree.depth in
+  d.(u) + d.(v) - (2 * d.(lca fl u v))
+
+let iter_path_to_root fl v f =
+  let r = fl.r in
+  let x = ref v in
+  while !x <> r.Tree.root do
+    f r.Tree.parent_edge.(!x);
+    x := r.Tree.parent.(!x)
+  done
+
+let fold_path_to_root fl v ~init ~f =
+  let r = fl.r in
+  let acc = ref init and x = ref v in
+  while !x <> r.Tree.root do
+    acc := f !acc r.Tree.parent_edge.(!x);
+    x := r.Tree.parent.(!x)
+  done;
+  !acc
+
+let iter_path fl (scratch : Scratch.t) u v f =
+  if u <> v then begin
+    let a = lca fl u v in
+    let r = fl.r in
+    (* u → lca, in walking order. *)
+    let x = ref u in
+    while !x <> a do
+      f r.Tree.parent_edge.(!x);
+      x := r.Tree.parent.(!x)
+    done;
+    (* lca → v: stack the climb from v, replay it reversed. *)
+    let stack = scratch.Scratch.stack in
+    let sp = ref 0 in
+    let x = ref v in
+    while !x <> a do
+      stack.(!sp) <- r.Tree.parent_edge.(!x);
+      incr sp;
+      x := r.Tree.parent.(!x)
+    done;
+    for i = !sp - 1 downto 0 do
+      f stack.(i)
+    done
+  end
+
+let fold_path fl scratch u v ~init ~f =
+  let acc = ref init in
+  iter_path fl scratch u v (fun e -> acc := f !acc e);
+  !acc
+
+let iter_path_unordered fl u v f =
+  if u <> v then begin
+    let a = lca fl u v in
+    let r = fl.r in
+    let climb s =
+      let x = ref s in
+      while !x <> a do
+        f r.Tree.parent_edge.(!x);
+        x := r.Tree.parent.(!x)
+      done
+    in
+    climb u;
+    climb v
+  end
+
+let iter_steiner fl (scratch : Scratch.t) ~nodes f =
+  scratch.Scratch.stamp <- scratch.Scratch.stamp + 1;
+  let stamp = scratch.Scratch.stamp in
+  let nstamp = scratch.Scratch.nstamp in
+  let total = ref 0 in
+  nodes (fun v ->
+      if nstamp.(v) <> stamp then begin
+        nstamp.(v) <- stamp;
+        incr total
+      end);
+  if !total >= 2 then begin
+    let r = fl.r in
+    let acc = scratch.Scratch.acc in
+    for v = 0 to fl.n - 1 do
+      acc.(v) <- (if nstamp.(v) = stamp then 1 else 0)
+    done;
+    let pre = r.Tree.preorder and parent = r.Tree.parent in
+    for i = fl.n - 1 downto 1 do
+      let v = pre.(i) in
+      acc.(parent.(v)) <- acc.(parent.(v)) + acc.(v)
+    done;
+    let total = !total in
+    (* Ascending preorder scan: the emission order of
+       [Tree.steiner_edges]. *)
+    let parent_edge = r.Tree.parent_edge in
+    for i = 1 to fl.n - 1 do
+      let v = pre.(i) in
+      if acc.(v) > 0 && acc.(v) < total then f parent_edge.(v)
+    done
+  end
+
+let subtree_sums_into fl (scratch : Scratch.t) ~src ~src_off =
+  Tree.subtree_sums_into fl.r ~src ~src_off ~dst:scratch.Scratch.acc

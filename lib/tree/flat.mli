@@ -1,0 +1,107 @@
+(** Structure-of-arrays hot path over a tree's canonical rooting.
+
+    [Flat.t] packages the canonical {!Tree.rooted} arrays with the cached
+    Euler-tour index ({!Tree.flat_index}) so the pipeline's inner loops —
+    leaf→server path walks, Steiner-tree scans, subtree aggregations — run
+    over plain [int array]s with O(1) LCA and allocate nothing. All
+    iteration orders are bit-identical to the list-returning functions in
+    {!Tree} ([path_edges], [steiner_edges]), which is what lets the
+    per-object pipeline swap representations without changing a single
+    output.
+
+    Mutable state lives exclusively in {!Scratch.t} buffers. A scratch is
+    single-owner: each domain (or each worker slot of an
+    [Hbn_exec.Exec] pool) must use its own. [Flat.t] itself is immutable
+    and freely shared across domains. *)
+
+type t = private {
+  tree : Tree.t;
+  r : Tree.rooted;  (** the canonical rooting — read-only *)
+  ix : Tree.flat_index;
+  n : int;  (** number of nodes *)
+  m : int;  (** number of edges, [n - 1] *)
+}
+
+val of_tree : Tree.t -> t
+(** Cheap after the first call per tree: the Euler index is cached inside
+    [Tree.t]. Call it once before fanning tasks out so the benign
+    construction race never materializes. *)
+
+(** {1 Scratch buffers}
+
+    Preallocated working memory for the non-allocating kernels. The stamp
+    discipline avoids clearing: each logical operation bumps [stamp] and
+    treats a slot as set iff its stamp array holds the current value, so
+    reuse costs nothing and a fresh scratch behaves identically to a
+    reused one. *)
+
+module Scratch : sig
+  type flat := t
+
+  type t = {
+    mutable stamp : int;  (** current generation of the stamp arrays *)
+    nstamp : int array;  (** per-node visit stamps, [n] slots *)
+    estamp : int array;  (** per-edge visit stamps, [max 1 m] slots *)
+    acc : int array;  (** per-node accumulators (subtree sums), [n] slots *)
+    stack : int array;  (** edge/int stack, [max 1 m] slots *)
+    mutable sp : int;  (** stack pointer *)
+    queue : int array;  (** BFS ring, [n] slots *)
+  }
+
+  val create : flat -> t
+  (** Fresh buffers sized for the given tree. One per owning domain. *)
+end
+
+(** {1 O(1) queries} *)
+
+val lca : t -> int -> int -> int
+(** Lowest common ancestor on the canonical rooting; same node as
+    [Tree.lca (Tree.rooting tree)]. *)
+
+val distance : t -> int -> int -> int
+(** Edge count of the [u]–[v] path; same integer as [Tree.path_length]. *)
+
+val depth : t -> int -> int
+
+(** {1 Path iteration}
+
+    All iterators visit edge ids and allocate nothing (beyond the closure
+    the caller passes in). *)
+
+val iter_path_to_root : t -> int -> (int -> unit) -> unit
+(** Edges from [v] up to the canonical root, bottom-up. *)
+
+val fold_path_to_root : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val iter_path : t -> Scratch.t -> int -> int -> (int -> unit) -> unit
+(** [iter_path fl scratch u v f] visits the [u]–[v] path edges in exactly
+    [Tree.path_edges]'s traversal order: [u] up to the LCA, then LCA down
+    to [v] (the descent is replayed from [scratch.stack]). Empty when
+    [u = v]. *)
+
+val fold_path : t -> Scratch.t -> int -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Folding flavor of {!iter_path}, same order. *)
+
+val iter_path_unordered : t -> int -> int -> (int -> unit) -> unit
+(** Scratch-free variant visiting [u]→LCA then [v]→LCA, both bottom-up —
+    the order the load-accounting engine historically used. Each path
+    edge is visited exactly once; only the order differs from
+    {!iter_path}. *)
+
+(** {1 Steiner trees} *)
+
+val iter_steiner : t -> Scratch.t -> nodes:((int -> unit) -> unit) -> (int -> unit) -> unit
+(** [iter_steiner fl scratch ~nodes f] visits the edges of the minimal
+    subtree spanning the nodes produced by the [nodes] iterator
+    (duplicates welcome; fewer than two distinct nodes yield no edges).
+    Edges are emitted in ascending preorder position of their lower
+    endpoint — bit-identical to [Tree.steiner_edges]'s order. O(n) time,
+    zero allocation: membership marks use [scratch.nstamp], counts use
+    [scratch.acc]. *)
+
+(** {1 Subtree aggregation} *)
+
+val subtree_sums_into : t -> Scratch.t -> src:int array -> src_off:int -> unit
+(** Sums [src.(src_off + v)] over canonical subtrees into [scratch.acc]
+    (valid until the scratch's next aggregation). Mirrors
+    [Tree.subtree_sums] on the canonical rooting. *)

@@ -9,6 +9,22 @@ type rooted = {
   preorder : int array;
 }
 
+(* Structure-of-arrays index over the canonical rooting, built once on
+   first use: preorder positions, the Euler tour of the rooted tree and a
+   sparse table of depth-minima over it (O(1) LCA). This is the backing
+   store of [Hbn_tree.Flat]; the record is exposed so the flat kernels
+   can read the arrays directly, but nothing outside [lib/tree] should
+   construct or mutate one. *)
+type flat_index = {
+  pos : int array;  (* preorder position of each node *)
+  first : int array;  (* first occurrence of each node in the Euler tour *)
+  enode : int array;  (* Euler tour: node visited at each step, 2n-1 long *)
+  edep : int array;  (* depth of [enode] at each step *)
+  elog2 : int array;  (* floor(log2 i) for 1 <= i <= elen *)
+  sparse : int array;  (* levels x elen argmin-by-depth table, flattened *)
+  elen : int;
+}
+
 type t = {
   size : int;
   kinds : kind array;
@@ -23,6 +39,11 @@ type t = {
   bus_list : int list;
   leaf_arr : int array;
   bus_arr : int array;
+  (* Built on first use. Writes of a fully-constructed record are atomic
+     in OCaml, so a benign race between domains at most duplicates the
+     construction work (same pattern as the workload's view cache);
+     sequential phases force it before fanning out. *)
+  mutable flat : flat_index option;
 }
 
 let compute_rooting ~size ~adj root =
@@ -147,6 +168,7 @@ let make ~kinds ~edges ~bus_bandwidth ?root () =
     bus_list;
     leaf_arr = Array.of_list leaf_list;
     bus_arr = Array.of_list bus_list;
+    flat = None;
   }
 
 let n t = t.size
@@ -258,6 +280,75 @@ let lca_fast ix u v =
 let distance ix u v =
   ix.idepth.(u) + ix.idepth.(v) - (2 * ix.idepth.(lca_fast ix u v))
 
+(* Euler tour of the canonical rooting plus a sparse table of depth
+   minima: LCA(u, v) is the node of minimal depth between the first
+   occurrences of u and v on the tour, found in O(1) by overlapping the
+   two power-of-two windows covering the range. *)
+let build_flat_index t =
+  let r = t.canonical in
+  let n = t.size in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) r.preorder;
+  let elen = (2 * n) - 1 in
+  let enode = Array.make elen r.root in
+  let edep = Array.make elen 0 in
+  let first = Array.make n (-1) in
+  (* Iterative Euler tour: every edge is walked down and back up once, so
+     the tour visits 2n-1 nodes. [child_ix] tracks, per node, how many of
+     its children have been fully toured. *)
+  let child_ix = Array.make n 0 in
+  let step = ref 0 in
+  let visit v =
+    enode.(!step) <- v;
+    edep.(!step) <- r.depth.(v);
+    if first.(v) < 0 then first.(v) <- !step;
+    incr step
+  in
+  let v = ref r.root in
+  visit !v;
+  while !step < elen do
+    let cs = r.children.(!v) in
+    if child_ix.(!v) < Array.length cs then begin
+      let c = cs.(child_ix.(!v)) in
+      child_ix.(!v) <- child_ix.(!v) + 1;
+      v := c;
+      visit !v
+    end
+    else begin
+      v := r.parent.(!v);
+      visit !v
+    end
+  done;
+  let elog2 = Array.make (elen + 1) 0 in
+  for i = 2 to elen do
+    elog2.(i) <- elog2.(i / 2) + 1
+  done;
+  let levels = elog2.(elen) + 1 in
+  let sparse = Array.make (levels * elen) 0 in
+  for i = 0 to elen - 1 do
+    sparse.(i) <- i
+  done;
+  for k = 1 to levels - 1 do
+    let half = 1 lsl (k - 1) in
+    let prev = (k - 1) * elen and cur = k * elen in
+    for i = 0 to elen - 1 do
+      if i + (1 lsl k) <= elen then begin
+        let a = sparse.(prev + i) and b = sparse.(prev + i + half) in
+        sparse.(cur + i) <- (if edep.(a) <= edep.(b) then a else b)
+      end
+      else sparse.(cur + i) <- sparse.(prev + i)
+    done
+  done;
+  { pos; first; enode; edep; elog2; sparse; elen }
+
+let flat_index t =
+  match t.flat with
+  | Some ix -> ix
+  | None ->
+    let ix = build_flat_index t in
+    t.flat <- Some ix;
+    ix
+
 let path_edges t u v =
   let r = t.canonical in
   let a = lca r u v in
@@ -269,9 +360,20 @@ let path_edges t u v =
   let down = climb v [] in
   up @ down
 
+(* O(1) via the Euler-tour sparse table (the answer is the same node
+   [lca t.canonical] finds by walking parents, so the arithmetic is
+   unchanged — only the lookup cost drops). *)
+let lca_flat ix u v =
+  let i = ix.first.(u) and j = ix.first.(v) in
+  let i, j = if i <= j then (i, j) else (j, i) in
+  let k = ix.elog2.(j - i + 1) in
+  let a = ix.sparse.((k * ix.elen) + i) in
+  let b = ix.sparse.((k * ix.elen) + j - (1 lsl k) + 1) in
+  ix.enode.(if ix.edep.(a) <= ix.edep.(b) then a else b)
+
 let path_length t u v =
   let r = t.canonical in
-  let a = lca r u v in
+  let a = lca_flat (flat_index t) u v in
   r.depth.(u) + r.depth.(v) - (2 * r.depth.(a))
 
 let subtree_sums r w =
@@ -283,6 +385,17 @@ let subtree_sums r w =
     acc.(p) <- acc.(p) + acc.(v)
   done;
   acc
+
+let subtree_sums_into r ~src ~src_off ~dst =
+  let size = Array.length r.parent in
+  for v = 0 to size - 1 do
+    dst.(v) <- src.(src_off + v)
+  done;
+  for i = size - 1 downto 1 do
+    let v = r.preorder.(i) in
+    let p = r.parent.(v) in
+    dst.(p) <- dst.(p) + dst.(v)
+  done
 
 let steiner_edges t nodes =
   match nodes with

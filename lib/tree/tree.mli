@@ -129,6 +129,31 @@ val distance : lca_index -> int -> int -> int
 (** [distance ix u v] is the number of edges on the [u]–[v] path
     (equals {!path_length} on the canonical rooting). *)
 
+(** Structure-of-arrays index over the {e canonical} rooting: preorder
+    positions, the Euler tour, and a sparse table of depth minima giving
+    O(1) LCA queries. Built once per tree on first use and cached (a
+    benign construction race between domains duplicates work at worst;
+    force it with {!flat_index} before fanning tasks out). This is the
+    backing store of {!Hbn_tree.Flat}, which packages the arrays with
+    reusable scratch buffers and non-allocating path/Steiner kernels —
+    treat every array as read-only. *)
+type flat_index = {
+  pos : int array;  (** preorder position of each node *)
+  first : int array;  (** first occurrence of each node on the Euler tour *)
+  enode : int array;  (** the Euler tour itself, [2n-1] entries *)
+  edep : int array;  (** depth of [enode.(i)] *)
+  elog2 : int array;  (** floor log2 table up to [elen] *)
+  sparse : int array;  (** argmin-by-depth windows, [levels * elen] flat *)
+  elen : int;  (** tour length, [2n-1] *)
+}
+
+val flat_index : t -> flat_index
+(** The cached index (constructed on first call). *)
+
+val lca_flat : flat_index -> int -> int -> int
+(** O(1) lowest common ancestor on the canonical rooting; same answer as
+    {!lca} on {!rooting}. *)
+
 val steiner_edges : t -> int list -> int list
 (** [steiner_edges t nodes] are the edges of the minimal subtree connecting
     [nodes] (empty for fewer than two distinct nodes). *)
@@ -142,6 +167,11 @@ val first_on_path : rooted -> member:(int -> bool) -> int -> int option
 val subtree_sums : rooted -> int array -> int array
 (** [subtree_sums r w] gives, for each node [v], the sum of [w] over the
     subtree of [v] in rooting [r] (linear time, no recursion). *)
+
+val subtree_sums_into : rooted -> src:int array -> src_off:int -> dst:int array -> unit
+(** Non-allocating {!subtree_sums}: reads the per-node weights from
+    [src.(src_off + v)] (a row of a flat weight matrix) and writes the
+    subtree sums into [dst], which must have at least [n] slots. *)
 
 val nodes_by_level_bottom_up : rooted -> int list array
 (** [nodes_by_level_bottom_up r] groups nodes by level where, following the

@@ -1,5 +1,32 @@
 module Tree = Hbn_tree.Tree
 
+module Flat = struct
+  type t = {
+    nodes : int;
+    objects : int;
+    weights : int array;
+    total_reads : int array;
+    kappa : int array;
+    req_off : int array;
+    req_leaf : int array;
+  }
+
+  let row_base f ~obj = obj * f.nodes
+
+  let weight f ~obj v = f.weights.((obj * f.nodes) + v)
+
+  let kappa f ~obj = f.kappa.(obj)
+
+  let total_weight f ~obj = f.total_reads.(obj) + f.kappa.(obj)
+
+  let num_requesting f ~obj = f.req_off.(obj + 1) - f.req_off.(obj)
+
+  let iter_requesting f ~obj g =
+    for i = f.req_off.(obj) to f.req_off.(obj + 1) - 1 do
+      g f.req_leaf.(i)
+    done
+end
+
 module View = struct
   type t = {
     obj : int;
@@ -22,6 +49,13 @@ type t = {
      cache can be read from several domains at once; [views] forces every
      slot before a parallel phase starts. *)
   view_cache : View.t option array;
+  (* The SoA mirror of [reads]/[writes] consumed by the hot pipeline:
+     weight rows, per-object totals and the requesting-leaf CSR in shared
+     flat arrays. Built on first use, invalidated wholesale by
+     [set_read]/[set_write] (generators batch their updates before the
+     pipeline reads anything, so rebuilds are rare). Immutable once
+     built; force it with [flat] before fanning out domains. *)
+  mutable flat : Flat.t option;
 }
 
 let check_matrix tree label m =
@@ -49,7 +83,13 @@ let make tree ~reads ~writes =
     invalid_arg "Workload.make: reads/writes object counts differ";
   check_matrix tree "read" reads;
   check_matrix tree "write" writes;
-  { tree; reads; writes; view_cache = Array.make (Array.length reads) None }
+  {
+    tree;
+    reads;
+    writes;
+    view_cache = Array.make (Array.length reads) None;
+    flat = None;
+  }
 
 let empty tree ~objects =
   if objects < 0 then invalid_arg "Workload.empty: negative object count";
@@ -58,6 +98,7 @@ let empty tree ~objects =
     reads = Array.init objects (fun _ -> Array.make (Tree.n tree) 0);
     writes = Array.init objects (fun _ -> Array.make (Tree.n tree) 0);
     view_cache = Array.make objects None;
+    flat = None;
   }
 
 let tree t = t.tree
@@ -70,26 +111,72 @@ let writes t ~obj v = t.writes.(obj).(v)
 
 let weight t ~obj v = t.reads.(obj).(v) + t.writes.(obj).(v)
 
-let compute_view t obj =
-  let n = Tree.n t.tree in
-  let rr = t.reads.(obj) and wr = t.writes.(obj) in
-  let weights = Array.make n 0 in
-  let total_reads = ref 0 and total_writes = ref 0 in
-  for v = 0 to n - 1 do
-    weights.(v) <- rr.(v) + wr.(v);
-    total_reads := !total_reads + rr.(v);
-    total_writes := !total_writes + wr.(v)
+let build_flat t =
+  let nodes = Tree.n t.tree in
+  let objects = Array.length t.reads in
+  let weights = Array.make (objects * nodes) 0 in
+  let total_reads = Array.make objects 0 in
+  let kappa = Array.make objects 0 in
+  let req_off = Array.make (objects + 1) 0 in
+  let leaves = Tree.leaves_array t.tree in
+  for obj = 0 to objects - 1 do
+    let rr = t.reads.(obj) and wr = t.writes.(obj) in
+    let base = obj * nodes in
+    let tr = ref 0 and tw = ref 0 in
+    for v = 0 to nodes - 1 do
+      weights.(base + v) <- rr.(v) + wr.(v);
+      tr := !tr + rr.(v);
+      tw := !tw + wr.(v)
+    done;
+    total_reads.(obj) <- !tr;
+    kappa.(obj) <- !tw;
+    let requesting = ref 0 in
+    Array.iter
+      (fun leaf -> if weights.(base + leaf) > 0 then incr requesting)
+      leaves;
+    req_off.(obj + 1) <- req_off.(obj) + !requesting
   done;
-  let requesting =
-    List.filter (fun v -> weights.(v) > 0) (Tree.leaves t.tree)
-  in
+  let req_leaf = Array.make req_off.(objects) 0 in
+  for obj = 0 to objects - 1 do
+    let base = obj * nodes in
+    let at = ref req_off.(obj) in
+    (* [leaves] is ascending, so each CSR slice is too. *)
+    Array.iter
+      (fun leaf ->
+        if weights.(base + leaf) > 0 then begin
+          req_leaf.(!at) <- leaf;
+          incr at
+        end)
+      leaves
+  done;
+  { Flat.nodes; objects; weights; total_reads; kappa; req_off; req_leaf }
+
+let flat t =
+  match t.flat with
+  | Some f -> f
+  | None ->
+    let f = build_flat t in
+    t.flat <- Some f;
+    f
+
+(* Views are now a boxed materialization of the flat arrays, kept for
+   consumers that want one object's data as a standalone record (tests,
+   attribution); the pipeline's hot loops read [Flat] directly. *)
+let compute_view t obj =
+  let f = flat t in
+  let n = f.Flat.nodes in
+  let base = obj * n in
+  let requesting = ref [] in
+  for i = f.Flat.req_off.(obj + 1) - 1 downto f.Flat.req_off.(obj) do
+    requesting := f.Flat.req_leaf.(i) :: !requesting
+  done;
   {
     View.obj;
-    kappa = !total_writes;
-    total_reads = !total_reads;
-    total_writes = !total_writes;
-    requesting;
-    weights;
+    kappa = f.Flat.kappa.(obj);
+    total_reads = f.Flat.total_reads.(obj);
+    total_writes = f.Flat.kappa.(obj);
+    requesting = !requesting;
+    weights = Array.sub f.Flat.weights base n;
   }
 
 let view t ~obj =
@@ -110,16 +197,18 @@ let check_update t v rate =
 let set_read t ~obj v rate =
   check_update t v rate;
   t.reads.(obj).(v) <- rate;
-  t.view_cache.(obj) <- None
+  t.view_cache.(obj) <- None;
+  t.flat <- None
 
 let set_write t ~obj v rate =
   check_update t v rate;
   t.writes.(obj).(v) <- rate;
-  t.view_cache.(obj) <- None
+  t.view_cache.(obj) <- None;
+  t.flat <- None
 
-let write_contention t ~obj = (view t ~obj).View.kappa
+let write_contention t ~obj = Flat.kappa (flat t) ~obj
 
-let total_weight t ~obj = View.total_weight (view t ~obj)
+let total_weight t ~obj = Flat.total_weight (flat t) ~obj
 
 let total_requests t =
   let sum = ref 0 in
@@ -134,7 +223,13 @@ let write_vector t ~obj = Array.copy t.writes.(obj)
 
 let weight_vector t ~obj = Array.copy (view t ~obj).View.weights
 
-let requesting_leaves t ~obj = (view t ~obj).View.requesting
+let requesting_leaves t ~obj =
+  let f = flat t in
+  let acc = ref [] in
+  for i = f.Flat.req_off.(obj + 1) - 1 downto f.Flat.req_off.(obj) do
+    acc := f.Flat.req_leaf.(i) :: !acc
+  done;
+  !acc
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>workload: %d objects on %d nodes@," (num_objects t)

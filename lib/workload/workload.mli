@@ -6,6 +6,48 @@
 
 type t
 
+(** {1 Flat (structure-of-arrays) representation}
+
+    The hot pipeline's view of the workload: all per-object weight
+    vectors packed row-major into one shared [int array], per-object
+    totals in parallel arrays, and the requesting-leaf sets as one CSR
+    ([req_off]/[req_leaf]). Built on first access, cached until the next
+    {!set_read}/{!set_write}, immutable once built — force it with
+    {!flat} before fanning tasks out, then read it freely from any
+    domain. Treat every array as read-only. *)
+
+module Flat : sig
+  type t = private {
+    nodes : int;  (** row stride: the tree's node count *)
+    objects : int;
+    weights : int array;
+        (** [objects × nodes] row-major; [h_r + h_w] per (object, node) *)
+    total_reads : int array;  (** per object *)
+    kappa : int array;  (** per object: [κ_x], the total writes *)
+    req_off : int array;
+        (** CSR offsets into [req_leaf], [objects + 1] entries *)
+    req_leaf : int array;
+        (** requesting leaves, ascending within each object's slice *)
+  }
+
+  val row_base : t -> obj:int -> int
+  (** Index of [(obj, node 0)] in [weights]: [obj * nodes]. *)
+
+  val weight : t -> obj:int -> int -> int
+
+  val kappa : t -> obj:int -> int
+
+  val total_weight : t -> obj:int -> int
+
+  val num_requesting : t -> obj:int -> int
+
+  val iter_requesting : t -> obj:int -> (int -> unit) -> unit
+  (** Requesting leaves in ascending order, no allocation. *)
+end
+
+val flat : t -> Flat.t
+(** The (cached) flat representation. *)
+
 (** {1 Per-object instance views}
 
     Everything the per-object pipeline stages need — the write contention
@@ -24,7 +66,8 @@ module View : sig
     total_writes : int;  (** equals [kappa] *)
     requesting : int list;  (** leaves with nonzero weight, ascending *)
     weights : int array;
-        (** [h_r + h_w] per node — treat as read-only; shared, not a copy *)
+        (** [h_r + h_w] per node — a materialized copy of the object's
+            {!Flat} row; treat as read-only *)
   }
 
   val total_weight : t -> int

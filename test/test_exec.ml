@@ -71,6 +71,75 @@ let test_shutdown_idempotent () =
     (Invalid_argument "Exec.map: runner already shut down") (fun () ->
       ignore (Exec.map exec 4 (fun i -> i)))
 
+(* --- lazy spawning -------------------------------------------------------- *)
+
+let test_lazy_spawn_counts () =
+  let exec = Exec.create ~jobs:4 in
+  Alcotest.(check int) "no workers before first map" 0
+    (Exec.spawned_workers exec);
+  ignore (Exec.map exec 2 (fun i -> i));
+  Alcotest.(check int) "2 tasks need at most 1 worker" 1
+    (Exec.spawned_workers exec);
+  ignore (Exec.map exec 1 (fun i -> i));
+  Alcotest.(check int) "spawning never shrinks" 1 (Exec.spawned_workers exec);
+  ignore (Exec.map exec 100 (fun i -> i));
+  Alcotest.(check int) "wide map reaches the target" 3
+    (Exec.spawned_workers exec);
+  Exec.shutdown exec
+
+let test_sequential_never_spawns () =
+  Alcotest.(check int) "sequential" 0 (Exec.spawned_workers Exec.sequential);
+  let exec = Exec.create ~jobs:1 in
+  ignore (Exec.map exec 50 (fun i -> i));
+  Alcotest.(check int) "jobs:1 is inline" 0 (Exec.spawned_workers exec)
+
+(* --- chunked scheduling --------------------------------------------------- *)
+
+let test_auto_chunk_formula () =
+  List.iter
+    (fun (jobs, n) ->
+      Alcotest.(check int)
+        (Printf.sprintf "auto_chunk ~jobs:%d %d" jobs n)
+        (max 1 (n / (8 * jobs)))
+        (Exec.auto_chunk ~jobs n))
+    [ (1, 0); (1, 7); (1, 384); (2, 384); (4, 384); (4, 31); (3, 1000) ]
+
+(* The chunked contract: any chunk size, any job count, same array. *)
+let test_map_chunked_matches_map () =
+  let n = 257 in
+  let f i = (i * i) - (3 * i) in
+  let expect = Array.init n f in
+  List.iter
+    (fun jobs ->
+      Exec.with_runner ~jobs @@ fun exec ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+            expect
+            (Exec.map_chunked ~chunk exec n f))
+        [ 1; 2; 3; 5; 64; 1000 ];
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d auto chunk" jobs)
+        expect
+        (Exec.map_chunked exec n f))
+    [ 1; 2; 4 ]
+
+let test_map_chunked_rejects_bad_chunk () =
+  Alcotest.check_raises "chunk = 0"
+    (Invalid_argument "Exec: chunk must be at least 1") (fun () ->
+      ignore (Exec.map_chunked ~chunk:0 Exec.sequential 4 (fun i -> i)))
+
+let test_iter_chunked_covers_every_index () =
+  Exec.with_runner ~jobs:4 @@ fun exec ->
+  let hits = Array.init 100 (fun _ -> Atomic.make 0) in
+  Exec.iter_chunked ~chunk:7 exec 100 (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check int) (Printf.sprintf "index %d hit once" i) 1
+        (Atomic.get a))
+    hits
+
 (* --- determinism of the pipeline ----------------------------------------- *)
 
 let run_at ~jobs w =
@@ -168,6 +237,14 @@ let suite =
     Helpers.tc "task exceptions propagate" test_exception_propagates;
     Helpers.tc "iter covers every index once" test_iter_covers_every_index;
     Helpers.tc "shutdown is idempotent and final" test_shutdown_idempotent;
+    Helpers.tc "workers spawn lazily with demand" test_lazy_spawn_counts;
+    Helpers.tc "sequential runners never spawn" test_sequential_never_spawns;
+    Helpers.tc "auto_chunk matches its formula" test_auto_chunk_formula;
+    Helpers.tc "map_chunked identical to map at any jobs/chunk"
+      test_map_chunked_matches_map;
+    Helpers.tc "map_chunked rejects chunk < 1" test_map_chunked_rejects_bad_chunk;
+    Helpers.tc "iter_chunked covers every index once"
+      test_iter_chunked_covers_every_index;
     Helpers.qt ~count:40 "strategy + evaluate bit-identical at jobs 1/2/4"
       Helpers.seed_arb prop_bit_identical_across_jobs;
     Helpers.qt ~count:40 "Strategy.congestion identical at jobs 1/2/4"

@@ -1,0 +1,185 @@
+(* Tree.Flat: the structure-of-arrays hot path must agree bit-for-bit —
+   values *and* iteration orders — with the list-returning Tree functions
+   it replaced, on arbitrary trees, with one shared scratch to exercise
+   the stamp-based reuse discipline. *)
+
+module Tree = Hbn_tree.Tree
+module Flat = Hbn_tree.Flat
+module Prng = Hbn_prng.Prng
+module Workload = Hbn_workload.Workload
+
+let random_nodes prng tree k =
+  Array.init k (fun _ -> Prng.int prng (Tree.n tree))
+
+(* LCA and distance against both the rooted walk and the O(log n) index. *)
+let prop_lca_distance_agree seed =
+  let prng = Prng.create seed in
+  let tree = Helpers.random_tree prng in
+  let fl = Flat.of_tree tree in
+  let r = Tree.rooting tree in
+  let lix = Tree.lca_index r in
+  Array.for_all
+    (fun u ->
+      let v = Prng.int prng (Tree.n tree) in
+      let a = Tree.lca r u v in
+      Flat.lca fl u v = a
+      && Tree.lca_fast lix u v = a
+      && Flat.distance fl u v = Tree.distance lix u v
+      && Flat.distance fl u v = List.length (Tree.path_edges tree u v))
+    (random_nodes prng tree 40)
+
+(* iter_path must replay Tree.path_edges's exact order (u up to the LCA,
+   then down to v); iter_path_unordered the same edge set. *)
+let prop_path_iteration_agrees seed =
+  let prng = Prng.create seed in
+  let tree = Helpers.random_tree prng in
+  let fl = Flat.of_tree tree in
+  let scratch = Flat.Scratch.create fl in
+  Array.for_all
+    (fun u ->
+      let v = Prng.int prng (Tree.n tree) in
+      let want = Tree.path_edges tree u v in
+      let got = ref [] in
+      Flat.iter_path fl scratch u v (fun e -> got := e :: !got);
+      let unordered = ref [] in
+      Flat.iter_path_unordered fl u v (fun e -> unordered := e :: !unordered);
+      let sum =
+        Flat.fold_path fl scratch u v ~init:0 ~f:(fun a e -> a + e)
+      in
+      List.rev !got = want
+      && List.sort compare !unordered = List.sort compare want
+      && sum = List.fold_left ( + ) 0 want)
+    (random_nodes prng tree 30)
+
+let prop_path_to_root_agrees seed =
+  let prng = Prng.create seed in
+  let tree = Helpers.random_tree prng in
+  let fl = Flat.of_tree tree in
+  let root = (Tree.rooting tree).Tree.root in
+  Array.for_all
+    (fun v ->
+      let want = Tree.path_edges tree v root in
+      let got = ref [] in
+      Flat.iter_path_to_root fl v (fun e -> got := e :: !got);
+      List.rev !got = want
+      && Flat.fold_path_to_root fl v ~init:[] ~f:(fun acc e -> e :: acc)
+         = List.rev want)
+    (random_nodes prng tree 20)
+
+(* Steiner scans in Tree.steiner_edges's emission order, on random node
+   multisets (duplicates and singletons included on purpose). *)
+let prop_steiner_agrees seed =
+  let prng = Prng.create seed in
+  let tree = Helpers.random_tree prng in
+  let fl = Flat.of_tree tree in
+  let scratch = Flat.Scratch.create fl in
+  List.for_all
+    (fun _ ->
+      let k = Prng.int_in prng 1 6 in
+      let nodes =
+        List.init k (fun _ -> Prng.int prng (Tree.n tree))
+      in
+      let nodes = if Prng.int prng 3 = 0 then nodes @ nodes else nodes in
+      let want = Tree.steiner_edges tree nodes in
+      let got = ref [] in
+      Flat.iter_steiner fl scratch
+        ~nodes:(fun mark -> List.iter mark nodes)
+        (fun e -> got := e :: !got);
+      List.rev !got = want)
+    (List.init 25 Fun.id)
+
+let prop_subtree_sums_agree seed =
+  let prng = Prng.create (seed + 13) in
+  let tree = Helpers.random_tree prng in
+  let fl = Flat.of_tree tree in
+  let scratch = Flat.Scratch.create fl in
+  let n = Tree.n tree in
+  let pad = Prng.int prng 5 in
+  let src = Array.init (pad + n) (fun _ -> Prng.int prng 20) in
+  let want =
+    Tree.subtree_sums (Tree.rooting tree) (Array.sub src pad n)
+  in
+  Flat.subtree_sums_into fl scratch ~src ~src_off:pad;
+  Array.sub scratch.Flat.Scratch.acc 0 n = want
+
+(* Scratch reuse: interleaving every kernel through one scratch must give
+   the same answers as fresh buffers — the stamp discipline cannot leak
+   state between operations. *)
+let prop_scratch_reuse_deterministic seed =
+  let prng = Prng.create seed in
+  let tree = Helpers.random_tree prng in
+  let fl = Flat.of_tree tree in
+  let shared = Flat.Scratch.create fl in
+  let pairs = Array.init 12 (fun _ -> (Prng.int prng (Tree.n tree), Prng.int prng (Tree.n tree))) in
+  let run scratch_of =
+    Array.to_list pairs
+    |> List.concat_map (fun (u, v) ->
+           let path = ref [] in
+           Flat.iter_path fl (scratch_of ()) u v (fun e -> path := e :: !path);
+           let st = ref [] in
+           Flat.iter_steiner fl (scratch_of ())
+             ~nodes:(fun mark ->
+               mark u;
+               mark v)
+             (fun e -> st := e :: !st);
+           [ !path; !st ])
+  in
+  run (fun () -> shared) = run (fun () -> Flat.Scratch.create fl)
+
+(* The workload's flat rows against the boxed per-object views. *)
+let prop_workload_flat_agrees_with_views seed =
+  let prng = Prng.create seed in
+  let tree = Helpers.random_tree prng in
+  let w = Helpers.random_workload prng tree in
+  let f = Workload.flat w in
+  let n = Tree.n tree in
+  List.for_all
+    (fun obj ->
+      let v = Workload.view w ~obj in
+      let row =
+        Array.init n (fun node -> Workload.Flat.weight f ~obj node)
+      in
+      let req = ref [] in
+      Workload.Flat.iter_requesting f ~obj (fun leaf -> req := leaf :: !req);
+      row = v.Workload.View.weights
+      && Workload.Flat.kappa f ~obj = v.Workload.View.kappa
+      && Workload.Flat.total_weight f ~obj = Workload.View.total_weight v
+      && Workload.Flat.num_requesting f ~obj
+         = List.length v.Workload.View.requesting
+      && List.rev !req = v.Workload.View.requesting)
+    (List.init (Workload.num_objects w) Fun.id)
+
+(* Mutation invalidates the flat cache like it invalidates views. *)
+let test_flat_invalidated_on_write () =
+  let tree = Hbn_tree.Builders.star ~leaves:4 ~profile:(Hbn_tree.Builders.Uniform 1) in
+  let w = Workload.empty tree ~objects:1 in
+  let leaf = List.hd (Tree.leaves tree) in
+  Workload.set_read w ~obj:0 leaf 3;
+  let f = Workload.flat w in
+  Alcotest.(check int) "weight after set_read" 3
+    (Workload.Flat.weight f ~obj:0 leaf);
+  Workload.set_write w ~obj:0 leaf 2;
+  let f = Workload.flat w in
+  Alcotest.(check int) "weight rebuilt after set_write" 5
+    (Workload.Flat.weight f ~obj:0 leaf);
+  Alcotest.(check int) "kappa rebuilt" 2 (Workload.Flat.kappa f ~obj:0)
+
+let suite =
+  [
+    Helpers.qt ~count:60 "flat LCA/distance agree with rooted walk + index"
+      Helpers.seed_arb prop_lca_distance_agree;
+    Helpers.qt ~count:60 "iter_path replays Tree.path_edges order"
+      Helpers.seed_arb prop_path_iteration_agrees;
+    Helpers.qt ~count:40 "path-to-root iteration matches path_edges"
+      Helpers.seed_arb prop_path_to_root_agrees;
+    Helpers.qt ~count:60 "iter_steiner replays Tree.steiner_edges order"
+      Helpers.seed_arb prop_steiner_agrees;
+    Helpers.qt ~count:40 "subtree_sums_into matches Tree.subtree_sums"
+      Helpers.seed_arb prop_subtree_sums_agree;
+    Helpers.qt ~count:40 "shared scratch gives fresh-buffer answers"
+      Helpers.seed_arb prop_scratch_reuse_deterministic;
+    Helpers.qt ~count:60 "Workload.Flat rows agree with cached views"
+      Helpers.seed_arb prop_workload_flat_agrees_with_views;
+    Helpers.tc "flat cache invalidated by set_read/set_write"
+      test_flat_invalidated_on_write;
+  ]

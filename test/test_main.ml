@@ -11,6 +11,7 @@ let () =
       ("obs", Test_obs.suite);
       ("prng", Test_prng.suite);
       ("tree", Test_tree.suite);
+      ("flat", Test_flat.suite);
       ("builders", Test_builders.suite);
       ("workload", Test_workload.suite);
       ("partition", Test_partition.suite);
