@@ -6,7 +6,7 @@
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
 .PHONY: all build test check bench bench-check bench-loads bench-parallel \
-	bench-faults bench-micro bench-quick report-smoke clean
+	bench-faults bench-async bench-micro bench-quick report-smoke clean
 
 all: build
 
@@ -21,23 +21,27 @@ test:
 # a small instance; the parallel smoke run checks that the strategy is
 # bit-identical at 1, 2 and 4 domains; the faults smoke runs the
 # hardened distributed protocol under a seeded drop/crash/cut plan and
-# requires recovery (no JSON written by any of the three); the
-# simulate --faults line exercises the same machinery end to end
+# requires recovery (no JSON written by any of the three); the async
+# smoke simulates one topology synchronously and on a slow lower tier
+# and requires completion to rise while the traffic stays pinned; the
+# simulate --faults/--link line exercises the same machinery end to end
 # through the CLI; bench-quick cross-checks the Tree.Flat kernels against
-# their list-returning Tree counterparts; report-smoke drives
-# --trace/--telemetry recording and the report command's three renderers;
-# bench-check re-runs the pipeline and fault case matrices and diffs
-# their deterministic fields (now including the telemetry series) against
-# the committed BENCH_pipeline.json and BENCH_faults.json, and validates
-# the chunk-scheduling fields of BENCH_parallel.json.
+# their list-returning Tree counterparts and the event engine's pairing
+# heap against a stable sort; report-smoke drives --trace/--telemetry
+# recording and the report command's three renderers; bench-check
+# re-runs the pipeline, fault and async case matrices and diffs their
+# deterministic fields (now including the telemetry series) against the
+# committed BENCH_pipeline.json, BENCH_faults.json and BENCH_async.json,
+# and validates the chunk-scheduling fields of BENCH_parallel.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
 	  && dune exec bench/parallel.exe -- --smoke \
 	  && $(MAKE) bench-quick \
 	  && dune exec bench/faults.exe -- --smoke \
+	  && dune exec bench/async.exe -- --smoke \
 	  && dune exec bin/hbn_cli.exe -- simulate --kind balanced --arity 3 \
 	       --height 3 --workload zipf --objects 8 --seed 7 \
-	       --faults "drop=0.15,until=60,crash=2:10-30" \
+	       --faults "drop=0.15,until=60,crash=2:10-30" --link "1:64,1:32" \
 	  && dune exec test/test_main.exe -- test exec \
 	  && $(MAKE) report-smoke \
 	  && $(MAKE) bench-check
@@ -57,6 +61,13 @@ bench-check:
 # under seeded drop/crash/cut plans; writes BENCH_faults.json.
 bench-faults:
 	dune exec bench/faults.exe
+
+# Asynchronous-simulation profile: the same traffic per topology,
+# simulated under each per-level delay/bandwidth link model; writes
+# BENCH_async.json (completion varies with the link, congestion does
+# not).
+bench-async:
+	dune exec bench/async.exe
 
 # Trace-analytics smoke: trace a pipeline run plus a telemetry-recording
 # fault run, then feed both files to `report` in all three formats

@@ -1,0 +1,133 @@
+(* The asynchronous-simulation benchmark's case matrix, shared between
+   the writer (bench/async.exe) and the regression gate (bench/check.exe).
+
+   One workload and placement per topology, then one simulator run per
+   link model over the {e identical} traffic. The deterministic payload
+   is therefore a controlled experiment: across the link rows of a
+   topology, packets / transmissions / congestion / dilation are pinned
+   equal (the traffic is a function of workload and placement alone),
+   while completion — the virtual time of the last delivered hop — moves
+   with the per-level delay/bandwidth profile. A diff against the
+   committed BENCH_async.json means the event engine, the link model or
+   the simulator's grant schedule changed, not just speed. *)
+
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Prng = Hbn_prng.Prng
+module Workload = Hbn_workload.Workload
+module Generators = Hbn_workload.Generators
+module Placement = Hbn_placement.Placement
+module Strategy = Hbn_core.Strategy
+module Sim = Hbn_sim.Sim
+module Link = Hbn_event.Link
+
+let schema = "hbn.bench.async/v1"
+let seed = 20260808
+let objects = 12
+let scale = 2
+
+type case = {
+  topology : string;
+  link : string;  (* "sync" for the synchronous engine, else the spec *)
+  makespan : int;  (* allocator ticks *)
+  completion : float;  (* virtual time of the last hop's arrival *)
+  packets : int;
+  transmissions : int;
+  congestion : float;
+  max_dilation : int;
+}
+
+let topologies () =
+  [
+    ("balanced-a3h3", Builders.balanced ~arity:3 ~height:3 ~profile:(Builders.Uniform 2));
+    ("caterpillar-8x2", Builders.caterpillar ~spine:8 ~leaves_per_bus:2 ~profile:(Builders.Uniform 2));
+  ]
+
+(* [None] is the synchronous engine (no link model at all); "1:inf" is
+   {!Link.sync}, which must reproduce it bit for bit. The remaining rows
+   bend one knob each: uniform finite bandwidth, a slow top level, a slow
+   lower tier, and a long uniform propagation delay. *)
+let links =
+  [ None; Some "1:inf"; Some "1:8"; Some "1:1,1:8"; Some "1:8,1:1"; Some "4:8" ]
+
+let link_name = function None -> "sync" | Some spec -> spec
+
+let run_case ~w ~placement ~topology ~link =
+  let cfg =
+    Option.map
+      (fun spec ->
+        match Link.of_spec spec with
+        | Ok c -> c
+        | Error e ->
+          invalid_arg (Printf.sprintf "async_cases: bad link %S: %s" spec e))
+      link
+  in
+  let out = Sim.run ~scale ?link:cfg w placement in
+  {
+    topology;
+    link = link_name link;
+    makespan = out.Sim.makespan;
+    completion = out.Sim.completion;
+    packets = out.Sim.packets;
+    transmissions = out.Sim.transmissions;
+    congestion = Placement.congestion w placement;
+    max_dilation = out.Sim.max_dilation;
+  }
+
+(* The invariants the matrix exists to demonstrate, checked at build
+   time on every run (writer and gate alike), so a committed baseline
+   can never encode a violation. *)
+let validate_group ~topology cases =
+  let bad fmt = Printf.ksprintf invalid_arg ("async_cases: " ^^ fmt) in
+  let base = List.hd cases in
+  List.iter
+    (fun c ->
+      if
+        c.packets <> base.packets
+        || c.transmissions <> base.transmissions
+        || c.congestion <> base.congestion
+        || c.max_dilation <> base.max_dilation
+      then
+        bad "%s: traffic varies with link %s — congestion is no longer \
+             schedule-independent"
+          topology c.link)
+    cases;
+  (match
+     ( List.find_opt (fun c -> c.link = "sync") cases,
+       List.find_opt (fun c -> c.link = "1:inf") cases )
+   with
+  | Some s, Some u ->
+    if s.makespan <> u.makespan || s.completion <> u.completion then
+      bad "%s: Link.sync (1:inf) diverged from the synchronous engine \
+           (makespan %d/%d, completion %g/%g)"
+        topology s.makespan u.makespan s.completion u.completion
+  | _ -> bad "%s: matrix lost its sync/1:inf rows" topology);
+  let asym =
+    List.filter (fun c -> c.link = "1:8" || c.link = "1:1,1:8" || c.link = "1:8,1:1") cases
+  in
+  let completions = List.sort_uniq compare (List.map (fun c -> c.completion) asym) in
+  if List.length completions < 2 then
+    bad "%s: completion is flat across bandwidth-asymmetric links — the \
+         link model has no effect"
+      topology
+
+let all () =
+  let prng = Prng.create seed in
+  List.concat_map
+    (fun (topology, tree) ->
+      let w = Generators.uniform ~prng tree ~objects ~max_rate:8 in
+      let placement = (Strategy.run w).Strategy.placement in
+      let cases =
+        List.map (fun link -> run_case ~w ~placement ~topology ~link) links
+      in
+      validate_group ~topology cases;
+      cases)
+    (topologies ())
+
+let json_of_case c =
+  Printf.sprintf
+    "    {\"topology\":%S,\"link\":%S,\"makespan\":%d,\"completion\":%.3f,\
+     \"packets\":%d,\"transmissions\":%d,\"congestion\":%.3f,\
+     \"max_dilation\":%d}"
+    c.topology c.link c.makespan c.completion c.packets c.transmissions
+    c.congestion c.max_dilation

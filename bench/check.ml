@@ -1,7 +1,8 @@
 (* Regression gate over the committed baselines.
 
    Run with:
-     dune exec bench/check.exe [-- PIPELINE.json [FAULTS.json [PARALLEL.json]]]
+     dune exec bench/check.exe \
+       [-- PIPELINE.json [FAULTS.json [PARALLEL.json [ASYNC.json]]]]
    Re-runs the Pipeline_cases matrix and compares every deterministic
    field — instance shape, congestion, makespan, pipeline counters —
    against the committed BENCH_pipeline.json. Wall times ("phases"
@@ -10,7 +11,9 @@
    checked too. Then re-runs the Fault_cases matrix the same way against
    BENCH_faults.json (the "micro" wall-clock note is ignored), and
    statically validates BENCH_parallel.json's deterministic fields
-   (schema, the identical flag, chunk-scheduling arithmetic). Exits 1
+   (schema, the identical flag, chunk-scheduling arithmetic), and
+   re-runs the Async_cases matrix — the same traffic simulated under
+   each per-level link model — against BENCH_async.json. Exits 1
    listing every divergence: a diff here means a code change altered
    what the pipeline (or the fault recovery) computes, not just how
    fast. *)
@@ -18,6 +21,7 @@
 module Json = Hbn_obs.Json
 module PC = Pipeline_cases
 module FC = Fault_cases
+module AC = Async_cases
 
 let failures = ref 0
 
@@ -140,6 +144,37 @@ let check_fault_case baseline fresh =
         f_congestion
   end
 
+(* Async-simulation baseline: every field is deterministic (the event
+   engine is bit-identical across reruns); floats went through the
+   writer's %.3f, so render the fresh values the same way and compare
+   exactly. *)
+let check_async_case baseline fresh =
+  let label = Printf.sprintf "%s over %s" fresh.AC.topology fresh.AC.link in
+  if
+    get "topology" Json.to_string baseline <> fresh.AC.topology
+    || get "link" Json.to_string baseline <> fresh.AC.link
+  then
+    fail "async case order diverged at %s (baseline has %s over %s)" label
+      (get "topology" Json.to_string baseline)
+      (get "link" Json.to_string baseline)
+  else begin
+    let check_int name v =
+      let b = get name Json.to_int baseline in
+      if b <> v then fail "%s: %s %d (baseline) <> %d (fresh)" label name b v
+    in
+    let check_float name v =
+      let b = fmt_congestion (get name Json.to_float baseline) in
+      let f = fmt_congestion v in
+      if b <> f then fail "%s: %s %s (baseline) <> %s (fresh)" label name b f
+    in
+    check_int "makespan" fresh.AC.makespan;
+    check_int "packets" fresh.AC.packets;
+    check_int "transmissions" fresh.AC.transmissions;
+    check_int "max_dilation" fresh.AC.max_dilation;
+    check_float "completion" fresh.AC.completion;
+    check_float "congestion" fresh.AC.congestion
+  end
+
 let load_doc ~path ~schema =
   let doc =
     match In_channel.with_open_text path In_channel.input_all with
@@ -223,8 +258,10 @@ let () =
   let pipeline_path = arg 1 "BENCH_pipeline.json" in
   let faults_path = arg 2 "BENCH_faults.json" in
   let parallel_path = arg 3 "BENCH_parallel.json" in
+  let async_path = arg 4 "BENCH_async.json" in
   let pipeline_baseline = load_baseline ~path:pipeline_path ~schema:PC.schema in
   let faults_baseline = load_baseline ~path:faults_path ~schema:FC.schema in
+  let async_baseline = load_baseline ~path:async_path ~schema:AC.schema in
   let pipeline_fresh = PC.all () in
   check_matrix ~what:"pipeline" ~path:pipeline_path pipeline_baseline
     pipeline_fresh check_case;
@@ -232,16 +269,21 @@ let () =
   check_matrix ~what:"faults" ~path:faults_path faults_baseline faults_fresh
     check_fault_case;
   let parallel_runs = check_parallel ~path:parallel_path in
+  let async_fresh = AC.all () in
+  check_matrix ~what:"async" ~path:async_path async_baseline async_fresh
+    check_async_case;
   if !failures > 0 then begin
     Printf.eprintf
       "bench/check: %d divergence(s) from the committed baselines — a code \
-       change altered pipeline or fault-recovery results (regenerate the \
-       baselines only if that was the point)\n"
+       change altered pipeline, fault-recovery or async-simulation results \
+       (regenerate the baselines only if that was the point)\n"
       !failures;
     exit 1
   end;
   Printf.printf
     "bench/check: %d pipeline cases match %s, %d fault cases match %s, %d \
-     parallel runs consistent in %s (deterministic fields)\n"
+     parallel runs consistent in %s, %d async cases match %s (deterministic \
+     fields)\n"
     (List.length pipeline_fresh) pipeline_path (List.length faults_fresh)
-    faults_path parallel_runs parallel_path
+    faults_path parallel_runs parallel_path (List.length async_fresh)
+    async_path

@@ -1,13 +1,21 @@
 (* Flat-kernel microbench driver.
 
-   Run with:  dune exec bench/micro_main.exe            # timed F1-F3
+   Run with:  dune exec bench/micro_main.exe            # timed F1-F3, E1-E2
           or  dune exec bench/micro_main.exe -- --smoke # fast agreement pass
    The timed run prints Bechamel ns/run estimates for the Tree.Flat
    primitives (path folds, batched LCA, scratch reuse) next to their
-   list-returning Tree counterparts. [--smoke] skips timing and instead
-   cross-checks every kernel against Tree on the bench instance — the
-   cheap gate `make bench-quick` (and through it `make check`) runs. *)
+   list-returning Tree counterparts, then for the discrete-event engine
+   kernels (pairing-heap churn, tick chains). [--smoke] skips timing and
+   instead cross-checks the flat kernels against Tree and the pairing
+   heap against a stable sort on the bench instances — the cheap gate
+   `make bench-quick` (and through it `make check`) runs. *)
 
 let () =
-  if Array.exists (( = ) "--smoke") Sys.argv then Micro.smoke_flat ()
-  else Micro.run_flat ()
+  if Array.exists (( = ) "--smoke") Sys.argv then begin
+    Micro.smoke_flat ();
+    Micro.smoke_event ()
+  end
+  else begin
+    Micro.run_flat ();
+    Micro.run_event ()
+  end

@@ -20,6 +20,7 @@ module Baselines = Hbn_baselines.Baselines
 module Lower_bounds = Hbn_exact.Lower_bounds
 module Gadget_opt = Hbn_exact.Gadget_opt
 module Sim = Hbn_sim.Sim
+module Link = Hbn_event.Link
 module Dist = Hbn_dist.Dist
 module Dist_nibble = Hbn_dist.Dist_nibble
 module Faults = Hbn_dist.Faults
@@ -666,8 +667,24 @@ let simulate_cmd =
              drop=0.1,until=200,crash=3:10-40. The plan is seeded from \
              --seed, so reruns are bit-identical.")
   in
+  let link_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "link" ] ~docv:"SPEC"
+          ~doc:
+            "Give every tree level its own link delay and bandwidth and \
+             run the simulation (and, with --faults, the distributed \
+             recovery) on the discrete-event engine over virtual time. \
+             $(docv) is comma-separated DELAY:BANDWIDTH clauses, \
+             root-down, one per level; a short spec extends its last \
+             clause to deeper levels and BANDWIDTH may be 'inf' \
+             (transmission is instantaneous, only the delay remains); \
+             e.g. 1:8,2:2 or 1:inf. The spec '1:inf' is the synchronous \
+             regime and reproduces the default schedule bit for bit.")
+  in
   let run seed kind leaves arity height spine buses bandwidth wkind objects
-      scale faults_spec telemetry_path opts =
+      scale faults_spec link_spec telemetry_path opts =
     with_run_opts opts @@ fun exec ->
     let prng = Prng.create seed in
     let t = build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth in
@@ -681,12 +698,24 @@ let simulate_cmd =
     in
     let sim_tel = mk_tel () in
     let dist_tel = mk_tel () in
+    let link =
+      Option.map
+        (fun spec ->
+          match Link.of_spec spec with
+          | Ok c -> c
+          | Error e -> die "bad --link spec: %s" e)
+        link_spec
+    in
+    Option.iter
+      (fun c -> Printf.printf "link model: %s (per level, root-down)\n" (Link.to_spec c))
+      link;
     let res = Strategy.run ~exec w in
-    let out = Sim.run ~scale ?telemetry:sim_tel w res.Strategy.placement in
+    let out = Sim.run ~scale ?telemetry:sim_tel ?link w res.Strategy.placement in
     Printf.printf "packets: %d, edge transmissions: %d\n" out.Sim.packets
       out.Sim.transmissions;
     Printf.printf "makespan: %d rounds (lower bound %.1f)\n" out.Sim.makespan
       (Sim.lower_bound w res.Strategy.placement out);
+    Printf.printf "completion: %g virtual time\n" out.Sim.completion;
     (* The distributed protocol must reproduce the centralized strategy:
        identical placements ideally, congestion-equal at minimum. A
        divergence is a bug in one of the two implementations, so it
@@ -745,7 +774,7 @@ let simulate_cmd =
           ns.Dist_nibble.retransmissions ns.Dist_nibble.duplicates
           ns.Dist_nibble.pure_acks
       in
-      (match Dist.run_with_faults ~faults:plan ?telemetry:dist_tel w with
+      (match Dist.run_with_faults ~faults:plan ?telemetry:dist_tel ?link w with
       | Dist.Recovered { placement; nibble; log; _ } ->
         summarize_log log;
         print_nibble nibble;
@@ -787,7 +816,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Packet-simulate a workload under the strategy's placement.")
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
           $ bandwidth $ workload_kind $ objects $ scale $ faults_spec
-          $ telemetry_file $ run_opts_term)
+          $ link_spec $ telemetry_file $ run_opts_term)
 
 (* -- report ------------------------------------------------------------- *)
 

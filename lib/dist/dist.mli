@@ -63,6 +63,7 @@ val run_with_faults :
   ?timeout:int ->
   ?faults:Faults.plan ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?link:Hbn_event.Link.config ->
   Workload.t ->
   fault_report
 (** Runs the hardened distributed nibble ({!Dist_nibble.run_robust})
@@ -72,6 +73,7 @@ val run_with_faults :
     is [Recovered] with the centralized placement; any other ending —
     round budget exhausted, permanently crashed node, or (would be a
     bug) divergence — is a structured [Degraded]. Never raises on
-    faults. [telemetry] is passed through to the hardened run
-    ({!Dist_nibble.run_robust}) so the recovery's round-by-round message
-    and retransmission pressure lands in the collector. *)
+    faults. [telemetry] and [link] are passed through to the hardened
+    run ({!Dist_nibble.run_robust}) so the recovery's round-by-round
+    message and retransmission pressure lands in the collector and the
+    recovery can be measured on asymmetric per-level links. *)

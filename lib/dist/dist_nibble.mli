@@ -66,6 +66,7 @@ val run_robust :
   ?timeout:int ->
   ?faults:Faults.plan ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?link:Hbn_event.Link.config ->
   Workload.t ->
   outcome
 (** [run_robust w] executes the hardened protocol under [faults]
@@ -80,4 +81,12 @@ val run_robust :
     per-edge traversals from the engine, frame bytes from a sizer that
     charges a 16-byte link header plus the payload's fields, and
     retransmissions/duplicate-suppressions attributed to the round they
-    occur in. *)
+    occur in.
+
+    [link] runs the protocol on the event-driven engine
+    ({!Runtime.run_async}) instead of the synchronous one: frames take
+    [bytes/B + D] virtual time per their level's clause and serialize on
+    busy links, while the stop-and-wait timers keep counting integer
+    ticks, so [timeout] retains its meaning. Passing
+    [Hbn_event.Link.sync] — or nothing — reproduces the synchronous run
+    bit for bit. *)

@@ -60,6 +60,20 @@ let node_down p ~round ~node =
 let edge_cut p ~round ~edge =
   List.exists (fun ((e, _, _) as w) -> e = edge && in_window round w) p.cuts
 
+(* -- virtual-time shims --------------------------------------------------- *)
+
+let round_of_time time =
+  if Float.is_nan time || time < 0. then
+    invalid_arg "Faults.round_of_time: time must be a number >= 0";
+  let c = Float.ceil time in
+  if c >= float_of_int max_int then max_int else int_of_float c
+
+let drops_at p ~time ~edge ~src = drops p ~round:(round_of_time time) ~edge ~src
+
+let node_down_at p ~time ~node = node_down p ~round:(round_of_time time) ~node
+
+let edge_cut_at p ~time ~edge = edge_cut p ~round:(round_of_time time) ~edge
+
 (* -- spec grammar -------------------------------------------------------- *)
 
 let parse_window clause s =
@@ -83,21 +97,52 @@ let parse_window clause s =
 
 let of_spec ?(seed = 0) s =
   let ( let* ) r f = Result.bind r f in
+  (* Split on commas, keeping each clause's start offset so every error
+     can point at the offending token: "clause N at char C: ...". *)
+  let raw_clauses =
+    let acc = ref [] and start = ref 0 in
+    String.iteri
+      (fun i ch ->
+        if ch = ',' then begin
+          acc := (!start, String.sub s !start (i - !start)) :: !acc;
+          start := i + 1
+        end)
+      s;
+    acc := (!start, String.sub s !start (String.length s - !start)) :: !acc;
+    List.rev !acc
+  in
   let clauses =
-    String.split_on_char ',' s |> List.map String.trim
-    |> List.filter (fun c -> c <> "")
+    List.filter (fun (_, c) -> String.trim c <> "") raw_clauses
+    |> List.mapi (fun i (pos, c) -> (i + 1, pos, String.trim c))
   in
   let* () =
     if clauses = [] then
       Error "empty fault spec (an explicitly fault-free plan is \"drop=0\")"
     else Ok ()
   in
+  let err idx pos fmt =
+    Printf.ksprintf
+      (fun msg -> Error (Printf.sprintf "clause %d at char %d: %s" idx pos msg))
+      fmt
+  in
+  let window what idx pos v =
+    let* w =
+      match parse_window what v with
+      | Ok w -> Ok w
+      | Error m -> err idx pos "%s" m
+    in
+    let id, a, b = w in
+    if id < 0 then err idx pos "negative %s id %d" what id
+    else if a < 1 || b < a then
+      err idx pos "bad %s window %d-%d (rounds start at 1)" what a b
+    else Ok w
+  in
   let* parsed =
     List.fold_left
-      (fun acc clause ->
+      (fun acc (idx, pos, clause) ->
         let* acc = acc in
         match String.index_opt clause '=' with
-        | None -> Error (Printf.sprintf "clause %S has no '='" clause)
+        | None -> err idx pos "clause %S has no '='" clause
         | Some i ->
           let key = String.sub clause 0 i in
           let v = String.sub clause (i + 1) (String.length clause - i - 1) in
@@ -106,37 +151,34 @@ let of_spec ?(seed = 0) s =
             | "drop" -> (
               match float_of_string_opt v with
               | Some p when p >= 0. && p <= 1. -> Ok (`Drop p)
-              | _ -> Error (Printf.sprintf "bad drop probability %S" v))
+              | _ -> err idx pos "bad drop probability %S (expected [0, 1])" v)
             | "until" -> (
               match int_of_string_opt v with
               | Some r when r >= 0 -> Ok (`Until r)
-              | _ -> Error (Printf.sprintf "bad drop horizon %S" v))
+              | _ -> err idx pos "bad drop horizon %S (expected a round)" v)
             | "crash" ->
-              let* w = parse_window "crash" v in
+              let* w = window "crash" idx pos v in
               Ok (`Crash w)
             | "cut" ->
-              let* w = parse_window "cut" v in
+              let* w = window "cut" idx pos v in
               Ok (`Cut w)
-            | _ -> Error (Printf.sprintf "unknown fault clause %S" key)
+            | _ -> err idx pos "unknown fault clause %S" key
           in
-          Ok (item :: acc))
+          Ok ((idx, pos, item) :: acc))
       (Ok []) clauses
   in
   let parsed = List.rev parsed in
-  let pick f = List.filter_map f parsed in
-  let drop =
-    match pick (function `Drop p -> Some p | _ -> None) with
-    | [] -> Ok 0.
-    | [ p ] -> Ok p
-    | _ -> Error "duplicate drop clause"
+  let pick f = List.filter_map (fun (_, _, item) -> f item) parsed in
+  let unique what f =
+    match List.filter (fun (_, _, item) -> f item <> None) parsed with
+    | [] -> Ok None
+    | [ (_, _, item) ] -> Ok (f item)
+    | _ :: (idx, pos, _) :: _ -> err idx pos "duplicate %s clause" what
   in
-  let* drop = drop in
-  let* drop_until =
-    match pick (function `Until r -> Some r | _ -> None) with
-    | [] -> Ok 64
-    | [ r ] -> Ok r
-    | _ -> Error "duplicate until clause"
-  in
+  let* drop = unique "drop" (function `Drop p -> Some p | _ -> None) in
+  let drop = Option.value drop ~default:0. in
+  let* drop_until = unique "until" (function `Until r -> Some r | _ -> None) in
+  let drop_until = Option.value drop_until ~default:64 in
   let crashes = pick (function `Crash w -> Some w | _ -> None) in
   let cuts = pick (function `Cut w -> Some w | _ -> None) in
   match make ~seed ~drop ~drop_until ~crashes ~cuts () with

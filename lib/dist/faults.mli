@@ -67,8 +67,10 @@ val of_spec : ?seed:int -> string -> (plan, string) result
 
     e.g. ["drop=0.2,until=40,crash=3:5-15,cut=2:10-14"]. [seed]
     (default 0) keys the drop schedule. Errors name the offending
-    clause. An empty spec is rejected — an explicitly fault-free plan is
-    spelled ["drop=0"]. *)
+    clause by index and character offset, e.g.
+    ["clause 2 at char 9: bad drop probability \"2.0\" …"]. An empty
+    spec is rejected — an explicitly fault-free plan is spelled
+    ["drop=0"]. *)
 
 val to_spec : plan -> string
 (** Renders a plan back into the {!of_spec} grammar (canonical clause
@@ -94,6 +96,26 @@ val drops : plan -> round:int -> edge:int -> src:int -> bool
 val node_down : plan -> round:int -> node:int -> bool
 
 val edge_cut : plan -> round:int -> edge:int -> bool
+
+(** {1 Virtual-time queries}
+
+    The event-driven runtime ({!Runtime.run_async}) measures time on a
+    continuous virtual axis whose integer ticks are the rounds of the
+    synchronous engine. Plans keep their round-window semantics on that
+    axis: a window [A..B] covers the half-open virtual-time interval
+    [(A-1, B]], so [round_of_time] is [ceil], integer times land in
+    their own round, and on the synchronous regime (all times integral)
+    the shims below are bit-identical to the round queries. *)
+
+val round_of_time : float -> int
+(** [ceil time] as a round number ([max_int] on overflow). Raises
+    [Invalid_argument] on NaN or negative times. *)
+
+val drops_at : plan -> time:float -> edge:int -> src:int -> bool
+
+val node_down_at : plan -> time:float -> node:int -> bool
+
+val edge_cut_at : plan -> time:float -> edge:int -> bool
 
 (** {1 Rendering} *)
 

@@ -2,6 +2,8 @@ module Tree = Hbn_tree.Tree
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Telemetry = Hbn_obs.Telemetry
+module Engine = Hbn_event.Engine
+module Link = Hbn_event.Link
 
 type ('state, 'msg) node_fn =
   round:int ->
@@ -26,8 +28,19 @@ type 'state outcome = {
   faults : Faults.event list;
 }
 
-let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
-    ?(msg_bytes = fun _ -> 1) tree ~init ~step =
+(* The engine-driven core behind both entry points. Nodes step at the
+   integer ticks of a discrete-event engine; a message granted at tick
+   [r] is a delivery event at its arrival time (rank 0, so it lands
+   before the tick that consumes it) and is read at the first tick at or
+   after arrival. Without a link model every arrival is [now + 1] and
+   the ticks are exactly the rounds of the classic synchronous loop, bit
+   for bit; with one, arrivals come from the serialized per-level
+   {!Link.transmit} clock. Ticks stay consecutive integers either way —
+   timers in step functions keep counting rounds — so the round axis
+   {e is} the virtual-time axis and the outcome type needs no second
+   clock. *)
+let run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes ~link tree
+    ~init ~step =
   if quiet_rounds < 1 then invalid_arg "Runtime.run: quiet_rounds must be >= 1";
   let n = Tree.n tree in
   (* An empty plan and no plan are the same run, bit for bit. *)
@@ -37,14 +50,19 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
     | _ -> None
   in
   let quiet_after = match plan with None -> 0 | Some p -> Faults.quiet_after p in
+  let attached = Option.map (fun c -> Link.attach c tree) link in
   let states = Array.init n init in
+  (* Per-node inbox, newest delivery first; reversed at consumption, so
+     the step function sees deliveries in arrival order. *)
   let inboxes = Array.make n [] in
-  let next_inboxes = Array.make n [] in
   let through = Array.make n 0 in
   let rounds = ref 0 and messages = ref 0 and max_inbox = ref 0 in
-  let quiescent = ref false in
   let termination = ref Quiescent in
   let silent = ref 0 in
+  let in_flight = ref 0 in
+  (* Once the run is over — quiescent or out of rounds — deliveries
+     still draining from the engine must not revive the tick chain. *)
+  let stopped = ref false in
   let log = ref [] (* reverse chronological *) in
   let record round kind = log := { Faults.round; kind } :: !log in
   (* Per-node neighbor membership, precomputed once: [edge_of.(v)] maps a
@@ -78,98 +96,123 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
       cut_prev.(e) <- c
     done
   in
-  while not !quiescent do
-    if !rounds >= max_rounds then begin
-      termination := Round_limit;
-      quiescent := true
+  let engine = Engine.create () in
+  let tick_scheduled = Hashtbl.create 64 in
+  (* Ticks run at rank 1 so same-time deliveries (rank 0) land first: a
+     tick always sees every message that arrived by its time. *)
+  let rec ensure_tick time =
+    if not (Hashtbl.mem tick_scheduled time) then begin
+      Hashtbl.add tick_scheduled time ();
+      Engine.at engine ~rank:1 ~time tick
     end
-    else begin
-      incr rounds;
-      let round = !rounds in
-      (match telemetry with
-      | None -> ()
-      | Some tel -> Telemetry.begin_round tel ~round);
-      (match plan with None -> () | Some p -> log_transitions p round);
-      let any_sent = ref false in
-      let live = ref n in
-      for v = 0 to n - 1 do
-        let v_down =
-          match plan with
-          | None -> false
-          | Some p -> Faults.node_down p ~round ~node:v
-        in
-        if v_down then begin
-          (* A crashed node neither steps nor receives; its state is
-             frozen. Its inbox is empty by construction: messages to it
-             were dropped at send time. *)
-          decr live;
-          inboxes.(v) <- []
-        end
-        else begin
-          let inbox = List.rev inboxes.(v) in
-          inboxes.(v) <- [];
-          let k = List.length inbox in
-          if k > !max_inbox then max_inbox := k;
-          let state, sends = step ~round ~node:v states.(v) ~inbox in
-          states.(v) <- state;
-          let used = Hashtbl.create 4 in
-          List.iter
-            (fun (target, msg) ->
-              (match Hashtbl.find_opt edge_of.(v) target with
-              | None ->
+  and tick () =
+    let now = Engine.now engine in
+    incr rounds;
+    let round = int_of_float now in
+    (match telemetry with
+    | None -> ()
+    | Some tel -> Telemetry.begin_round ~vtime:now tel ~round);
+    (match plan with None -> () | Some p -> log_transitions p round);
+    let any_sent = ref false in
+    let live = ref n in
+    for v = 0 to n - 1 do
+      let v_down =
+        match plan with
+        | None -> false
+        | Some p -> Faults.node_down p ~round ~node:v
+      in
+      if v_down then begin
+        (* A crashed node neither steps nor receives; its state is
+           frozen. Its inbox is empty by construction: messages to it
+           were dropped at send time. *)
+        decr live;
+        inboxes.(v) <- []
+      end
+      else begin
+        let inbox = List.rev inboxes.(v) in
+        inboxes.(v) <- [];
+        let k = List.length inbox in
+        if k > !max_inbox then max_inbox := k;
+        let state, sends = step ~round ~node:v states.(v) ~inbox in
+        states.(v) <- state;
+        let used = Hashtbl.create 4 in
+        List.iter
+          (fun (target, msg) ->
+            match Hashtbl.find_opt edge_of.(v) target with
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Runtime.run: node %d is no neighbor of %d"
+                   target v)
+            | Some edge ->
+              if Hashtbl.mem used target then
                 invalid_arg
-                  (Printf.sprintf "Runtime.run: node %d is no neighbor of %d"
-                     target v)
-              | Some edge ->
-                if Hashtbl.mem used target then
-                  invalid_arg
-                    (Printf.sprintf
-                       "Runtime.run: node %d sent twice over edge to %d in \
-                        round %d"
-                       v target round);
-                Hashtbl.add used target ();
-                any_sent := true;
-                incr messages;
-                through.(v) <- through.(v) + 1;
-                through.(target) <- through.(target) + 1;
+                  (Printf.sprintf
+                     "Runtime.run: node %d sent twice over edge to %d in \
+                      round %d"
+                     v target round);
+              Hashtbl.add used target ();
+              any_sent := true;
+              incr messages;
+              through.(v) <- through.(v) + 1;
+              through.(target) <- through.(target) + 1;
+              (match telemetry with
+              | None -> ()
+              | Some tel -> Telemetry.send tel ~edge ~bytes:(msg_bytes msg));
+              (* The serialized transmission happens whether or not a
+                 fault then swallows the message — a dropped frame still
+                 occupied its link. *)
+              let arrival =
+                match attached with
+                | None -> now +. 1.
+                | Some l ->
+                  Link.transmit l ~now ~edge ~src:v ~bytes:(msg_bytes msg)
+              in
+              let lost =
+                match plan with
+                | None -> false
+                | Some p ->
+                  Faults.edge_cut p ~round ~edge
+                  || Faults.drops p ~round ~edge ~src:v
+                  || Faults.node_down_at p ~time:arrival ~node:target
+              in
+              if lost then begin
                 (match telemetry with
                 | None -> ()
-                | Some tel -> Telemetry.send tel ~edge ~bytes:(msg_bytes msg));
-                let lost =
-                  match plan with
-                  | None -> false
-                  | Some p ->
-                    Faults.edge_cut p ~round ~edge
-                    || Faults.drops p ~round ~edge ~src:v
-                    || Faults.node_down p ~round:(round + 1) ~node:target
-                in
-                if lost then begin
-                  (match telemetry with
-                  | None -> ()
-                  | Some tel -> Telemetry.drop tel);
-                  record round (Faults.Dropped { edge; src = v; dst = target })
-                end
-                else next_inboxes.(target) <- (v, msg) :: next_inboxes.(target)))
-            sends
-        end
-      done;
-      for v = 0 to n - 1 do
-        inboxes.(v) <- next_inboxes.(v);
-        next_inboxes.(v) <- []
-      done;
-      (match telemetry with
-      | None -> ()
-      | Some tel -> Telemetry.end_round tel ~live_nodes:!live);
-      if !any_sent then silent := 0 else incr silent;
-      (* Drop-tolerant termination detection: silence only proves
-         quiescence once every pending retransmit timer would have fired
-         ([quiet_rounds] consecutive silent rounds) and no crash or
-         outage window can still wake a node up ([quiet_after]). With no
-         plan and the default window of 1 this is the classic rule: one
-         round without sends. *)
-      if !silent >= quiet_rounds && round >= quiet_after then quiescent := true
+                | Some tel -> Telemetry.drop tel);
+                record round (Faults.Dropped { edge; src = v; dst = target })
+              end
+              else begin
+                incr in_flight;
+                Engine.at engine ~time:arrival (fun () ->
+                    decr in_flight;
+                    inboxes.(target) <- (v, msg) :: inboxes.(target);
+                    (* The first tick at or after the arrival consumes
+                       it — unless the run already ended. *)
+                    if not !stopped then ensure_tick (Float.ceil arrival))
+              end)
+          sends
+      end
+    done;
+    (match telemetry with
+    | None -> ()
+    | Some tel -> Telemetry.end_round tel ~live_nodes:!live);
+    if !any_sent then silent := 0 else incr silent;
+    (* Drop-tolerant termination detection: silence only proves
+       quiescence once every pending retransmit timer would have fired
+       ([quiet_rounds] consecutive silent rounds), no crash or outage
+       window can still wake a node up ([quiet_after]), and nothing is
+       still in transit on a slow link. With no plan and the default
+       window of 1 this is the classic rule: one round without sends. *)
+    if !silent >= quiet_rounds && round >= quiet_after && !in_flight = 0 then
+      stopped := true
+    else if round >= max_rounds then begin
+      termination := Round_limit;
+      stopped := true
     end
-  done;
+    else ensure_tick (now +. 1.)
+  in
+  if max_rounds < 1 then termination := Round_limit else ensure_tick 1.;
+  Engine.drain engine;
   let stats =
     {
       rounds = !rounds;
@@ -206,3 +249,13 @@ let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
     end
   end;
   { states; stats; termination = !termination; faults = faults_log }
+
+let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
+    ?(msg_bytes = fun _ -> 1) tree ~init ~step =
+  run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes ~link:None
+    tree ~init ~step
+
+let run_async ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
+    ?(msg_bytes = fun _ -> 1) ~link tree ~init ~step =
+  run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes
+    ~link:(Some link) tree ~init ~step

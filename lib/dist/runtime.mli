@@ -18,7 +18,15 @@
     messages are dropped, crashed nodes neither step nor receive (state
     frozen until restart), and cut edges lose everything crossing them.
     Every fault is logged. With no plan — or an empty one — the run is
-    bit-identical to the fault-free engine. *)
+    bit-identical to the fault-free engine.
+
+    Both entry points share one discrete-event core driven by
+    {!Hbn_event.Engine}: nodes step at integer ticks of a virtual clock
+    and every message is a timestamped delivery event. {!run} gives
+    every delivery latency exactly 1 — the classic synchronous
+    semantics, round for round — while {!run_async} draws arrival times
+    from a per-level {!Hbn_event.Link} model, so messages cross slow
+    levels over several ticks and serialize on busy links. *)
 
 module Tree = Hbn_tree.Tree
 
@@ -99,3 +107,35 @@ val run :
     [runtime.quiescent] (or [runtime.round_limit]) event; under a
     non-empty plan it additionally emits one [fault] event per log entry
     and a [runtime.dropped] counter when any message was lost. *)
+
+val run_async :
+  ?max_rounds:int ->
+  ?quiet_rounds:int ->
+  ?faults:Faults.plan ->
+  ?telemetry:Hbn_obs.Telemetry.t ->
+  ?msg_bytes:('msg -> int) ->
+  link:Hbn_event.Link.config ->
+  Tree.t ->
+  init:(int -> 'state) ->
+  step:('state, 'msg) node_fn ->
+  'state outcome
+(** {!run} over a per-level link model. A message granted in round [r]
+    over edge [e] transmits on the serialized directed link
+    ({!Hbn_event.Link.transmit}, sized by [msg_bytes]) and is consumed
+    at the first tick at or after its arrival — ticks remain the
+    consecutive integers [1, 2, …], so round-counting timers inside
+    [step] (e.g. stop-and-wait retransmission) work unchanged and
+    [stats.rounds] is both the round count and the elapsed virtual time.
+    Inboxes order deliveries by arrival time, ties by send order.
+
+    Under [link = Hbn_event.Link.sync] every arrival is exactly one tick
+    after the send and the outcome — states, stats, termination, fault
+    log, telemetry — is bit-identical to {!run}; the test suite pins
+    this equivalence over random topologies, workloads and fault plans.
+
+    Fault windows keep their round semantics on the virtual-time axis
+    (see {!Faults.round_of_time}): drop and cut schedules apply at the
+    send round, and the target-down check moves from [round + 1] to the
+    message's arrival time — the same instant under [sync]. Quiescence
+    additionally requires an empty sky: silence with messages still in
+    transit never terminates the run. *)

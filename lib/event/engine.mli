@@ -1,0 +1,51 @@
+(** Deterministic discrete-event scheduler over virtual time.
+
+    The engine executes scheduled callbacks in nondecreasing virtual-time
+    order; same-instant callbacks run in [(rank, insertion)] order
+    (see {!Pq} — rank 0 before rank 1, FIFO within a rank). Execution is
+    a pure function of the schedule: no wall clock, no randomness, no
+    dependence on heap shape, so a run is bit-identical across reruns,
+    hosts and [--jobs] values. The asynchronous ports of the packet
+    simulator and the distributed runtime are built on this guarantee —
+    their sync-equivalence theorems (DESIGN.md §14) quantify over it.
+
+    Callbacks may schedule further work (at or after the current instant),
+    which is how the simulators express ticks, timers and message
+    arrivals. An engine is single-owner and not thread-safe: one engine,
+    one driver. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine at virtual time 0 with nothing scheduled. *)
+
+val now : t -> float
+(** Current virtual time: the timestamp of the callback being executed
+    (0 before the first {!step}). *)
+
+val at : t -> ?rank:int -> time:float -> (unit -> unit) -> unit
+(** Schedules a callback at absolute virtual [time]. [rank] (default 0)
+    phases same-instant callbacks: lower ranks run first, FIFO within a
+    rank. Raises [Invalid_argument] if [time] is NaN or lies strictly in
+    the past. *)
+
+val after : t -> ?rank:int -> delay:float -> (unit -> unit) -> unit
+(** [after t ~delay f] is [at t ~time:(now t +. delay) f]; [delay] must
+    be finite and [>= 0]. *)
+
+val step : t -> bool
+(** Executes the earliest pending callback, advancing [now] to its time.
+    [false] iff nothing was pending. *)
+
+val drain : t -> unit
+(** Runs {!step} until the schedule is empty (including work scheduled
+    by the callbacks themselves). *)
+
+val pending : t -> int
+(** Callbacks scheduled but not yet executed. *)
+
+val executed : t -> int
+(** Callbacks executed since {!create}. *)
+
+val next_time : t -> float option
+(** Virtual time of the earliest pending callback. *)

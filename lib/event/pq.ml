@@ -1,0 +1,81 @@
+(* Stable pairing heap keyed by virtual time.
+
+   The discrete-event engine needs equal-time events to pop in the order
+   they were scheduled — that is what makes a run a pure function of its
+   inputs instead of an artifact of heap shape. Every [add] stamps the
+   element with a monotonically increasing sequence number and the
+   comparison is lexicographic on (time, rank, seq), a strict total
+   order: no two elements ever compare equal, so the pairing-heap
+   restructuring (which is free to reorder equal keys) cannot be
+   observed. [rank] is a small secondary class the engine uses to phase
+   same-instant events (deliveries before clock ticks); within one
+   (time, rank) the order is insertion order, i.e. FIFO. *)
+
+type 'a node = {
+  time : float;
+  rank : int;
+  seq : int;
+  value : 'a;
+  mutable children : 'a node list;
+}
+
+type 'a t = {
+  mutable root : 'a node option;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { root = None; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let precedes a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.rank < b.rank || (a.rank = b.rank && a.seq < b.seq)))
+
+let merge a b =
+  if precedes a b then begin
+    a.children <- b :: a.children;
+    a
+  end
+  else begin
+    b.children <- a :: b.children;
+    b
+  end
+
+(* Two-pass pairing, both passes iterative so a node with many children
+   (every element can end up a direct child of the root) never overflows
+   the stack. The second pass folds in reverse pair order — harmless,
+   because correctness rests on the total order, not on tree shape. *)
+let merge_pairs nodes =
+  let rec pass acc = function
+    | a :: b :: rest -> pass (merge a b :: acc) rest
+    | [ x ] -> x :: acc
+    | [] -> acc
+  in
+  match pass [] nodes with
+  | [] -> None
+  | x :: rest -> Some (List.fold_left merge x rest)
+
+let add t ~time ?(rank = 0) value =
+  if Float.is_nan time then invalid_arg "Pq.add: time is NaN";
+  let node = { time; rank; seq = t.next_seq; value; children = [] } in
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  t.root <-
+    (match t.root with None -> Some node | Some r -> Some (merge r node))
+
+let min_elt t = Option.map (fun r -> (r.time, r.value)) t.root
+
+let min_time t = Option.map (fun r -> r.time) t.root
+
+let pop t =
+  match t.root with
+  | None -> None
+  | Some r ->
+    t.root <- merge_pairs r.children;
+    t.size <- t.size - 1;
+    Some (r.time, r.value)

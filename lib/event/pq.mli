@@ -1,0 +1,43 @@
+(** Stable mergeable priority queue over virtual time.
+
+    A pairing heap whose elements are ordered by the lexicographic key
+    [(time, rank, seq)] where [seq] is an insertion stamp issued by the
+    queue itself. The stamp makes the order strict and total, so pops are
+    deterministic — in particular, elements added with equal [time] (and
+    equal [rank]) pop in insertion order, FIFO. This is the property the
+    discrete-event engine's bit-identical-replay guarantee rests on, and
+    the one the QCheck suite pins.
+
+    [rank] is a small secondary class for phasing distinct kinds of
+    same-instant work (the engine schedules message deliveries at rank 0
+    and clock ticks at rank 1, so all arrivals at time [t] precede the
+    tick at [t]). Most callers leave it at 0.
+
+    Merging is what makes a pairing heap a pairing heap — it is used
+    internally on every [pop] ([O(1)] amortized [add], [O(log n)]
+    amortized [pop]); a public cross-queue merge is deliberately not
+    exposed because two queues issue overlapping [seq] stamps, which
+    would silently break the FIFO guarantee. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> ?rank:int -> 'a -> unit
+(** Inserts [value] at [time] (default [rank] 0), stamping it with the
+    next sequence number. Raises [Invalid_argument] on a NaN time — NaN
+    compares false against everything and would corrupt the heap
+    order. *)
+
+val min_elt : 'a t -> (float * 'a) option
+(** The earliest element without removing it. *)
+
+val min_time : 'a t -> float option
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the earliest element — smallest [(time, rank,
+    seq)] — or [None] on an empty queue. *)

@@ -218,15 +218,15 @@ let series_events t =
   List.filter_map
     (fun (ev : Sink.event) ->
       match ev.Sink.payload with
-      | Sink.Series { round; span; value; edge } ->
-        Some (ev.Sink.name, round, span, value, edge)
+      | Sink.Series { round; time; span; value; edge } ->
+        Some (ev.Sink.name, round, time, span, value, edge)
       | _ -> None)
     t.evs
 
 let series t =
   let tbl : (string, series ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun (name, round, _span, value, _edge) ->
+    (fun (name, round, _time, _span, value, _edge) ->
       match Hashtbl.find_opt tbl name with
       | Some s ->
         let v = !s in
@@ -258,16 +258,16 @@ let series t =
 
 let edge_series t =
   List.filter
-    (fun (_, _, _, _, edge) -> edge >= 0)
+    (fun (_, _, _, _, _, edge) -> edge >= 0)
     (series_events t)
 
 let round_range t =
   match edge_series t with
   | [] -> None
-  | (_, r, _, _, _) :: _ as es ->
+  | (_, r, _, _, _, _) :: _ as es ->
     Some
       (List.fold_left
-         (fun (lo, hi) (_, r, _, _, _) -> (min lo r, max hi r))
+         (fun (lo, hi) (_, r, _, _, _, _) -> (min lo r, max hi r))
          (r, r) es)
 
 let bucket_bounds ?(buckets = 8) t =
@@ -289,7 +289,7 @@ let hottest_edges ?(top = 5) ?(buckets = 8) t =
     let nbuckets = ((hi - lo) / width) + 1 in
     let totals = Hashtbl.create 16 in
     List.iter
-      (fun (_, round, _, value, edge) ->
+      (fun (_, round, _, _, value, edge) ->
         let cells =
           match Hashtbl.find_opt totals edge with
           | Some c -> c
@@ -548,17 +548,19 @@ let to_chrome t =
         cursor +. (if n.dur_ns >= 0L then us n.dur_ns else 0.))
       0. t.roots
   in
-  (* Series on the round axis: one counter track per series name (and
-     per edge for per-edge series). *)
+  (* Series on the virtual-time axis: one counter track per series name
+     (and per edge for per-edge series). [time] equals the round number
+     for files from the synchronous engines, so their traces are
+     unchanged; event-driven runs land at their engine clock. *)
   List.iter
-    (fun (name, round, _span, value, edge) ->
+    (fun (name, _round, time, _span, value, edge) ->
       emit_obj (fun () ->
           fmt "\"name\":";
           str (if edge >= 0 then Printf.sprintf "%s[%d]" name edge else name);
           fmt
             ",\"ph\":\"C\",\"ts\":%d,\"pid\":2,\"tid\":0,\
              \"args\":{\"value\":%d}"
-            round value))
+            (int_of_float time) value))
     (series_events t);
   List.iter
     (fun (ev : Sink.event) ->

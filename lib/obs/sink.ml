@@ -16,7 +16,13 @@ type payload =
     }
   | Attribution of { edge : int; obj : int; component : string; amount : int }
   | Fault of { round : int; fault : string; node : int; edge : int }
-  | Series of { round : int; span : int; value : int; edge : int }
+  | Series of {
+      round : int;
+      time : float;  (* virtual-time position; = round on the sync axis *)
+      span : int;
+      value : int;
+      edge : int;
+    }
 
 type event = {
   name : string;
@@ -101,8 +107,9 @@ let to_json ev =
     field "fault" (fun b -> escape_to b fault);
     field "node" (fun b -> Buffer.add_string b (string_of_int node));
     field "edge" (fun b -> Buffer.add_string b (string_of_int edge))
-  | Series { round; span; value; edge } ->
+  | Series { round; time; span; value; edge } ->
     field "round" (fun b -> Buffer.add_string b (string_of_int round));
+    field "time" (fun b -> float_to b time);
     field "span" (fun b -> Buffer.add_string b (string_of_int span));
     field "value" (fun b -> Buffer.add_string b (string_of_int value));
     field "edge" (fun b -> Buffer.add_string b (string_of_int edge)));
@@ -180,9 +187,16 @@ let of_json line =
                edge = int "edge";
              }
          | "series" ->
+           let round = int "round" in
            Series
              {
-               round = int "round";
+               round;
+               (* Files written before the virtual-time axis carry no
+                  "time" field: their axis was the round number. *)
+               time =
+                 (match get "time" with
+                 | None -> float_of_int round
+                 | Some _ -> num "time");
                span = int "span";
                value = int "value";
                edge = int "edge";

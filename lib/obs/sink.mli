@@ -60,7 +60,7 @@ type payload =
     }
   | Attribution of { edge : int; obj : int; component : string; amount : int }
   | Fault of { round : int; fault : string; node : int; edge : int }
-  | Series of { round : int; span : int; value : int; edge : int }
+  | Series of { round : int; time : float; span : int; value : int; edge : int }
 
 type event = {
   name : string;

@@ -1,5 +1,6 @@
 type point = {
   round : int;
+  vtime : float;
   rounds : int;
   sent : int;
   delivered : int;
@@ -21,6 +22,7 @@ type t = {
   mutable total_rounds : int;
   (* the open round, accumulated in place *)
   mutable cur_round : int;  (* -1 when no round is open *)
+  mutable cur_vtime : float;
   mutable cur_sent : int;
   mutable cur_dropped : int;
   mutable cur_bytes : int;
@@ -40,6 +42,7 @@ let create ?(top_k = 4) ?(capacity = 256) ~num_edges () =
     count = 0;
     total_rounds = 0;
     cur_round = -1;
+    cur_vtime = 0.;
     cur_sent = 0;
     cur_dropped = 0;
     cur_bytes = 0;
@@ -49,11 +52,16 @@ let create ?(top_k = 4) ?(capacity = 256) ~num_edges () =
     touched = [];
   }
 
-let begin_round t ~round =
+let begin_round ?vtime t ~round =
   if t.cur_round >= 0 then invalid_arg "Telemetry.begin_round: round still open";
   if round <= (match t.history with [] -> -1 | p :: _ -> p.round) then
     invalid_arg "Telemetry.begin_round: rounds must increase";
-  t.cur_round <- round
+  let vtime = match vtime with Some v -> v | None -> float_of_int round in
+  if Float.is_nan vtime
+     || vtime <= (match t.history with [] -> Float.neg_infinity | p :: _ -> p.vtime)
+  then invalid_arg "Telemetry.begin_round: virtual time must increase";
+  t.cur_round <- round;
+  t.cur_vtime <- vtime
 
 let open_check t name =
   if t.cur_round < 0 then invalid_arg ("Telemetry." ^ name ^ ": no open round")
@@ -108,6 +116,7 @@ let fold_pair t a b =
   let edges, spill = top_cut t.top_k pairs in
   {
     round = b.round;
+    vtime = b.vtime;
     rounds = a.rounds + b.rounds;
     sent = a.sent + b.sent;
     delivered = a.delivered + b.delivered;
@@ -139,6 +148,7 @@ let end_round t ~live_nodes =
   let p =
     {
       round = t.cur_round;
+      vtime = t.cur_vtime;
       rounds = 1;
       sent = t.cur_sent;
       delivered = t.cur_sent - t.cur_dropped;
@@ -169,20 +179,21 @@ let points t = List.rev t.history
 let rounds_recorded t = t.total_rounds
 
 let emit t ~prefix emit_ev =
-  let series name ~round ~span ~value ~edge =
+  let series name ~round ~time ~span ~value ~edge =
     emit_ev
       {
         Sink.name = prefix ^ "." ^ name;
         id = 0;
         parent = 0;
-        payload = Sink.Series { round; span; value; edge };
+        payload = Sink.Series { round; time; span; value; edge };
         attrs = [];
       }
   in
   List.iter
     (fun p ->
       let field name value =
-        series name ~round:p.round ~span:p.rounds ~value ~edge:(-1)
+        series name ~round:p.round ~time:p.vtime ~span:p.rounds ~value
+          ~edge:(-1)
       in
       field "sent" p.sent;
       field "delivered" p.delivered;
@@ -193,7 +204,8 @@ let emit t ~prefix emit_ev =
       field "live_nodes" p.live_nodes;
       List.iter
         (fun (edge, c) ->
-          series "edge" ~round:p.round ~span:p.rounds ~value:c ~edge)
+          series "edge" ~round:p.round ~time:p.vtime ~span:p.rounds ~value:c
+            ~edge)
         p.edges;
       if p.other_edges > 0 then field "edge_rest" p.other_edges)
     (points t)

@@ -31,6 +31,11 @@ type t
 
 type point = {
   round : int;  (** last round folded into this point *)
+  vtime : float;
+      (** virtual time of the last round folded into this point — the
+          bucket's position on the virtual-time axis. Synchronous engines
+          leave the default [float_of_int round]; the event-driven ones
+          pass the engine clock, whose ticks may skip round numbers. *)
   rounds : int;  (** rounds covered; 1 = exact per-round sample *)
   sent : int;  (** sends attempted, including later-dropped ones *)
   delivered : int;  (** sends that reached an inbox: [sent - dropped] *)
@@ -51,9 +56,13 @@ val create : ?top_k:int -> ?capacity:int -> num_edges:int -> unit -> t
     number of retained points. [num_edges] sizes the per-round scratch
     counters. *)
 
-val begin_round : t -> round:int -> unit
+val begin_round : ?vtime:float -> t -> round:int -> unit
 (** Opens the sample for [round]. Rounds must be opened in increasing
-    order; re-opening the current round is an error. *)
+    order; re-opening the current round is an error. [vtime] (default
+    [float_of_int round]) positions the sample on the virtual-time axis
+    and must also increase strictly — the event-driven engines pass
+    their clock here, the synchronous ones leave the default, keeping
+    both axes identical in the synchronous regime. *)
 
 val send : t -> edge:int -> bytes:int -> unit
 (** Records one attempted send of [bytes] payload bytes over [edge]
@@ -72,7 +81,9 @@ val duplicate : t -> unit
 val end_round : t -> live_nodes:int -> unit
 (** Closes the open round with the number of live (non-crashed) nodes,
     cuts the per-edge counters down to the top-[k] table, and folds the
-    history if it now exceeds [capacity]. *)
+    history if it now exceeds [capacity]. Folding a pair keeps the later
+    point's [round] and [vtime] (the bucket's position is its end) and
+    sums the counters, so series totals are conserved on both axes. *)
 
 val points : t -> point list
 (** The retained series in round order. Calling this mid-round returns
@@ -87,7 +98,9 @@ val emit : t -> prefix:string -> (Sink.event -> unit) -> unit
     field): [<prefix>.sent], [.delivered], [.dropped], [.bytes],
     [.retransmits], [.dup_suppressed], [.live_nodes] (all with
     [edge = -1]), one [<prefix>.edge] per top-[k] entry carrying its
-    edge id, and [<prefix>.edge_rest] for the aggregate remainder
+    edge id, and [<prefix>.edge_rest] for the aggregate remainder. Every
+    event carries the point's [round], [vtime] (as the [time] field) and
+    span
     (emitted only when non-zero, like the edge entries). Events appear
     in round order, fields in the order above — a pure function of
     {!points}, so emission is as deterministic as the series itself. *)

@@ -4,9 +4,12 @@ module Placement = Hbn_placement.Placement
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Telemetry = Hbn_obs.Telemetry
+module Engine = Hbn_event.Engine
+module Link = Hbn_event.Link
 
 type outcome = {
   makespan : int;
+  completion : float;
   packets : int;
   transmissions : int;
   edge_traffic : int array;
@@ -21,7 +24,7 @@ let scale_up amount scale = if amount = 0 then 0 else ((amount - 1) / scale) + 1
 
 type policy = Fifo | Round_robin | Reversed
 
-let run ?(scale = 1) ?(policy = Fifo) ?telemetry w placement =
+let run ?(scale = 1) ?(policy = Fifo) ?telemetry ?link w placement =
   if scale < 1 then invalid_arg "Sim.run: scale must be >= 1";
   let sp_run = Trace.span "sim.run" in
   let tree = Workload.tree w in
@@ -105,14 +108,40 @@ let run ?(scale = 1) ?(policy = Fifo) ?telemetry w placement =
       depth.(i) <- (if h.dep >= 0 then depth.(h.dep) + 1 else 1);
       if depth.(i) > !max_dilation then max_dilation := depth.(i))
     hops;
-  (* Synchronous greedy FIFO rounds. *)
+  (* Event-driven greedy scheduling over virtual time. The allocator
+     wakes at integer ticks of the {!Hbn_event.Engine} and serves the
+     ready hops under per-tick capacity; a granted hop occupies its link
+     for [Link.latency] virtual time and its dependents become eligible
+     at the first tick after arrival. Without a link model (or under
+     [Link.sync]) every latency is exactly 1 and every per-tick budget
+     equals the static caps, so ticks are the synchronous rounds of the
+     original engine, bit for bit. *)
+  let attached = Option.map (fun c -> Link.attach c tree) link in
   let edge_cap = Array.init m (fun e ->
       if Tree.num_edges tree = 0 then 1 else Tree.edge_bandwidth tree e)
+  in
+  (* Per-edge service rate in packets per tick: the static SCI width
+     [b(e)] in the synchronous regime (bandwidth "inf"), overridden by
+     the level's finite bandwidth otherwise. Credits accumulate across
+     ticks up to one tick's burst — with an integral rate that reduces
+     exactly to the per-round cap of the synchronous engine. *)
+  let rate = Array.init m (fun e ->
+      match attached with
+      | None -> float_of_int edge_cap.(e)
+      | Some l ->
+        let b = Link.bandwidth (Link.config l) ~level:(Link.edge_level l e) in
+        if b = Float.infinity then float_of_int edge_cap.(e) else b)
+  in
+  let burst = Array.map (fun r -> Float.max r 1.) rate in
+  let hop_latency = Array.init m (fun e ->
+      match attached with
+      | None -> 1.
+      | Some l -> Link.latency l ~edge:e ~bytes:1)
   in
   let bus_cap = Array.make (Tree.n tree) 0 in
   List.iter (fun b -> bus_cap.(b) <- 2 * Tree.bus_bandwidth tree b) (Tree.buses tree);
   let is_bus = Array.init (Tree.n tree) (fun v -> not (Tree.is_leaf tree v)) in
-  let edge_left = Array.make m 0 in
+  let credit = Array.make m 0. in
   let bus_left = Array.make (Tree.n tree) 0 in
   let frontier = ref [] in
   (* Hops whose dependency is already done enter the frontier in index
@@ -125,16 +154,36 @@ let run ?(scale = 1) ?(policy = Fifo) ?telemetry w placement =
   done;
   let remaining = ref n_hops in
   let rounds = ref 0 in
-  while !remaining > 0 do
+  let completion = ref 0. in
+  let engine = Engine.create () in
+  (* Arrivals (rank 0) land before the tick (rank 1) they enable, so a
+     tick always sees every hop whose dependency cleared by its time. *)
+  let newly = ref [] in
+  let tick_scheduled = Hashtbl.create 64 in
+  let last_tick = ref 0. in
+  let rec ensure_tick time =
+    if not (Hashtbl.mem tick_scheduled time) then begin
+      Hashtbl.add tick_scheduled time ();
+      Engine.at engine ~rank:1 ~time tick
+    end
+  and tick () =
+    let now = Engine.now engine in
     incr rounds;
     (match telemetry with
     | None -> ()
-    | Some tel -> Telemetry.begin_round tel ~round:!rounds);
+    | Some tel ->
+      Telemetry.begin_round ~vtime:now tel ~round:(int_of_float now));
     let remaining_before = !remaining in
-    Array.blit edge_cap 0 edge_left 0 m;
+    let dt = now -. !last_tick in
+    last_tick := now;
+    for e = 0 to m - 1 do
+      credit.(e) <- Float.min (credit.(e) +. (rate.(e) *. dt)) burst.(e)
+    done;
     Array.iteri (fun v c -> bus_left.(v) <- c) bus_cap;
+    frontier := !frontier @ List.sort compare !newly;
+    newly := [];
     let next = ref [] in
-    let newly = ref [] in
+    let enabled = ref 0 in
     let scheduled =
       (* The scheduling policy permutes the service order of the ready
          hops; any order is work-conserving, experiment E16 measures how
@@ -161,32 +210,47 @@ let run ?(scale = 1) ?(policy = Fifo) ?telemetry w placement =
         let h = hops.(i) in
         let u, v = Tree.edge_endpoints tree h.edge in
         let bus_ok b = (not is_bus.(b)) || bus_left.(b) > 0 in
-        if edge_left.(h.edge) > 0 && bus_ok u && bus_ok v then begin
+        if credit.(h.edge) >= 1. && bus_ok u && bus_ok v then begin
           (match telemetry with
           | None -> ()
           | Some tel -> Telemetry.send tel ~edge:h.edge ~bytes:1);
-          edge_left.(h.edge) <- edge_left.(h.edge) - 1;
+          credit.(h.edge) <- credit.(h.edge) -. 1.;
           if is_bus.(u) then bus_left.(u) <- bus_left.(u) - 1;
           if is_bus.(v) then bus_left.(v) <- bus_left.(v) - 1;
           decr remaining;
-          (* Children become ready next round (store-and-forward). *)
-          List.iter (fun c -> newly := c :: !newly) blocked_children.(i)
+          let arrival = now +. hop_latency.(h.edge) in
+          if arrival > !completion then completion := arrival;
+          (* Children become ready at the first tick after the hop has
+             fully arrived (store-and-forward: next round under sync). *)
+          (match blocked_children.(i) with
+          | [] -> ()
+          | children ->
+            enabled := !enabled + List.length children;
+            ensure_tick (Float.ceil arrival);
+            Engine.at engine ~time:arrival (fun () ->
+                List.iter (fun c -> newly := c :: !newly) children))
         end
         else next := i :: !next)
       scheduled;
-    frontier := List.rev_append !next (List.sort compare !newly);
+    frontier := List.rev !next;
+    if !frontier <> [] then ensure_tick (now +. 1.);
     (match telemetry with
     | None -> ()
     | Some tel -> Telemetry.end_round tel ~live_nodes:(Tree.n tree));
     if Trace.enabled () then begin
-      Trace.gauge "sim.queue_depth" (float_of_int (List.length !frontier));
+      Trace.gauge "sim.queue_depth"
+        (float_of_int (List.length !frontier + !enabled));
       Trace.gauge "sim.round_transmissions"
         (float_of_int (remaining_before - !remaining))
     end
-  done;
+  in
+  if n_hops > 0 then ensure_tick 1.;
+  Engine.drain engine;
+  assert (!remaining = 0);
   let outcome =
     {
       makespan = !rounds;
+      completion = !completion;
       packets = !packets;
       transmissions = n_hops;
       edge_traffic;

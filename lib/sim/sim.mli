@@ -17,11 +17,33 @@
 
     Mechanics: per round, an edge [e] transmits at most [b(e)] packets and
     the packet-hops on edges incident to a bus [B] are limited to
-    [2·b(B)] (matching the bus-load definition, which charges each
-    crossing message to two incident edges). Scheduling is greedy FIFO and
-    deterministic. Every transmission moves one hop per round
-    (store-and-forward). With all bandwidths 1 this is the standard
-    [Ω(congestion + dilation)] routing regime.
+    [2·b(B)]. The factor 2 is paper-derived, not a fudge: the paper's
+    bus load is [L(B) = (Σ_{e incident to B} L(e)) / (2·b(B))] — a
+    message crossing a bus occupies two of its incident edges (it enters
+    on one and leaves on the other), so a bus of bandwidth [b(B)] that
+    forwards [b(B)] messages per round performs [2·b(B)] packet-hops on
+    its incident edges. Capping at [1·b(B)] packet-hops would halve the
+    simulated bus throughput relative to the load definition the
+    congestion objective optimizes, skewing the congestion→makespan
+    correspondence the simulator exists to measure. The unit test
+    [bus capacity: the 2·b(B) cap permits full pipelining] pins the
+    constant. Scheduling is greedy FIFO and deterministic. Every
+    transmission moves one hop per round (store-and-forward). With all
+    bandwidths 1 this is the standard [Ω(congestion + dilation)] routing
+    regime.
+
+    Asynchrony: the round machine is driven by the deterministic
+    discrete-event engine ({!Hbn_event.Engine}). With a
+    {!Hbn_event.Link.config} each tree level gets its own propagation
+    delay and bandwidth: a granted hop occupies its edge's transmitter
+    and arrives [bytes/B + D] virtual time later, per-edge service
+    becomes a token bucket of [B] packets per tick (burstable to one
+    tick's budget), and the allocator only wakes at ticks where work can
+    exist. Without a link — or under {!Hbn_event.Link.sync} (delay 1,
+    infinite bandwidth) — every latency is exactly 1 tick and every
+    budget equals the static caps, and the schedule is bit-identical to
+    the synchronous engine above (DESIGN.md §14 states the equivalence;
+    the test suite pins it).
 
     With [scale = 1] the simulator performs exactly one transmission per
     unit of analytic load, so its per-edge traffic equals
@@ -32,7 +54,17 @@ module Workload = Hbn_workload.Workload
 module Placement = Hbn_placement.Placement
 
 type outcome = {
-  makespan : int;  (** rounds until every packet is delivered *)
+  makespan : int;
+      (** allocator ticks executed — under the synchronous regime,
+          rounds until every packet is delivered *)
+  completion : float;
+      (** virtual time at which the last hop finished its transit — the
+          asynchronous makespan (0 with no traffic). Under the
+          synchronous regime every hop takes exactly one tick, so the
+          last grant at tick [makespan] lands at [makespan + 1]; with
+          per-level links this is the quantity that varies with
+          bandwidth asymmetry while [edge_traffic] (congestion) stays
+          fixed *)
   packets : int;  (** messages injected (multicasts count once) *)
   transmissions : int;  (** total edge traversals *)
   edge_traffic : int array;  (** traversals per edge *)
@@ -48,6 +80,7 @@ val run :
   ?scale:int ->
   ?policy:policy ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?link:Hbn_event.Link.config ->
   Workload.t ->
   Placement.t ->
   outcome
@@ -57,6 +90,14 @@ val run :
     every policy is work-conserving, and experiment E16 shows the makespan
     (and hence the congestion-predicts-performance conclusion of E10) is
     robust to the choice.
+
+    [link] gives every tree level its own delay and bandwidth (see
+    {!Hbn_event.Link}); omitting it — or passing {!Hbn_event.Link.sync} —
+    yields the synchronous store-and-forward schedule, bit for bit.
+    The traffic itself ([packets], [transmissions], [edge_traffic],
+    [max_dilation]) is a function of workload and placement alone and
+    never varies with [link]; only the schedule ([makespan],
+    [completion], telemetry) does.
 
     [telemetry] records one {!Hbn_obs.Telemetry} sample per simulated
     round into a fresh caller-owned collector: each hop transmitted in

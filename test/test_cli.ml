@@ -158,10 +158,48 @@ let test_simulate_faults_degraded () =
 let test_simulate_faults_bad_spec () =
   check_fails "simulate --faults bad spec"
     [ "simulate"; "--kind"; "star"; "--leaves"; "4"; "--faults"; "drop=woof" ]
-    [ "hbn_cli:"; "bad --faults spec" ];
+    [ "hbn_cli:"; "bad --faults spec"; "clause 1 at char 0" ];
+  check_fails "simulate --faults bad second clause"
+    [ "simulate"; "--kind"; "star"; "--leaves"; "4"; "--faults";
+      "drop=0.1,crash=x:1-2" ]
+    [ "hbn_cli:"; "bad --faults spec"; "clause 2 at char 9" ];
   check_fails "simulate --faults empty spec"
     [ "simulate"; "--kind"; "star"; "--leaves"; "4"; "--faults"; "" ]
     [ "hbn_cli:"; "bad --faults spec" ]
+
+let link_args extra =
+  [ "simulate"; "--kind"; "balanced"; "--arity"; "3"; "--height"; "2";
+    "--workload"; "uniform"; "--objects"; "5"; "--seed"; "7" ]
+  @ extra
+
+let test_simulate_link () =
+  check_run "simulate --link"
+    (link_args [ "--link"; "1:8,1:2" ])
+    [ "link model: 1:8,1:2 (per level, root-down)"; "completion:";
+      "virtual time"; "makespan:" ]
+
+let test_simulate_link_bad_spec () =
+  (* Malformed specs die with the clause index and character offset so
+     the user can point at the offending token. *)
+  check_fails "simulate --link bad spec"
+    (link_args [ "--link"; "bogus" ])
+    [ "hbn_cli:"; "bad --link spec"; "clause 1 at char 0" ];
+  check_fails "simulate --link bad clause"
+    (link_args [ "--link"; "1:8,nope" ])
+    [ "hbn_cli:"; "bad --link spec"; "clause 2 at char 4" ];
+  check_fails "simulate --link empty"
+    (link_args [ "--link"; "" ])
+    [ "hbn_cli:"; "bad --link spec" ]
+
+(* The event-driven simulation is deterministic: the whole report must
+   not depend on --jobs. *)
+let test_simulate_link_jobs_identical () =
+  match (run_cli (link_args [ "--link"; "1:1,1:8"; "--jobs"; "1" ]),
+         run_cli (link_args [ "--link"; "1:1,1:8"; "--jobs"; "4" ])) with
+  | Some (Unix.WEXITED 0, o1), Some (Unix.WEXITED 0, o4) ->
+    Alcotest.(check string) "identical output at --jobs 1 and 4" o1 o4
+  | Some _, Some _ -> Alcotest.fail "simulate --link exited non-zero"
+  | _ -> ()
 
 (* explain runs its internal cross-checks (one-shot vs incremental vs
    evaluator) before printing anything, so a zero exit here is already a
@@ -422,6 +460,10 @@ let suite =
       test_simulate_faults_jobs_identical;
     Helpers.tc "cli simulate --faults degraded" test_simulate_faults_degraded;
     Helpers.tc "cli simulate --faults bad spec" test_simulate_faults_bad_spec;
+    Helpers.tc "cli simulate --link" test_simulate_link;
+    Helpers.tc "cli simulate --link bad spec" test_simulate_link_bad_spec;
+    Helpers.tc "cli simulate --link jobs-invariant"
+      test_simulate_link_jobs_identical;
     Helpers.tc "cli explain table" test_explain_table;
     Helpers.tc "cli explain json" test_explain_json;
     Helpers.tc "cli explain dot" test_explain_dot;

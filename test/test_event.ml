@@ -1,0 +1,236 @@
+(* The discrete-event substrate: stable priority queue, engine ordering
+   and the per-level link model. The FIFO property pinned here is the
+   foundation of every bit-identical-replay claim the asynchronous
+   simulators make (DESIGN.md §14). *)
+
+module Pq = Hbn_event.Pq
+module Engine = Hbn_event.Engine
+module Link = Hbn_event.Link
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+
+(* --- priority queue ----------------------------------------------------- *)
+
+let drain_pq q =
+  let out = ref [] in
+  let rec go () =
+    match Pq.pop q with
+    | None -> ()
+    | Some (t, v) ->
+      out := (t, v) :: !out;
+      go ()
+  in
+  go ();
+  List.rev !out
+
+let test_pq_fifo_at_equal_time () =
+  let q = Pq.create () in
+  List.iter (fun v -> Pq.add q ~time:1. v) [ "a"; "b"; "c" ];
+  Pq.add q ~time:0.5 "first";
+  Alcotest.(check (list string))
+    "equal times pop in insertion order"
+    [ "first"; "a"; "b"; "c" ]
+    (List.map snd (drain_pq q))
+
+let test_pq_rank_phases () =
+  let q = Pq.create () in
+  Pq.add q ~time:2. ~rank:1 "tick";
+  Pq.add q ~time:2. "late-delivery";
+  Pq.add q ~time:1. ~rank:1 "early-tick";
+  Alcotest.(check (list string))
+    "rank 0 precedes rank 1 at the same instant"
+    [ "early-tick"; "late-delivery"; "tick" ]
+    (List.map snd (drain_pq q))
+
+let test_pq_rejects_nan () =
+  let q = Pq.create () in
+  Alcotest.check_raises "NaN time" (Invalid_argument "Pq.add: time is NaN")
+    (fun () -> Pq.add q ~time:Float.nan ())
+
+let test_pq_empty () =
+  let q = Pq.create () in
+  Alcotest.(check bool) "is_empty" true (Pq.is_empty q);
+  Alcotest.(check bool) "pop" true (Pq.pop q = None);
+  Alcotest.(check bool) "min_elt" true (Pq.min_elt q = None);
+  Pq.add q ~time:3. 42;
+  Alcotest.(check int) "length" 1 (Pq.length q);
+  Alcotest.(check bool) "min_time" true (Pq.min_time q = Some 3.)
+
+(* The satellite's property: pops equal a stable sort by (time, rank) —
+   FIFO within equal keys — on arbitrary interleavings. Times come from
+   a coarse grid so equal keys are common, which is the interesting
+   case. *)
+let key_list_arb =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (t, r) -> Printf.sprintf "(%g,%d)" t r) l))
+    QCheck.Gen.(
+      list_size (int_bound 200)
+        (pair (map (fun n -> float_of_int n /. 4.) (int_bound 16)) (int_bound 2)))
+
+let prop_pq_matches_stable_sort keys =
+  let q = Pq.create () in
+  List.iteri (fun i (t, r) -> Pq.add q ~time:t ~rank:r i) keys;
+  let got = List.map snd (drain_pq q) in
+  let want =
+    List.mapi (fun i (t, r) -> (t, r, i)) keys
+    |> List.stable_sort (fun (t1, r1, _) (t2, r2, _) ->
+           compare (t1, r1) (t2, r2))
+    |> List.map (fun (_, _, i) -> i)
+  in
+  got = want
+
+(* --- engine ------------------------------------------------------------- *)
+
+let test_engine_orders_and_advances () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let emit tag () = log := (Engine.now e, tag) :: !log in
+  Engine.at e ~time:2. ~rank:1 (emit "tick@2");
+  Engine.at e ~time:2. (emit "arrival@2");
+  Engine.at e ~time:1. (fun () ->
+      emit "first@1" ();
+      (* Callbacks schedule further work at or after now. *)
+      Engine.after e ~delay:0.5 (emit "followup@1.5"));
+  Engine.drain e;
+  Alcotest.(check (list string))
+    "execution order"
+    [ "first@1"; "followup@1.5"; "arrival@2"; "tick@2" ]
+    (List.rev_map snd !log);
+  Alcotest.(check int) "executed" 4 (Engine.executed e);
+  Alcotest.(check int) "pending" 0 (Engine.pending e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.at e ~time:5. (fun () ->
+      try
+        Engine.at e ~time:4. (fun () -> ());
+        Alcotest.fail "scheduling in the past must raise"
+      with Invalid_argument _ -> ());
+  Engine.drain e;
+  Alcotest.(check bool) "nan raises" true
+    (try
+       Engine.at e ~time:Float.nan (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_next_time () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty" true (Engine.next_time e = None);
+  Engine.at e ~time:7. (fun () -> ());
+  Alcotest.(check bool) "pending head" true (Engine.next_time e = Some 7.);
+  ignore (Engine.step e);
+  Alcotest.(check (float 0.)) "now follows" 7. (Engine.now e)
+
+(* --- link model --------------------------------------------------------- *)
+
+let test_link_spec_round_trip () =
+  List.iter
+    (fun spec ->
+      match Link.of_spec spec with
+      | Error e -> Alcotest.failf "of_spec %S: %s" spec e
+      | Ok c -> Alcotest.(check string) spec spec (Link.to_spec c))
+    [ "1:inf"; "1:8"; "1:1,1:8"; "0.5:2,2:16,1:inf"; "4:8" ]
+
+let test_link_spec_errors_carry_position () =
+  let check spec sub =
+    match Link.of_spec spec with
+    | Ok _ -> Alcotest.failf "of_spec %S unexpectedly parsed" spec
+    | Error e ->
+      if not (Helpers.contains e sub) then
+        Alcotest.failf "error %S does not mention %S" e sub
+  in
+  check "bogus" "clause 1 at char 0";
+  check "1:8,nope" "clause 2 at char 4";
+  check "1:8,,2:4" "clause 2 at char 4";
+  check "1:8,2:zero" "clause 2 at char 4";
+  check "1:8,-1:4" "clause 2 at char 4";
+  check "" "empty"
+
+let test_link_validation () =
+  let raises a =
+    try
+      ignore (Link.v a);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty" true (raises [||]);
+  Alcotest.(check bool) "negative delay" true (raises [| (-1., 2.) |]);
+  Alcotest.(check bool) "zero bandwidth" true (raises [| (1., 0.) |]);
+  Alcotest.(check bool) "zero transit" true (raises [| (0., infinity) |]);
+  Alcotest.(check bool) "sync is sync" true (Link.is_sync Link.sync);
+  Alcotest.(check bool)
+    "finite bandwidth is not sync" true
+    (not (Link.is_sync (Link.v [| (1., 8.) |])))
+
+let test_link_levels_and_latency () =
+  let tree = Builders.balanced ~arity:2 ~height:2 ~profile:(Builders.Uniform 1) in
+  let c = Link.v [| (1., 8.); (2., 4.) |] in
+  let l = Link.attach c tree in
+  let r = Tree.rooting tree in
+  for e = 0 to Tree.num_edges tree - 1 do
+    let u, v = Tree.edge_endpoints tree e in
+    let depth = max r.Tree.depth.(u) r.Tree.depth.(v) in
+    Alcotest.(check int)
+      (Printf.sprintf "edge %d level" e)
+      depth (Link.edge_level l e);
+    let want_d = if depth = 1 then 1. else 2. in
+    let want_b = if depth = 1 then 8. else 4. in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "edge %d latency" e)
+      ((4. /. want_b) +. want_d)
+      (Link.latency l ~edge:e ~bytes:4)
+  done;
+  (* Deeper levels than the config lists reuse the last clause. *)
+  Alcotest.(check (float 0.)) "extension" 4. (Link.delay c ~level:9 *. 2.)
+
+let test_link_transmit_serializes () =
+  let tree = Builders.star ~leaves:2 ~profile:(Builders.Uniform 1) in
+  let l = Link.attach (Link.v [| (1., 4.) |]) tree in
+  let u, _ = Tree.edge_endpoints tree 0 in
+  (* Two 4-byte messages back to back on one directed link: the second
+     waits for the first to clear the transmitter (1 time unit at B=4),
+     then adds its own transmission and the shared propagation delay. *)
+  let a1 = Link.transmit l ~now:0. ~edge:0 ~src:u ~bytes:4 in
+  let a2 = Link.transmit l ~now:0. ~edge:0 ~src:u ~bytes:4 in
+  Alcotest.(check (float 1e-9)) "first arrival" 2. a1;
+  Alcotest.(check (float 1e-9)) "second queues" 3. a2;
+  (* The reverse direction has its own clock. *)
+  let other = if u = 0 then 1 else 0 in
+  Alcotest.(check (float 1e-9)) "reverse direction free" 2.
+    (Link.transmit l ~now:0. ~edge:0 ~src:other ~bytes:4);
+  Alcotest.(check bool) "foreign src raises" true
+    (try
+       ignore (Link.transmit l ~now:0. ~edge:0 ~src:2 ~bytes:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_link_sync_never_blocks () =
+  let tree = Builders.star ~leaves:3 ~profile:(Builders.Uniform 1) in
+  let l = Link.attach Link.sync tree in
+  for _ = 1 to 5 do
+    Alcotest.(check (float 0.)) "now + 1" 3.
+      (Link.transmit l ~now:2. ~edge:0 ~src:0 ~bytes:1_000_000)
+  done
+
+let suite =
+  [
+    Helpers.tc "pq: FIFO at equal time" test_pq_fifo_at_equal_time;
+    Helpers.tc "pq: rank phases same-instant work" test_pq_rank_phases;
+    Helpers.tc "pq: rejects NaN" test_pq_rejects_nan;
+    Helpers.tc "pq: empty queue" test_pq_empty;
+    Helpers.qt ~count:200 "pq: pops equal a stable sort" key_list_arb
+      prop_pq_matches_stable_sort;
+    Helpers.tc "engine: orders and advances" test_engine_orders_and_advances;
+    Helpers.tc "engine: rejects the past" test_engine_rejects_past;
+    Helpers.tc "engine: next_time" test_engine_next_time;
+    Helpers.tc "link: spec round-trip" test_link_spec_round_trip;
+    Helpers.tc "link: spec errors carry positions"
+      test_link_spec_errors_carry_position;
+    Helpers.tc "link: config validation" test_link_validation;
+    Helpers.tc "link: levels and latency" test_link_levels_and_latency;
+    Helpers.tc "link: transmit serializes per direction"
+      test_link_transmit_serializes;
+    Helpers.tc "link: sync never blocks" test_link_sync_never_blocks;
+  ]

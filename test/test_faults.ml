@@ -49,6 +49,69 @@ let test_spec_errors () =
       "";
     ]
 
+let test_spec_errors_carry_position () =
+  (* Errors name the offending clause by index and character offset, so
+     a long CLI spec pinpoints its own typo. *)
+  let check spec sub =
+    match Faults.of_spec spec with
+    | Ok _ -> Alcotest.failf "spec %S should not parse" spec
+    | Error e ->
+      if not (Helpers.contains e sub) then
+        Alcotest.failf "error %S for %S does not mention %S" e spec sub
+  in
+  check "drop=2.0" "clause 1 at char 0";
+  check "drop=0.1,crash=x:1-2" "clause 2 at char 9";
+  check "drop=0.1,until=30,cut=0:9-5" "clause 3 at char 18";
+  check "drop=0.5,drop=0.2" "clause 2 at char 9"
+
+(* -- virtual-time shims -------------------------------------------------- *)
+
+let test_round_of_time () =
+  Alcotest.(check int) "interior of a tick" 4 (Faults.round_of_time 3.2);
+  Alcotest.(check int) "exact tick belongs to its round" 3
+    (Faults.round_of_time 3.);
+  Alcotest.(check int) "time zero" 0 (Faults.round_of_time 0.);
+  Alcotest.(check int) "huge times saturate" max_int
+    (Faults.round_of_time 1e300);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%f rejected" t)
+        true
+        (try
+           ignore (Faults.round_of_time t);
+           false
+         with Invalid_argument _ -> true))
+    [ -1.; Float.nan ]
+
+let test_time_queries_match_round_queries () =
+  (* A round window [A..B] covers the virtual interval (A-1, B]: an
+     arrival strictly after tick A-1 and at or before tick B is consumed
+     by a covered round. *)
+  let p =
+    match Faults.of_spec ~seed:3 "drop=0.3,until=20,crash=2:5-8,cut=1:3-9" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "of_spec: %s" e
+  in
+  Alcotest.(check (list bool))
+    "crash window 5..8 on the time axis"
+    [ false; true; true; true; false ]
+    (List.map
+       (fun t -> Faults.node_down_at p ~time:t ~node:2)
+       [ 4.0; 4.01; 5.0; 8.0; 8.5 ]);
+  for r = 1 to 25 do
+    let t = float_of_int r in
+    Alcotest.(check bool) "node_down_at = node_down at integer times"
+      (Faults.node_down p ~round:r ~node:2)
+      (Faults.node_down_at p ~time:t ~node:2);
+    Alcotest.(check bool) "edge_cut_at = edge_cut at integer times"
+      (Faults.edge_cut p ~round:r ~edge:1)
+      (Faults.edge_cut_at p ~time:t ~edge:1);
+    Alcotest.(check bool) "drops_at = drops at integer times"
+      (Faults.drops p ~round:r ~edge:0 ~src:1)
+      (Faults.drops_at p ~time:t ~edge:0 ~src:1)
+  done
+
 let test_windows_inclusive () =
   let p =
     match Faults.of_spec "crash=2:5-8,cut=1:3-inf" with
@@ -300,6 +363,10 @@ let suite =
   [
     Helpers.tc "spec round trip" test_spec_round_trip;
     Helpers.tc "spec errors" test_spec_errors;
+    Helpers.tc "spec errors carry positions" test_spec_errors_carry_position;
+    Helpers.tc "round_of_time quantization" test_round_of_time;
+    Helpers.tc "virtual-time queries match round queries"
+      test_time_queries_match_round_queries;
     Helpers.tc "windows are inclusive" test_windows_inclusive;
     Helpers.tc "quiet_after horizon" test_quiet_after;
     Helpers.tc "drop schedule is pure" test_drop_schedule_pure;

@@ -24,6 +24,7 @@ let () =
       ("strategy", Test_strategy.suite);
       ("exact", Test_exact.suite);
       ("baselines", Test_baselines.suite);
+      ("event", Test_event.suite);
       ("sim", Test_sim.suite);
       ("dist", Test_dist.suite);
       ("dynamic", Test_dynamic.suite);

@@ -252,18 +252,20 @@ let series_event_arb =
   let open QCheck in
   let gen =
     Gen.map
-      (fun (name, round, span, value, edge) ->
+      (fun (name, round, time, span, value, edge) ->
         {
           Sink.name;
           id = 0;
           parent = 0;
-          payload = Sink.Series { round; span; value; edge };
+          payload = Sink.Series { round; time; span; value; edge };
           attrs = [];
         })
       Gen.(
-        tup5
+        tup6
           (oneofl [ "sim.sent"; "dist.edge"; "x.bytes"; "weird \"name\"\n" ])
-          (int_bound 100_000) (int_range 1 4096) int (int_range (-1) 500))
+          (int_bound 100_000)
+          (map (fun t -> float_of_int t /. 16.) (int_bound 1_600_000))
+          (int_range 1 4096) int (int_range (-1) 500))
   in
   make ~print:Sink.to_json gen
 

@@ -166,6 +166,48 @@ let test_telemetry_deterministic_across_runs () =
   in
   Alcotest.(check string) "identical series" (emit_run ()) (emit_run ())
 
+(* The virtual-time axis: points carry the engine clock, folding keeps
+   the later point's position on both axes and conserves totals, and a
+   non-increasing clock is rejected. *)
+let test_telemetry_vtime_axis () =
+  let drive_vtime ?capacity ~rounds () =
+    let tel = Telemetry.create ?capacity ~num_edges:2 () in
+    for r = 1 to rounds do
+      (* An async engine's ticks: 1.5 virtual time per round. *)
+      Telemetry.begin_round ~vtime:(1.5 *. float_of_int r) tel ~round:r;
+      Telemetry.send tel ~edge:0 ~bytes:3;
+      Telemetry.end_round tel ~live_nodes:4
+    done;
+    tel
+  in
+  let exact = Telemetry.points (drive_vtime ~rounds:6 ()) in
+  List.iteri
+    (fun i (p : Telemetry.point) ->
+      Alcotest.(check (float 0.))
+        "vtime follows the clock"
+        (1.5 *. float_of_int (i + 1))
+        p.Telemetry.vtime)
+    exact;
+  let folded = Telemetry.points (drive_vtime ~capacity:4 ~rounds:32 ()) in
+  Alcotest.(check bool) "bounded" true (List.length folded <= 4);
+  Alcotest.(check int) "sends conserved across vtime folding" 32
+    (List.fold_left (fun a p -> a + p.Telemetry.sent) 0 folded);
+  Alcotest.(check int) "round coverage" 32
+    (List.fold_left (fun a p -> a + p.Telemetry.rounds) 0 folded);
+  List.iter
+    (fun (p : Telemetry.point) ->
+      Alcotest.(check (float 0.))
+        "a bucket sits at its last round's clock"
+        (1.5 *. float_of_int p.Telemetry.round)
+        p.Telemetry.vtime)
+    folded;
+  let tel = Telemetry.create ~num_edges:1 () in
+  Telemetry.begin_round ~vtime:3. tel ~round:1;
+  Telemetry.end_round tel ~live_nodes:1;
+  Alcotest.check_raises "virtual time must increase"
+    (Invalid_argument "Telemetry.begin_round: virtual time must increase")
+    (fun () -> Telemetry.begin_round ~vtime:3. tel ~round:2)
+
 (* -- report analyses on the fixture ------------------------------------- *)
 
 let test_report_fixture_phases () =
@@ -316,6 +358,7 @@ let suite =
       test_telemetry_emit_report_roundtrip;
     Helpers.tc "telemetry series deterministic across runs"
       test_telemetry_deterministic_across_runs;
+    Helpers.tc "telemetry virtual-time axis" test_telemetry_vtime_axis;
     Helpers.tc "report fixture phases and critical path"
       test_report_fixture_phases;
     Helpers.tc "report table matches committed golden" test_report_golden_table;

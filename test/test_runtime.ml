@@ -117,6 +117,85 @@ let prop_message_bound seed =
   stats.Runtime.messages
   <= 4 * Workload.num_objects w * max 1 (Tree.num_edges t)
 
+(* --- asynchronous engine ------------------------------------------------ *)
+
+module Link = Hbn_event.Link
+module Faults = Hbn_dist.Faults
+module Telemetry = Hbn_obs.Telemetry
+
+(* The same convergecast on slow serialized links: the result is
+   unchanged (the protocol is self-clocking — nodes wait for their
+   children), only the round count stretches. *)
+let test_run_async_convergecast () =
+  let t = Builders.balanced ~arity:2 ~height:3 ~profile:(Builders.Uniform 1) in
+  let r = Tree.rooting t in
+  let init v = (Array.length r.Tree.children.(v), 0, false) in
+  let step ~round:_ ~node (missing, acc, sent) ~inbox =
+    let missing = missing - List.length inbox in
+    let acc = List.fold_left (fun a (_, m) -> a + m) acc inbox in
+    if missing = 0 && not sent then
+      if node = r.Tree.root then ((missing, acc, true), [])
+      else
+        ( (missing, acc, true),
+          [ (r.Tree.parent.(node), acc + if Tree.is_leaf t node then 1 else 0) ] )
+    else ((missing, acc, sent), [])
+  in
+  let sync = Runtime.run t ~init ~step in
+  let slow = Runtime.run_async ~link:(Link.v [| (2., 1.) |]) t ~init ~step in
+  let _, root_acc, _ = slow.Runtime.states.(r.Tree.root) in
+  Alcotest.(check int) "root still counts the leaves" (Tree.num_leaves t)
+    root_acc;
+  Alcotest.(check int) "same messages"
+    sync.Runtime.stats.Runtime.messages slow.Runtime.stats.Runtime.messages;
+  Alcotest.(check bool) "quiescent" true
+    (slow.Runtime.termination = Runtime.Quiescent);
+  Alcotest.(check bool) "slow links stretch the rounds" true
+    (slow.Runtime.stats.Runtime.rounds > sync.Runtime.stats.Runtime.rounds)
+
+(* The acceptance criterion: with unit delay and infinite bandwidth the
+   event-driven runtime is bit-identical to the synchronous one —
+   placement, stats, fault log and telemetry series — over random
+   topologies, workloads and fault plans. *)
+let prop_async_sync_bit_identical seed =
+  let _, w = Helpers.instance seed in
+  let tree = Hbn_workload.Workload.tree w in
+  let faults =
+    if seed mod 2 = 0 then Faults.make ~seed ~drop:0.15 ~drop_until:60 ()
+    else Faults.none
+  in
+  let t1 = Telemetry.create ~num_edges:(Tree.num_edges tree) () in
+  let t2 = Telemetry.create ~num_edges:(Tree.num_edges tree) () in
+  let a = Dist_nibble.run_robust ~faults ~telemetry:t1 w in
+  let b = Dist_nibble.run_robust ~faults ~telemetry:t2 ~link:Link.sync w in
+  a = b && Telemetry.points t1 = Telemetry.points t2
+
+(* Stop-and-wait on genuinely slow links: frames take multiple ticks to
+   arrive (propagation delay 2 below the root) while the retransmit
+   timers keep counting integer rounds, so the timeout must cover the
+   round trip — with it, recovery still converges to the sequential
+   placement under drops. *)
+let test_robust_on_slow_links_completes () =
+  let t = Builders.balanced ~arity:2 ~height:2 ~profile:(Builders.Uniform 1) in
+  let leaves = Array.of_list (Tree.leaves t) in
+  let w = Workload.empty t ~objects:2 in
+  Workload.set_read w ~obj:0 leaves.(0) 6;
+  Workload.set_write w ~obj:1 leaves.(1) 3;
+  let faults = Faults.make ~seed:11 ~drop:0.1 ~drop_until:40 () in
+  match
+    Dist_nibble.run_robust ~timeout:8 ~faults
+      ~link:(Link.v [| (1., 64.); (2., 32.) |])
+      w
+  with
+  | Dist_nibble.Degraded _ -> Alcotest.fail "expected completion"
+  | Dist_nibble.Complete { placement; _ } ->
+    let seq = Nibble.place_all w in
+    Array.iteri
+      (fun obj nodes ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "object %d matches sequential" obj)
+          seq.(obj).Nibble.nodes nodes)
+      placement
+
 let suite =
   [
     Helpers.tc "engine convergecast" test_engine_convergecast;
@@ -129,4 +208,10 @@ let suite =
       Helpers.seed_arb prop_matches_sequential;
     Helpers.qt "rounds are pipelined" Helpers.seed_arb prop_rounds_pipelined;
     Helpers.qt "message bound" Helpers.seed_arb prop_message_bound;
+    Helpers.tc "run_async convergecast on slow links"
+      test_run_async_convergecast;
+    Helpers.qt ~count:60 "Link.sync runtime is bit-identical to synchronous"
+      Helpers.seed_arb prop_async_sync_bit_identical;
+    Helpers.tc "robust nibble completes on slow links"
+      test_robust_on_slow_links_completes;
   ]

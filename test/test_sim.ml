@@ -178,4 +178,90 @@ let policy_suite =
       prop_policies_respect_lower_bound;
   ]
 
-let suite = suite @ policy_suite
+(* --- asynchrony --------------------------------------------------------- *)
+
+module Link = Hbn_event.Link
+module Telemetry = Hbn_obs.Telemetry
+
+(* Pins the paper-derived constant in the bus cap (see sim.mli): the bus
+   load L(B) divides by 2·b(B) because a crossing occupies two incident
+   edges, so a bandwidth-1 bus must sustain one full crossing — two
+   packet-hops — per round. Ten packets through one bus are 20 hops and
+   finish in exactly 20 / (2·1) = 10 rounds, packet k entering while
+   packet k-1 leaves. A 1·b(B) cap would serialize the hops and double
+   the time. *)
+let test_bus_cap_pipelining () =
+  let t =
+    Tree.make
+      ~kinds:[| Tree.Bus; Tree.Processor; Tree.Processor |]
+      ~edges:[ (0, 1, 5); (0, 2, 5) ]
+      ~bus_bandwidth:(fun _ -> 1)
+      ()
+  in
+  let w = Workload.empty t ~objects:1 in
+  Workload.set_read w ~obj:0 1 10;
+  let p = Placement.single w [ (0, 2) ] in
+  let out = Sim.run w p in
+  Alcotest.(check int) "hops" 20 out.Sim.transmissions;
+  Alcotest.(check int) "full pipelining: hops / (2·b) rounds" 10
+    out.Sim.makespan
+
+(* The sync-equivalence half of the acceptance criterion at the Sim
+   layer: Link.sync (delay 1, infinite bandwidth) must reproduce the
+   synchronous engine bit for bit — outcome and telemetry series. *)
+let prop_sync_link_bit_identical seed =
+  let _, w = Helpers.instance seed in
+  let tree = Workload.tree w in
+  let p = (Strategy.run w).Strategy.placement in
+  let t1 = Telemetry.create ~num_edges:(Tree.num_edges tree) () in
+  let t2 = Telemetry.create ~num_edges:(Tree.num_edges tree) () in
+  let a = Sim.run ~scale:4 ~telemetry:t1 w p in
+  let b = Sim.run ~scale:4 ~telemetry:t2 ~link:Link.sync w p in
+  a = b && Telemetry.points t1 = Telemetry.points t2
+
+(* The congestion-invariance half: a slower link reorders and delays the
+   schedule but the traffic is a function of workload and placement
+   alone; completion strictly rises because every hop's transit is 3
+   instead of 1 and bandwidth 1 never exceeds any synchronous cap. *)
+let prop_slow_link_preserves_traffic seed =
+  let _, w = Helpers.instance seed in
+  let p = (Strategy.run w).Strategy.placement in
+  let a = Sim.run ~scale:4 w p in
+  let b = Sim.run ~scale:4 ~link:(Link.v [| (2., 1.) |]) w p in
+  a.Sim.packets = b.Sim.packets
+  && a.Sim.transmissions = b.Sim.transmissions
+  && a.Sim.edge_traffic = b.Sim.edge_traffic
+  && a.Sim.max_dilation = b.Sim.max_dilation
+  && (a.Sim.transmissions = 0 || b.Sim.completion > a.Sim.completion)
+
+(* Same traffic, opposite bandwidth profiles, different completions: the
+   controlled experiment BENCH_async.json records, in miniature. *)
+let test_asymmetry_moves_completion () =
+  let prng = Prng.create 20260808 in
+  let t = Builders.balanced ~arity:3 ~height:3 ~profile:(Builders.Uniform 2) in
+  let w = Hbn_workload.Generators.uniform ~prng t ~objects:8 ~max_rate:6 in
+  let p = (Strategy.run w).Strategy.placement in
+  let run spec =
+    match Link.of_spec spec with
+    | Ok c -> Sim.run ~scale:2 ~link:c w p
+    | Error e -> Alcotest.failf "of_spec %S: %s" spec e
+  in
+  let top_slow = run "1:1,1:8" and bottom_slow = run "1:8,1:1" in
+  Alcotest.(check (array int))
+    "traffic pinned" top_slow.Sim.edge_traffic bottom_slow.Sim.edge_traffic;
+  Alcotest.(check bool) "completion differs" true
+    (top_slow.Sim.completion <> bottom_slow.Sim.completion)
+
+let async_suite =
+  [
+    Helpers.tc "bus capacity: the 2·b(B) cap permits full pipelining"
+      test_bus_cap_pipelining;
+    Helpers.qt ~count:60 "Link.sync is bit-identical to the synchronous engine"
+      Helpers.seed_arb prop_sync_link_bit_identical;
+    Helpers.qt ~count:40 "slow links preserve traffic, raise completion"
+      Helpers.seed_arb prop_slow_link_preserves_traffic;
+    Helpers.tc "bandwidth asymmetry moves completion only"
+      test_asymmetry_moves_completion;
+  ]
+
+let suite = suite @ policy_suite @ async_suite
