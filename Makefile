@@ -6,7 +6,8 @@
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
 .PHONY: all build test check bench bench-check bench-loads bench-parallel \
-	bench-faults bench-async bench-micro bench-quick report-smoke clean
+	bench-faults bench-async bench-monitor bench-micro bench-quick \
+	report-smoke clean
 
 all: build
 
@@ -27,18 +28,23 @@ test:
 # simulate --faults/--link line exercises the same machinery end to end
 # through the CLI; bench-quick cross-checks the Tree.Flat kernels against
 # their list-returning Tree counterparts and the event engine's pairing
-# heap against a stable sort; report-smoke drives --trace/--telemetry
-# recording and the report command's three renderers; bench-check
-# re-runs the pipeline, fault and async case matrices and diffs their
-# deterministic fields (now including the telemetry series) against the
-# committed BENCH_pipeline.json, BENCH_faults.json and BENCH_async.json,
-# and validates the chunk-scheduling fields of BENCH_parallel.json.
+# heap against a stable sort; the monitor smoke replays the synthetic
+# drift matrix and requires steady traffic to stay silent while every
+# drift shape fires; report-smoke drives --trace/--telemetry recording,
+# the report command's three renderers, and a --diff of a trace against
+# itself (which must come back clean); bench-check re-runs the pipeline,
+# fault, async and monitor case matrices and diffs their deterministic
+# fields (telemetry series, detector hits) against the committed
+# BENCH_pipeline.json, BENCH_faults.json, BENCH_async.json and
+# BENCH_monitor.json, and validates the chunk-scheduling fields of
+# BENCH_parallel.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
 	  && dune exec bench/parallel.exe -- --smoke \
 	  && $(MAKE) bench-quick \
 	  && dune exec bench/faults.exe -- --smoke \
 	  && dune exec bench/async.exe -- --smoke \
+	  && dune exec bench/monitor.exe -- --smoke \
 	  && dune exec bin/hbn_cli.exe -- simulate --kind balanced --arity 3 \
 	       --height 3 --workload zipf --objects 8 --seed 7 \
 	       --faults "drop=0.15,until=60,crash=2:10-30" --link "1:64,1:32" \
@@ -49,11 +55,11 @@ check:
 bench:
 	dune exec bench/pipeline.exe
 
-# Fails (exit 1) if the deterministic fields of a fresh pipeline or
-# fault-recovery run — congestion, makespan, counters, instance shape,
-# retransmission/fault accounting — diverge from the committed
-# BENCH_pipeline.json / BENCH_faults.json. Timings and the meta header
-# are ignored.
+# Fails (exit 1) if the deterministic fields of a fresh pipeline,
+# fault-recovery, async or drift-detection run — congestion, makespan,
+# counters, instance shape, retransmission/fault accounting, detector
+# hits — diverge from the committed BENCH_*.json baselines. Timings and
+# the meta header are ignored.
 bench-check:
 	dune exec bench/check.exe
 
@@ -69,10 +75,18 @@ bench-faults:
 bench-async:
 	dune exec bench/async.exe
 
+# Streaming-monitor detection profile: synthetic drift workloads through
+# the folding telemetry collector and the default detectors; writes
+# BENCH_monitor.json (refuses to write if the hit/miss contract fails).
+bench-monitor:
+	dune exec bench/monitor.exe
+
 # Trace-analytics smoke: trace a pipeline run plus a telemetry-recording
 # fault run, then feed both files to `report` in all three formats
 # (table to the terminal, json/chrome parse-checked by the command
-# itself — any malformed line or analysis crash fails the target).
+# itself — any malformed line or analysis crash fails the target), and
+# diff the telemetry trace against itself — monitors recomputed on both
+# sides must agree exactly, so the verdict has to be "identical".
 report-smoke:
 	dune build bin/hbn_cli.exe
 	dune exec --no-build bin/hbn_cli.exe -- place --kind balanced --arity 3 \
@@ -92,8 +106,10 @@ report-smoke:
 	  --format json > /dev/null
 	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_tel.jsonl \
 	  --format chrome > /dev/null
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_report_smoke_tel.jsonl \
+	  --diff /tmp/hbn_report_smoke_tel.jsonl | grep -q "verdict: identical"
 	rm -f /tmp/hbn_report_smoke_trace.jsonl /tmp/hbn_report_smoke_tel.jsonl
-	@echo "report-smoke: table/json/chrome renderers ok on trace + telemetry"
+	@echo "report-smoke: table/json/chrome renderers + self-diff ok"
 
 # Bechamel timings of the Tree.Flat primitive kernels (path folds,
 # batched LCA, scratch reuse) next to their list-returning Tree

@@ -2,7 +2,8 @@
 
    Run with:
      dune exec bench/check.exe \
-       [-- PIPELINE.json [FAULTS.json [PARALLEL.json [ASYNC.json]]]]
+       [-- PIPELINE.json [FAULTS.json [PARALLEL.json [ASYNC.json
+            [MONITOR.json]]]]]
    Re-runs the Pipeline_cases matrix and compares every deterministic
    field — instance shape, congestion, makespan, pipeline counters —
    against the committed BENCH_pipeline.json. Wall times ("phases"
@@ -11,17 +12,21 @@
    checked too. Then re-runs the Fault_cases matrix the same way against
    BENCH_faults.json (the "micro" wall-clock note is ignored), and
    statically validates BENCH_parallel.json's deterministic fields
-   (schema, the identical flag, chunk-scheduling arithmetic), and
-   re-runs the Async_cases matrix — the same traffic simulated under
-   each per-level link model — against BENCH_async.json. Exits 1
-   listing every divergence: a diff here means a code change altered
-   what the pipeline (or the fault recovery) computes, not just how
+   (schema, the identical flag, chunk-scheduling arithmetic), re-runs
+   the Async_cases matrix — the same traffic simulated under each
+   per-level link model — against BENCH_async.json, and re-runs the
+   Monitor_cases matrix — synthetic drift workloads through the
+   streaming detectors — against BENCH_monitor.json (the "micro"
+   wall-clock note is ignored). Exits 1 listing every divergence: a
+   diff here means a code change altered what the pipeline (or the
+   fault recovery, or the drift detection) computes, not just how
    fast. *)
 
 module Json = Hbn_obs.Json
 module PC = Pipeline_cases
 module FC = Fault_cases
 module AC = Async_cases
+module MC = Monitor_cases
 
 let failures = ref 0
 
@@ -175,6 +180,39 @@ let check_async_case baseline fresh =
     check_float "congestion" fresh.AC.congestion
   end
 
+(* Drift-detection baseline: the synthetic workloads, the jitter hash
+   and the detectors are all deterministic, so every field compares
+   exactly (the estimator floats through the writer's %.3f). *)
+let check_monitor_case baseline fresh =
+  let label = fresh.MC.workload in
+  if get "workload" Json.to_string baseline <> fresh.MC.workload then
+    fail "monitor case order diverged at %s (baseline has %s)" label
+      (get "workload" Json.to_string baseline)
+  else begin
+    let check_int name v =
+      let b = get name Json.to_int baseline in
+      if b <> v then fail "%s: %s %d (baseline) <> %d (fresh)" label name b v
+    in
+    let check_float name v =
+      let b = fmt_congestion (get name Json.to_float baseline) in
+      let f = fmt_congestion v in
+      if b <> f then fail "%s: %s %s (baseline) <> %s (fresh)" label name b f
+    in
+    check_int "rounds" fresh.MC.rounds;
+    check_int "points" fresh.MC.points;
+    check_int "alerts" fresh.MC.alerts;
+    check_int "cusum_alerts" fresh.MC.cusum_alerts;
+    check_int "ph_alerts" fresh.MC.ph_alerts;
+    check_int "first_alert_round" fresh.MC.first_alert_round;
+    let b_verdict = get "verdict" Json.to_string baseline in
+    if b_verdict <> fresh.MC.verdict then
+      fail "%s: verdict %S (baseline) <> %S (fresh)" label b_verdict
+        fresh.MC.verdict;
+    check_float "sent_p50" fresh.MC.sent_p50;
+    check_float "sent_p95" fresh.MC.sent_p95;
+    check_float "sent_mean" fresh.MC.sent_mean
+  end
+
 let load_doc ~path ~schema =
   let doc =
     match In_channel.with_open_text path In_channel.input_all with
@@ -259,9 +297,11 @@ let () =
   let faults_path = arg 2 "BENCH_faults.json" in
   let parallel_path = arg 3 "BENCH_parallel.json" in
   let async_path = arg 4 "BENCH_async.json" in
+  let monitor_path = arg 5 "BENCH_monitor.json" in
   let pipeline_baseline = load_baseline ~path:pipeline_path ~schema:PC.schema in
   let faults_baseline = load_baseline ~path:faults_path ~schema:FC.schema in
   let async_baseline = load_baseline ~path:async_path ~schema:AC.schema in
+  let monitor_baseline = load_baseline ~path:monitor_path ~schema:MC.schema in
   let pipeline_fresh = PC.all () in
   check_matrix ~what:"pipeline" ~path:pipeline_path pipeline_baseline
     pipeline_fresh check_case;
@@ -272,18 +312,22 @@ let () =
   let async_fresh = AC.all () in
   check_matrix ~what:"async" ~path:async_path async_baseline async_fresh
     check_async_case;
+  let monitor_fresh = MC.all () in
+  check_matrix ~what:"monitor" ~path:monitor_path monitor_baseline
+    monitor_fresh check_monitor_case;
   if !failures > 0 then begin
     Printf.eprintf
       "bench/check: %d divergence(s) from the committed baselines — a code \
-       change altered pipeline, fault-recovery or async-simulation results \
-       (regenerate the baselines only if that was the point)\n"
+       change altered pipeline, fault-recovery, async-simulation or \
+       drift-detection results (regenerate the baselines only if that was \
+       the point)\n"
       !failures;
     exit 1
   end;
   Printf.printf
     "bench/check: %d pipeline cases match %s, %d fault cases match %s, %d \
-     parallel runs consistent in %s, %d async cases match %s (deterministic \
-     fields)\n"
+     parallel runs consistent in %s, %d async cases match %s, %d monitor \
+     cases match %s (deterministic fields)\n"
     (List.length pipeline_fresh) pipeline_path (List.length faults_fresh)
     faults_path parallel_runs parallel_path (List.length async_fresh)
-    async_path
+    async_path (List.length monitor_fresh) monitor_path

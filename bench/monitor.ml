@@ -1,0 +1,91 @@
+(* Drift-detection benchmark: writes BENCH_monitor.json.
+
+   Run with:  dune exec bench/monitor.exe [-- --smoke]
+   Replays the Monitor_cases matrix — synthetic steady/step/ramp/
+   flash-crowd/fade workloads through a folding Telemetry collector into
+   a default Monitor — and records the detector hit/miss profile per
+   case. bench/check.exe diffs those fields against the committed file,
+   so the detection frontier (which shapes fire, which stay silent, and
+   when) is a pinned contract, not a vibe.
+
+   The "micro" object is a wall-clock note, ignored by the gate: it
+   times Monitor.observe on one long synthetic series — the per-
+   observation cost of the P-square updates, the EWMA, the window scan
+   and both detectors together, which is what the engines pay per
+   telemetry point per derived series.
+
+   --smoke replays the matrix and asserts its contract (steady silent,
+   every drift shape fires, fade degrades); no JSON. *)
+
+module Monitor = Hbn_obs.Monitor
+module MC = Monitor_cases
+
+(* One series, [n] observations of a noisy level: the estimator+detector
+   hot path with no Telemetry in the way. *)
+let observe_micro ~n =
+  let mon = Monitor.create () in
+  let t0 = Unix.gettimeofday () in
+  for r = 0 to n - 1 do
+    let v = 12.0 +. float_of_int (r land 3) in
+    Monitor.observe mon ~series:"micro" ~round:r ~vtime:(float_of_int r)
+      ~span:1 v
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (n, elapsed /. float_of_int (max 1 n) *. 1e9)
+
+let contract cases =
+  let find w = List.find (fun c -> c.MC.workload = w) cases in
+  let errs = ref [] in
+  let expect cond msg = if not cond then errs := msg :: !errs in
+  let steady = find "steady" in
+  expect (steady.MC.alerts = 0)
+    (Printf.sprintf "steady fired %d alert(s); must stay silent"
+       steady.MC.alerts);
+  List.iter
+    (fun w ->
+      let c = find w in
+      expect (c.MC.alerts > 0) (w ^ " fired no alert; must detect the shift"))
+    [ "step"; "ramp"; "flash_crowd"; "fade" ];
+  let fade = find "fade" in
+  expect (fade.MC.verdict = "degrading")
+    (Printf.sprintf "fade verdict %S; must be degrading" fade.MC.verdict);
+  List.rev !errs
+
+let () =
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  let cases = MC.all () in
+  (match contract cases with
+  | [] -> ()
+  | errs ->
+    List.iter (Printf.eprintf "bench/monitor: %s\n") errs;
+    exit 1);
+  if smoke then
+    Printf.printf
+      "bench/monitor --smoke: %d workloads, steady silent, drift shapes \
+       fire, fade degrades\n"
+      (List.length cases)
+  else begin
+    let n, ns_per_obs = observe_micro ~n:200_000 in
+    let oc = open_out "BENCH_monitor.json" in
+    output_string oc (Meta.header ~schema:MC.schema);
+    Printf.fprintf oc
+      " \"micro\":{\"observations\":%d,\"ns_per_observe\":%.1f},\n" n
+      ns_per_obs;
+    output_string oc " \"cases\":[\n";
+    List.iteri
+      (fun i c ->
+        if i > 0 then output_string oc ",\n";
+        output_string oc (MC.json_of_case c))
+      cases;
+    output_string oc "\n]}\n";
+    close_out oc;
+    Printf.printf "bench/monitor: wrote BENCH_monitor.json (%d cases)\n"
+      (List.length cases);
+    List.iter
+      (fun c ->
+        Printf.printf
+          "  %-12s %3d pts %3d alerts (%d cusum, %d ph) first@%-4d %s\n"
+          c.MC.workload c.MC.points c.MC.alerts c.MC.cusum_alerts
+          c.MC.ph_alerts c.MC.first_alert_round c.MC.verdict)
+      cases
+  end

@@ -31,6 +31,7 @@ module Sink = Hbn_obs.Sink
 module Metrics = Hbn_obs.Metrics
 module Attribution = Hbn_obs.Attribution
 module Telemetry = Hbn_obs.Telemetry
+module Monitor = Hbn_obs.Monitor
 module Report = Hbn_obs.Report
 module Exec = Hbn_exec.Exec
 
@@ -649,8 +650,13 @@ let simulate_cmd =
              nodes, hottest-edge utilization) and write it to $(docv) as \
              JSONL series events — the packet simulation under prefix \
              $(b,sim), the hardened distributed protocol (with --faults) \
-             under prefix $(b,dist). Feed the file to $(b,hbn_cli report). \
-             The series is bit-identical across reruns and --jobs values.")
+             under prefix $(b,dist). A drift monitor watches each series \
+             online: the command prints a health verdict per engine \
+             (steady/drifting/degrading) and any change-point alerts are \
+             appended to $(docv) as $(b,alert) events. Feed the file to \
+             $(b,hbn_cli report) (or $(b,report --diff) against an older \
+             run). The file is bit-identical across reruns and --jobs \
+             values.")
   in
   let faults_spec =
     Arg.(
@@ -698,6 +704,29 @@ let simulate_cmd =
     in
     let sim_tel = mk_tel () in
     let dist_tel = mk_tel () in
+    (* A drift monitor rides along with each collector; the engines
+       ingest the folded series at end of run and hand back a verdict. *)
+    let mk_mon () = Option.map (fun _ -> Monitor.create ()) telemetry_path in
+    let sim_mon = mk_mon () in
+    let dist_mon = mk_mon () in
+    let print_health what = function
+      | None -> ()
+      | Some v ->
+        let alerts =
+          match v with
+          | Monitor.Steady -> []
+          | Monitor.Drifting l | Monitor.Degrading l -> l
+        in
+        Printf.printf "health (%s): %s%s\n" what (Monitor.verdict_name v)
+          (match alerts with
+          | [] -> ""
+          | l ->
+            Printf.sprintf " (%d alert%s, first: %s %s@r%d)" (List.length l)
+              (if List.length l = 1 then "" else "s")
+              (List.hd l).Monitor.a_series
+              (Monitor.kind_name (List.hd l).Monitor.a_kind)
+              (List.hd l).Monitor.a_round)
+    in
     let link =
       Option.map
         (fun spec ->
@@ -710,12 +739,16 @@ let simulate_cmd =
       (fun c -> Printf.printf "link model: %s (per level, root-down)\n" (Link.to_spec c))
       link;
     let res = Strategy.run ~exec w in
-    let out = Sim.run ~scale ?telemetry:sim_tel ?link w res.Strategy.placement in
+    let out =
+      Sim.run ~scale ?telemetry:sim_tel ?monitor:sim_mon ?link w
+        res.Strategy.placement
+    in
     Printf.printf "packets: %d, edge transmissions: %d\n" out.Sim.packets
       out.Sim.transmissions;
     Printf.printf "makespan: %d rounds (lower bound %.1f)\n" out.Sim.makespan
       (Sim.lower_bound w res.Strategy.placement out);
     Printf.printf "completion: %g virtual time\n" out.Sim.completion;
+    print_health "sim" out.Sim.health;
     (* The distributed protocol must reproduce the centralized strategy:
        identical placements ideally, congestion-equal at minimum. A
        divergence is a bug in one of the two implementations, so it
@@ -774,15 +807,20 @@ let simulate_cmd =
           ns.Dist_nibble.retransmissions ns.Dist_nibble.duplicates
           ns.Dist_nibble.pure_acks
       in
-      (match Dist.run_with_faults ~faults:plan ?telemetry:dist_tel ?link w with
-      | Dist.Recovered { placement; nibble; log; _ } ->
+      (match
+         Dist.run_with_faults ~faults:plan ?telemetry:dist_tel
+           ?monitor:dist_mon ?link w
+       with
+      | Dist.Recovered { placement; nibble; log; health; _ } ->
         summarize_log log;
         print_nibble nibble;
+        print_health "dist" health;
         check_against_centralized ~what:"recovered distributed placement"
           placement
-      | Dist.Degraded { reason; nibble; log; _ } ->
+      | Dist.Degraded { reason; nibble; log; health; _ } ->
         summarize_log log;
         print_nibble nibble;
+        print_health "dist" health;
         die "fault recovery degraded: %s (%d node/object decisions open)"
           (match reason with
           | `Round_limit -> "round limit reached"
@@ -800,8 +838,35 @@ let simulate_cmd =
         let dump prefix tel =
           Option.iter (fun t -> Telemetry.emit t ~prefix sink.Sink.emit) tel
         in
+        (* Alerts follow their series under the same prefix, so a
+           report (or report --diff) of the file sees both. The monitor
+           observed unprefixed series names; re-key them here. *)
+        let dump_alerts prefix mon =
+          Option.iter
+            (fun m ->
+              Monitor.emit m (fun ev ->
+                  match ev.Sink.payload with
+                  | Sink.Alert { round; time; series; kind; magnitude } ->
+                    sink.Sink.emit
+                      {
+                        ev with
+                        Sink.payload =
+                          Sink.Alert
+                            {
+                              round;
+                              time;
+                              series = prefix ^ "." ^ series;
+                              kind;
+                              magnitude;
+                            };
+                      }
+                  | _ -> sink.Sink.emit ev))
+            mon
+        in
         dump "sim" sim_tel;
+        dump_alerts "sim" sim_mon;
         dump "dist" dist_tel;
+        dump_alerts "dist" dist_mon;
         sink.Sink.flush ();
         close_out oc;
         let rounds tel =
@@ -850,11 +915,35 @@ let report_cmd =
       & info [ "top" ] ~docv:"K"
           ~doc:"Rows in the hottest-edge table (default 5).")
   in
-  let run file format top =
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"BASELINE"
+          ~doc:
+            "Compare $(docv) (another JSONL trace) against TRACE instead \
+             of reporting TRACE alone: per-series total/peak deltas and \
+             P-square quantile shifts, plus drift alerts recomputed on \
+             both sides and classified new/resolved — any committed \
+             trace becomes a regression baseline. Honors $(b,--format) \
+             table and json (chrome has no diff rendering). Diffing a \
+             trace against itself reports zero deltas.")
+  in
+  let run file format top baseline =
     if top < 1 then die "--top must be >= 1 (got %d)" top;
-    match Report.load ~path:file with
-    | Error m -> die "%s" m
-    | Ok r -> (
+    let load path =
+      match Report.load ~path with Error m -> die "%s" m | Ok r -> r
+    in
+    match baseline with
+    | Some base_path -> (
+      let base = load base_path and cur = load file in
+      let d = Report.diff ~base ~cur in
+      match format with
+      | `Table -> print_string (Report.diff_to_table d)
+      | `Json -> print_endline (Report.diff_to_json d)
+      | `Chrome -> die "--diff has no chrome rendering (use table or json)")
+    | None -> (
+      let r = load file in
       match format with
       | `Table -> print_string (Report.to_table ~top r)
       | `Json -> print_endline (Report.to_json ~top r)
@@ -865,8 +954,9 @@ let report_cmd =
        ~doc:
          "Analyze a recorded JSONL trace offline: per-phase self/total \
           time, the critical path, counter and telemetry-series rollups, \
-          hottest edges over time.")
-    Term.(const run $ file $ format $ top)
+          drift alerts, hottest edges over time; with $(b,--diff), \
+          compare two traces series by series.")
+    Term.(const run $ file $ format $ top $ baseline)
 
 let () =
   let doc = "data management in hierarchical bus networks (SPAA 2000 reproduction)" in

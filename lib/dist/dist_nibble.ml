@@ -249,7 +249,7 @@ let frame_bytes fr =
   16 + match fr.payload with None -> 0 | Some m -> msg_payload_bytes m
 
 let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none)
-    ?telemetry ?link w =
+    ?telemetry ?monitor ?link w =
   if timeout < 1 then invalid_arg "Dist_nibble.run_robust: timeout must be >= 1";
   let tree = Workload.tree w in
   let r = Tree.rooting tree in
@@ -355,10 +355,10 @@ let run_robust ?(max_rounds = 100_000) ?(timeout = 4) ?(faults = Faults.none)
     match link with
     | None ->
       Runtime.run ~max_rounds ~quiet_rounds:(timeout + 1) ~faults ?telemetry
-        ~msg_bytes:frame_bytes tree ~init ~step
+        ?monitor ~msg_bytes:frame_bytes tree ~init ~step
     | Some link ->
       Runtime.run_async ~max_rounds ~quiet_rounds:(timeout + 1) ~faults
-        ?telemetry ~msg_bytes:frame_bytes ~link tree ~init ~step
+        ?telemetry ?monitor ~msg_bytes:frame_bytes ~link tree ~init ~step
   in
   let placement, undecided =
     collect_result tree objects out.Runtime.states

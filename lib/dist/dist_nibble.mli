@@ -66,6 +66,7 @@ val run_robust :
   ?timeout:int ->
   ?faults:Faults.plan ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?monitor:Hbn_obs.Monitor.t ->
   ?link:Hbn_event.Link.config ->
   Workload.t ->
   outcome
@@ -81,7 +82,9 @@ val run_robust :
     per-edge traversals from the engine, frame bytes from a sizer that
     charges a 16-byte link header plus the payload's fields, and
     retransmissions/duplicate-suppressions attributed to the round they
-    occur in.
+    occur in. [monitor] is handed to the runtime the same way: the
+    caller-owned {!Hbn_obs.Monitor} ingests the folded series at end of
+    run and can then be asked for alerts and a health verdict.
 
     [link] runs the protocol on the event-driven engine
     ({!Runtime.run_async}) instead of the synchronous one: frames take

@@ -2,6 +2,7 @@ module Tree = Hbn_tree.Tree
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Telemetry = Hbn_obs.Telemetry
+module Monitor = Hbn_obs.Monitor
 module Engine = Hbn_event.Engine
 module Link = Hbn_event.Link
 
@@ -26,6 +27,7 @@ type 'state outcome = {
   stats : stats;
   termination : termination;
   faults : Faults.event list;
+  health : Monitor.verdict option;
 }
 
 (* The engine-driven core behind both entry points. Nodes step at the
@@ -39,10 +41,18 @@ type 'state outcome = {
    timers in step functions keep counting rounds — so the round axis
    {e is} the virtual-time axis and the outcome type needs no second
    clock. *)
-let run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes ~link tree
-    ~init ~step =
+let run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~monitor ~msg_bytes
+    ~link tree ~init ~step =
   if quiet_rounds < 1 then invalid_arg "Runtime.run: quiet_rounds must be >= 1";
   let n = Tree.n tree in
+  (* A monitor needs a series to watch: with no caller-owned collector,
+     record into a private one just for the end-of-run ingest. *)
+  let telemetry =
+    match (telemetry, monitor) with
+    | None, Some _ ->
+      Some (Telemetry.create ~num_edges:(Tree.num_edges tree) ())
+    | _ -> telemetry
+  in
   (* An empty plan and no plan are the same run, bit for bit. *)
   let plan =
     match faults with
@@ -248,14 +258,23 @@ let run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes ~link tree
       if dropped > 0 then Trace.count ~by:dropped "runtime.dropped"
     end
   end;
-  { states; stats; termination = !termination; faults = faults_log }
+  let health =
+    Option.map
+      (fun mon ->
+        (match telemetry with
+        | Some tel -> Monitor.ingest mon tel
+        | None -> ());
+        Monitor.health mon)
+      monitor
+  in
+  { states; stats; termination = !termination; faults = faults_log; health }
 
-let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
+let run ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry ?monitor
     ?(msg_bytes = fun _ -> 1) tree ~init ~step =
-  run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes ~link:None
-    tree ~init ~step
+  run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~monitor ~msg_bytes
+    ~link:None tree ~init ~step
 
 let run_async ?(max_rounds = 100_000) ?(quiet_rounds = 1) ?faults ?telemetry
-    ?(msg_bytes = fun _ -> 1) ~link tree ~init ~step =
-  run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~msg_bytes
+    ?monitor ?(msg_bytes = fun _ -> 1) ~link tree ~init ~step =
+  run_core ~max_rounds ~quiet_rounds ~faults ~telemetry ~monitor ~msg_bytes
     ~link:(Some link) tree ~init ~step

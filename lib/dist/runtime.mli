@@ -60,6 +60,8 @@ type 'state outcome = {
   termination : termination;
   faults : Faults.event list;  (** chronological fault log; [[]] without
                                    a plan *)
+  health : Hbn_obs.Monitor.verdict option;
+      (** end-of-run drift verdict; [None] without a monitor *)
 }
 
 val run :
@@ -67,6 +69,7 @@ val run :
   ?quiet_rounds:int ->
   ?faults:Faults.plan ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?monitor:Hbn_obs.Monitor.t ->
   ?msg_bytes:('msg -> int) ->
   Tree.t ->
   init:(int -> 'state) ->
@@ -102,6 +105,14 @@ val run :
     (default: 1 abstract unit per message). Recording is pure
     bookkeeping on the side; behavior, stats and traces are unchanged.
 
+    [monitor] watches the run for drift: at end of run the (folded)
+    telemetry series are fed through the caller-owned
+    {!Hbn_obs.Monitor} and the outcome carries [Some] verdict. With no
+    [telemetry] collector a private one is recorded into just for the
+    monitor, so [~monitor] alone is enough to get a health verdict.
+    Like telemetry, monitoring never changes behavior, stats or
+    traces.
+
     When {!Hbn_obs.Trace} is enabled, the run emits the
     [runtime.messages] / [runtime.rounds] counters and a final
     [runtime.quiescent] (or [runtime.round_limit]) event; under a
@@ -113,6 +124,7 @@ val run_async :
   ?quiet_rounds:int ->
   ?faults:Faults.plan ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?monitor:Hbn_obs.Monitor.t ->
   ?msg_bytes:('msg -> int) ->
   link:Hbn_event.Link.config ->
   Tree.t ->

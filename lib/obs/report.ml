@@ -17,6 +17,7 @@ type t = {
   evs : Sink.event list;
   nodes : (int, node) Hashtbl.t;
   roots : int list;  (* ids with parent 0, emission order *)
+  unknown : int;  (* lines of unknown event kind skipped by [load] *)
 }
 
 let domain_of attrs =
@@ -68,26 +69,45 @@ let of_events evs =
       | _ -> ())
     evs;
   Hashtbl.iter (fun _ n -> n.children <- List.rev n.children) nodes;
-  { evs; nodes; roots = List.rev !roots }
+  { evs; nodes; roots = List.rev !roots; unknown = 0 }
 
 let events t = t.evs
+let unknown_events t = t.unknown
+
+(* A line [Sink.of_json] rejected is skippable only when it is valid
+   JSON whose "ev" tag is a kind this binary does not know — a newer
+   trace read by an older reader. A malformed known event still fails
+   the load: that trace does not round-trip and hiding it would corrupt
+   every rollup silently. *)
+let unknown_kind line =
+  match Json.parse line with
+  | exception Json.Parse _ -> false
+  | exception Failure _ -> false
+  | j -> (
+    match Json.member "ev" j with
+    | Some (Json.Str ev) -> not (List.mem ev Sink.kinds)
+    | _ -> false)
 
 let load ~path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m -> Error m
   | text ->
     let lines = String.split_on_char '\n' text in
-    let rec parse acc lineno = function
-      | [] -> Ok (List.rev acc)
-      | [ "" ] -> Ok (List.rev acc)  (* trailing newline *)
+    let rec parse acc skipped lineno = function
+      | [] -> Ok (List.rev acc, skipped)
+      | [ "" ] -> Ok (List.rev acc, skipped)  (* trailing newline *)
       | line :: rest -> (
-        if String.trim line = "" then parse acc (lineno + 1) rest
+        if String.trim line = "" then parse acc skipped (lineno + 1) rest
         else
           match Sink.of_json line with
-          | Ok ev -> parse (ev :: acc) (lineno + 1) rest
+          | Ok ev -> parse (ev :: acc) skipped (lineno + 1) rest
+          | Error _ when unknown_kind line ->
+            parse acc (skipped + 1) (lineno + 1) rest
           | Error m -> Error (Printf.sprintf "%s:%d: %s" path lineno m))
     in
-    Result.map of_events (parse [] 1 lines)
+    Result.map
+      (fun (evs, skipped) -> { (of_events evs) with unknown = skipped })
+      (parse [] 0 1 lines)
 
 (* -- phases ------------------------------------------------------------- *)
 
@@ -202,6 +222,58 @@ let fault_counts t =
     t.evs;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
+(* -- alerts ------------------------------------------------------------- *)
+
+type alert_summary = {
+  al_series : string;
+  al_kind : string;
+  al_count : int;
+  al_first_round : int;
+  al_last_round : int;
+  al_max_magnitude : float;
+}
+
+let alert_events t =
+  List.filter_map
+    (fun (ev : Sink.event) ->
+      match ev.Sink.payload with
+      | Sink.Alert { round; time; series; kind; magnitude } ->
+        Some (round, time, series, kind, magnitude)
+      | _ -> None)
+    t.evs
+
+let alert_summaries t =
+  let tbl : (string * string, alert_summary ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (round, _time, series, kind, magnitude) ->
+      match Hashtbl.find_opt tbl (series, kind) with
+      | Some s ->
+        let v = !s in
+        s :=
+          {
+            v with
+            al_count = v.al_count + 1;
+            al_first_round = min v.al_first_round round;
+            al_last_round = max v.al_last_round round;
+            al_max_magnitude = Float.max v.al_max_magnitude magnitude;
+          }
+      | None ->
+        Hashtbl.add tbl (series, kind)
+          (ref
+             {
+               al_series = series;
+               al_kind = kind;
+               al_count = 1;
+               al_first_round = round;
+               al_last_round = round;
+               al_max_magnitude = magnitude;
+             }))
+    (alert_events t);
+  Hashtbl.fold (fun _ s acc -> !s :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.al_series, a.al_kind) (b.al_series, b.al_kind))
+
 (* -- series ------------------------------------------------------------- *)
 
 type series = {
@@ -209,6 +281,8 @@ type series = {
   points : int;
   first_round : int;
   last_round : int;
+  first_time : float;
+  last_time : float;
   total : int;
   peak : int;
   peak_round : int;
@@ -226,7 +300,7 @@ let series_events t =
 let series t =
   let tbl : (string, series ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
-    (fun (name, round, _time, _span, value, _edge) ->
+    (fun (name, round, time, _span, value, _edge) ->
       match Hashtbl.find_opt tbl name with
       | Some s ->
         let v = !s in
@@ -236,6 +310,8 @@ let series t =
             points = v.points + 1;
             first_round = min v.first_round round;
             last_round = max v.last_round round;
+            first_time = Float.min v.first_time time;
+            last_time = Float.max v.last_time time;
             total = v.total + value;
             peak = max v.peak value;
             peak_round = (if value > v.peak then round else v.peak_round);
@@ -248,6 +324,8 @@ let series t =
                points = 1;
                first_round = round;
                last_round = round;
+               first_time = time;
+               last_time = time;
                total = value;
                peak = value;
                peak_round = round;
@@ -339,7 +417,11 @@ let to_table ?(top = 5) t =
     end
   in
   Buffer.add_string buf
-    (Printf.sprintf "trace: %d events\n\n" (List.length t.evs));
+    (if t.unknown = 0 then
+       Printf.sprintf "trace: %d events\n\n" (List.length t.evs)
+     else
+       Printf.sprintf "trace: %d events (%d of unknown kind skipped)\n\n"
+         (List.length t.evs) t.unknown);
   section "phases (wall time per span name)"
     (table_str
        [ "phase"; "calls"; "total ms"; "self ms"; "mean ms" ]
@@ -385,18 +467,36 @@ let to_table ?(top = 5) t =
           (gauges t)));
   section "series (per-round telemetry)"
     (table_str
-       [ "series"; "points"; "rounds"; "total"; "peak"; "peak@round" ]
+       [ "series"; "points"; "rounds"; "vtime"; "total"; "peak"; "peak@round" ]
        (List.map
           (fun s ->
             [
               s.s_name;
               string_of_int s.points;
               Printf.sprintf "%d-%d" s.first_round s.last_round;
+              (if s.first_time = s.last_time then
+                 Printf.sprintf "%g" s.first_time
+               else Printf.sprintf "%g-%g" s.first_time s.last_time);
               string_of_int s.total;
               string_of_int s.peak;
               string_of_int s.peak_round;
             ])
           (series t)));
+  section "alerts (change-point detections)"
+    (table_str
+       [ "series"; "kind"; "alerts"; "rounds"; "max magnitude" ]
+       (List.map
+          (fun a ->
+            [
+              a.al_series;
+              a.al_kind;
+              string_of_int a.al_count;
+              (if a.al_first_round = a.al_last_round then
+                 string_of_int a.al_first_round
+               else Printf.sprintf "%d-%d" a.al_first_round a.al_last_round);
+              Table.fmt_float a.al_max_magnitude;
+            ])
+          (alert_summaries t)));
   (let edges = hottest_edges ~top t in
    if Array.length edges > 0 then begin
      let bounds = bucket_bounds t in
@@ -425,7 +525,8 @@ let to_json ?(top = 5) t =
   let buf = Buffer.create 1024 in
   let str s = Json.escape_string buf s in
   let fmt fmtstr = Printf.ksprintf (Buffer.add_string buf) fmtstr in
-  fmt "{\"schema\":\"hbn.report/v1\",\"events\":%d" (List.length t.evs);
+  fmt "{\"schema\":\"hbn.report/v1\",\"events\":%d,\"unknown_events\":%d"
+    (List.length t.evs) t.unknown;
   fmt ",\"phases\":[";
   List.iteri
     (fun i p ->
@@ -470,11 +571,29 @@ let to_json ?(top = 5) t =
       if i > 0 then Buffer.add_char buf ',';
       fmt "{\"name\":";
       str s.s_name;
-      fmt
-        ",\"points\":%d,\"first_round\":%d,\"last_round\":%d,\"total\":%d,\
-         \"peak\":%d,\"peak_round\":%d}"
-        s.points s.first_round s.last_round s.total s.peak s.peak_round)
+      fmt ",\"points\":%d,\"first_round\":%d,\"last_round\":%d" s.points
+        s.first_round s.last_round;
+      fmt ",\"first_time\":";
+      Json.float_to_string buf s.first_time;
+      fmt ",\"last_time\":";
+      Json.float_to_string buf s.last_time;
+      fmt ",\"total\":%d,\"peak\":%d,\"peak_round\":%d}" s.total s.peak
+        s.peak_round)
     (series t);
+  fmt "],\"alerts\":[";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"series\":";
+      str a.al_series;
+      fmt ",\"kind\":";
+      str a.al_kind;
+      fmt ",\"count\":%d,\"first_round\":%d,\"last_round\":%d" a.al_count
+        a.al_first_round a.al_last_round;
+      fmt ",\"max_magnitude\":";
+      Json.float_to_string buf a.al_max_magnitude;
+      fmt "}")
+    (alert_summaries t);
   fmt "],\"hottest_edges\":[";
   Array.iteri
     (fun i (edge, total, per_bucket) ->
@@ -558,9 +677,9 @@ let to_chrome t =
           fmt "\"name\":";
           str (if edge >= 0 then Printf.sprintf "%s[%d]" name edge else name);
           fmt
-            ",\"ph\":\"C\",\"ts\":%d,\"pid\":2,\"tid\":0,\
+            ",\"ph\":\"C\",\"ts\":%.3f,\"pid\":2,\"tid\":0,\
              \"args\":{\"value\":%d}"
-            (int_of_float time) value))
+            time value))
     (series_events t);
   List.iter
     (fun (ev : Sink.event) ->
@@ -570,7 +689,263 @@ let to_chrome t =
             fmt "\"name\":";
             str ("fault." ^ fault);
             fmt ",\"ph\":\"i\",\"s\":\"g\",\"ts\":%d,\"pid\":2,\"tid\":0" round)
+      | Sink.Alert { time; series; kind; _ } ->
+        emit_obj (fun () ->
+            fmt "\"name\":";
+            str (Printf.sprintf "alert.%s[%s]" kind series);
+            fmt ",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":2,\"tid\":0"
+              time)
       | _ -> ())
     t.evs;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+(* -- trace diffing ------------------------------------------------------ *)
+
+(* Per-edge series get their own key so a hotspot migrating between
+   edges shows as two changed rows, not a wash. *)
+let series_key name edge =
+  if edge >= 0 then Printf.sprintf "%s[%d]" name edge else name
+
+let drift_monitor t =
+  let mon = Monitor.create () in
+  List.iter
+    (fun (name, round, time, span, value, edge) ->
+      let span = max 1 span in
+      Monitor.observe mon ~series:(series_key name edge) ~round ~vtime:time
+        ~span
+        (float_of_int value /. float_of_int span))
+    (series_events t);
+  mon
+
+type series_cmp = {
+  c_name : string;
+  base_points : int;
+  cur_points : int;
+  base_total : int;
+  cur_total : int;
+  base_peak : int;
+  cur_peak : int;
+  base_p50 : float;  (* per-round rate, P-square estimate *)
+  cur_p50 : float;
+  base_p95 : float;
+  cur_p95 : float;
+}
+
+type diff = {
+  d_base_events : int;
+  d_cur_events : int;
+  d_series : series_cmp list;  (* union of both traces, key order *)
+  d_changed : int;
+  d_base_alerts : Monitor.alert list;
+  d_cur_alerts : Monitor.alert list;
+  d_new_alerts : Monitor.alert list;
+  d_gone_alerts : Monitor.alert list;
+}
+
+let cmp_changed c =
+  c.base_points <> c.cur_points
+  || c.base_total <> c.cur_total
+  || c.base_peak <> c.cur_peak
+  || c.base_p50 <> c.cur_p50
+  || c.base_p95 <> c.cur_p95
+
+(* (points, total, peak) per series key, straight from the events. *)
+let key_stats t =
+  let tbl : (string, (int * int * int) ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _round, _time, _span, value, edge) ->
+      let key = series_key name edge in
+      match Hashtbl.find_opt tbl key with
+      | Some cell ->
+        let pts, total, peak = !cell in
+        cell := (pts + 1, total + value, max peak value)
+      | None -> Hashtbl.add tbl key (ref (1, value, value)))
+    (series_events t);
+  tbl
+
+let diff ~base ~cur =
+  let base_mon = drift_monitor base and cur_mon = drift_monitor cur in
+  let base_stats = key_stats base and cur_stats = key_stats cur in
+  let keys =
+    let seen = Hashtbl.create 16 in
+    let add k acc = if Hashtbl.mem seen k then acc else (Hashtbl.add seen k (); k :: acc) in
+    Hashtbl.fold (fun k _ acc -> add k acc) base_stats []
+    |> fun acc -> Hashtbl.fold (fun k _ acc -> add k acc) cur_stats acc
+    |> List.sort String.compare
+  in
+  let quantiles mon key =
+    match Monitor.estimate mon ~series:key with
+    | Some e -> (e.Monitor.e_p50, e.Monitor.e_p95)
+    | None -> (0.0, 0.0)
+  in
+  let cmps =
+    List.map
+      (fun key ->
+        let stats tbl =
+          match Hashtbl.find_opt tbl key with
+          | Some cell -> !cell
+          | None -> (0, 0, 0)
+        in
+        let b_pts, b_total, b_peak = stats base_stats
+        and c_pts, c_total, c_peak = stats cur_stats in
+        let b_p50, b_p95 = quantiles base_mon key
+        and c_p50, c_p95 = quantiles cur_mon key in
+        {
+          c_name = key;
+          base_points = b_pts;
+          cur_points = c_pts;
+          base_total = b_total;
+          cur_total = c_total;
+          base_peak = b_peak;
+          cur_peak = c_peak;
+          base_p50 = b_p50;
+          cur_p50 = c_p50;
+          base_p95 = b_p95;
+          cur_p95 = c_p95;
+        })
+      keys
+  in
+  let base_alerts = Monitor.alerts base_mon
+  and cur_alerts = Monitor.alerts cur_mon in
+  let signature a = (a.Monitor.a_series, a.Monitor.a_kind) in
+  let only xs ys =
+    List.filter (fun a -> not (List.exists (fun b -> signature b = signature a) ys)) xs
+  in
+  {
+    d_base_events = List.length base.evs;
+    d_cur_events = List.length cur.evs;
+    d_series = cmps;
+    d_changed = List.length (List.filter cmp_changed cmps);
+    d_base_alerts = base_alerts;
+    d_cur_alerts = cur_alerts;
+    d_new_alerts = only cur_alerts base_alerts;
+    d_gone_alerts = only base_alerts cur_alerts;
+  }
+
+let diff_clean d =
+  d.d_changed = 0 && d.d_new_alerts = [] && d.d_gone_alerts = []
+
+let diff_to_table d =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "baseline: %d events   current: %d events\n\n"
+       d.d_base_events d.d_cur_events);
+  if d.d_series <> [] then begin
+    Buffer.add_string buf
+      "series comparison (totals absolute; p50/p95 per-round rates)\n";
+    let table =
+      Table.create
+        [
+          "series";
+          "total";
+          "-> total";
+          "peak";
+          "-> peak";
+          "p50";
+          "-> p50";
+          "p95";
+          "-> p95";
+        ]
+    in
+    List.iter
+      (fun c ->
+        Table.add_row table
+          [
+            (c.c_name ^ if cmp_changed c then " *" else "");
+            string_of_int c.base_total;
+            string_of_int c.cur_total;
+            string_of_int c.base_peak;
+            string_of_int c.cur_peak;
+            Table.fmt_float c.base_p50;
+            Table.fmt_float c.cur_p50;
+            Table.fmt_float c.base_p95;
+            Table.fmt_float c.cur_p95;
+          ])
+      d.d_series;
+    Buffer.add_string buf (Table.render table);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "alerts: %d baseline, %d current\n"
+       (List.length d.d_base_alerts)
+       (List.length d.d_cur_alerts));
+  let alert_block title alerts =
+    if alerts <> [] then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      let table = Table.create [ "series"; "kind"; "round"; "magnitude" ] in
+      List.iter
+        (fun a ->
+          Table.add_row table
+            [
+              a.Monitor.a_series;
+              Monitor.kind_name a.Monitor.a_kind;
+              string_of_int a.Monitor.a_round;
+              Table.fmt_float a.Monitor.a_magnitude;
+            ])
+        alerts;
+      Buffer.add_string buf (Table.render table)
+    end
+  in
+  alert_block "new alerts (current only)" d.d_new_alerts;
+  alert_block "resolved alerts (baseline only)" d.d_gone_alerts;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (if diff_clean d then "verdict: identical — every series and alert matches\n"
+     else
+       Printf.sprintf "verdict: %d series changed, %d new alerts, %d resolved\n"
+         d.d_changed
+         (List.length d.d_new_alerts)
+         (List.length d.d_gone_alerts));
+  Buffer.contents buf
+
+let diff_to_json d =
+  let buf = Buffer.create 1024 in
+  let str s = Json.escape_string buf s in
+  let fmt fmtstr = Printf.ksprintf (Buffer.add_string buf) fmtstr in
+  let flt f = Json.float_to_string buf f in
+  fmt "{\"schema\":\"hbn.diff/v1\",\"baseline_events\":%d,\"current_events\":%d"
+    d.d_base_events d.d_cur_events;
+  fmt ",\"changed_series\":%d,\"clean\":%b" d.d_changed (diff_clean d);
+  fmt ",\"series\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      fmt "{\"name\":";
+      str c.c_name;
+      fmt ",\"changed\":%b" (cmp_changed c);
+      fmt ",\"base\":{\"points\":%d,\"total\":%d,\"peak\":%d,\"p50\":"
+        c.base_points c.base_total c.base_peak;
+      flt c.base_p50;
+      fmt ",\"p95\":";
+      flt c.base_p95;
+      fmt "},\"current\":{\"points\":%d,\"total\":%d,\"peak\":%d,\"p50\":"
+        c.cur_points c.cur_total c.cur_peak;
+      flt c.cur_p50;
+      fmt ",\"p95\":";
+      flt c.cur_p95;
+      fmt "}}")
+    d.d_series;
+  let alert_array alerts =
+    List.iteri
+      (fun i a ->
+        if i > 0 then Buffer.add_char buf ',';
+        fmt "{\"series\":";
+        str a.Monitor.a_series;
+        fmt ",\"kind\":";
+        str (Monitor.kind_name a.Monitor.a_kind);
+        fmt ",\"round\":%d,\"magnitude\":" a.Monitor.a_round;
+        flt a.Monitor.a_magnitude;
+        fmt "}")
+      alerts
+  in
+  fmt "],\"alerts\":{\"baseline\":%d,\"current\":%d,\"new\":["
+    (List.length d.d_base_alerts)
+    (List.length d.d_cur_alerts);
+  alert_array d.d_new_alerts;
+  fmt "],\"resolved\":[";
+  alert_array d.d_gone_alerts;
+  fmt "]}}";
   Buffer.contents buf

@@ -27,10 +27,17 @@ val of_events : Sink.event list -> t
 val load : path:string -> (t, string) result
 (** Reads a JSONL trace file. The first malformed line fails the whole
     load with [Error "path:N: explanation"] — a trace that does not
-    round-trip is a bug worth failing loudly on, not skipping. *)
+    round-trip is a bug worth failing loudly on, not skipping. The one
+    exception is forward compatibility: a valid JSON line whose ["ev"]
+    tag is a kind this binary does not know (a newer trace read by an
+    older reader) is skipped and counted into {!unknown_events}. *)
 
 val events : t -> Sink.event list
 (** The parsed events, in file order. *)
+
+val unknown_events : t -> int
+(** Lines of unknown event kind {!load} skipped (0 for {!of_events});
+    reported in the table and JSON rollups. *)
 
 (** {1 Analyses} *)
 
@@ -57,6 +64,8 @@ type series = {
   points : int;  (** Series events (per-edge entries counted each) *)
   first_round : int;
   last_round : int;
+  first_time : float;  (** virtual time covered; = rounds on the sync axis *)
+  last_time : float;
   total : int;  (** sum of point values *)
   peak : int;  (** largest point value *)
   peak_round : int;  (** round of the first peak *)
@@ -64,6 +73,18 @@ type series = {
 
 val series : t -> series list
 (** {!Sink.Series} events aggregated by name, in name order. *)
+
+type alert_summary = {
+  al_series : string;
+  al_kind : string;  (** detector wire name, e.g. ["cusum_up"] *)
+  al_count : int;
+  al_first_round : int;
+  al_last_round : int;
+  al_max_magnitude : float;
+}
+
+val alert_summaries : t -> alert_summary list
+(** {!Sink.Alert} events aggregated by (series, kind), in that order. *)
 
 val hottest_edges : ?top:int -> ?buckets:int -> t -> (int * int * int array) array
 (** Per-edge utilization over time, from [Series] events carrying
@@ -98,3 +119,59 @@ val to_chrome : t -> string
     ("C") samples and faults instant ("i") events on pid 2, whose time
     axis is the runtime round. Load the file in Perfetto or
     [chrome://tracing]. *)
+
+(** {1 Trace diffing}
+
+    [diff ~base ~cur] compares two traces series by series, turning any
+    committed trace into a regression baseline. Both sides are reduced
+    the same way: totals/peaks straight from the {!Sink.Series} events
+    (per-edge series keyed ["name[edge]"]), quantiles and alerts
+    recomputed by feeding each trace's series — normalized to per-round
+    rates — through a fresh default {!Monitor}. Diffing a trace against
+    itself is therefore exactly clean: same events, same fold, same
+    estimator state. *)
+
+val drift_monitor : t -> Monitor.t
+(** A fresh default monitor fed every series event of the trace in file
+    order (per-round rates, per-edge series keyed ["name[edge]"]) —
+    the offline replay of what the engines compute online. *)
+
+type series_cmp = {
+  c_name : string;
+  base_points : int;  (** 0 when the series is absent on that side *)
+  cur_points : int;
+  base_total : int;
+  cur_total : int;
+  base_peak : int;
+  cur_peak : int;
+  base_p50 : float;  (** per-round rate, P-square estimate *)
+  cur_p50 : float;
+  base_p95 : float;
+  cur_p95 : float;
+}
+
+type diff = {
+  d_base_events : int;
+  d_cur_events : int;
+  d_series : series_cmp list;  (** union of both traces, key order *)
+  d_changed : int;  (** series with any count/total/peak/quantile delta *)
+  d_base_alerts : Monitor.alert list;
+  d_cur_alerts : Monitor.alert list;
+  d_new_alerts : Monitor.alert list;
+      (** current alerts whose (series, kind) never fires in the
+          baseline *)
+  d_gone_alerts : Monitor.alert list;  (** the reverse *)
+}
+
+val diff : base:t -> cur:t -> diff
+
+val diff_clean : diff -> bool
+(** No changed series, no new alerts, no resolved alerts. *)
+
+val diff_to_table : diff -> string
+(** Human-readable comparison; changed series are starred, and the last
+    line is a one-sentence verdict. *)
+
+val diff_to_json : diff -> string
+(** The same comparison as one [{"schema":"hbn.diff/v1", ...}]
+    document. *)

@@ -23,6 +23,30 @@ type payload =
       value : int;
       edge : int;
     }
+  | Alert of {
+      round : int;
+      time : float;
+      series : string;
+      kind : string;
+      magnitude : float;
+    }
+
+(* Every "ev" tag the codec understands, emission-name order. Report
+   uses this to tell "newer trace, unknown kind" (skippable) from a
+   malformed known event (hard error). *)
+let kinds =
+  [
+    "span_start";
+    "span_end";
+    "point";
+    "counter";
+    "gauge";
+    "histogram";
+    "attribution";
+    "fault";
+    "series";
+    "alert";
+  ]
 
 type event = {
   name : string;
@@ -79,7 +103,8 @@ let to_json ev =
     | Histogram _ -> "histogram"
     | Attribution _ -> "attribution"
     | Fault _ -> "fault"
-    | Series _ -> "series");
+    | Series _ -> "series"
+    | Alert _ -> "alert");
   field "name" (fun b -> escape_to b ev.name);
   field "id" (fun b -> Buffer.add_string b (string_of_int ev.id));
   field "parent" (fun b -> Buffer.add_string b (string_of_int ev.parent));
@@ -112,7 +137,13 @@ let to_json ev =
     field "time" (fun b -> float_to b time);
     field "span" (fun b -> Buffer.add_string b (string_of_int span));
     field "value" (fun b -> Buffer.add_string b (string_of_int value));
-    field "edge" (fun b -> Buffer.add_string b (string_of_int edge)));
+    field "edge" (fun b -> Buffer.add_string b (string_of_int edge))
+  | Alert { round; time; series; kind; magnitude } ->
+    field "round" (fun b -> Buffer.add_string b (string_of_int round));
+    field "time" (fun b -> float_to b time);
+    field "series" (fun b -> escape_to b series);
+    field "kind" (fun b -> escape_to b kind);
+    field "magnitude" (fun b -> float_to b magnitude));
   Buffer.add_char buf ',';
   attrs_to buf ev.attrs;
   Buffer.add_char buf '}';
@@ -201,6 +232,15 @@ let of_json line =
                value = int "value";
                edge = int "edge";
              }
+         | "alert" ->
+           Alert
+             {
+               round = int "round";
+               time = num "time";
+               series = str "series";
+               kind = str "kind";
+               magnitude = num "magnitude";
+             }
          | ev -> raise (Json.Parse (Printf.sprintf "unknown event kind %S" ev))
        in
        let attrs =
@@ -260,7 +300,7 @@ let timings () =
          Hashtbl.add tbl ev.name (ref 1, ref duration_ns);
          order := ev.name :: !order)
     | Span_start | Point | Counter _ | Gauge _ | Histogram _ | Attribution _
-    | Fault _ | Series _ ->
+    | Fault _ | Series _ | Alert _ ->
       ()
   in
   ( { emit; flush = (fun () -> ()) },

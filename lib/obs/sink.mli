@@ -26,6 +26,8 @@
      "attrs":{...}}
     {"ev":"series","name":N,"id":0,"parent":P,"round":R,"span":S,
      "value":V,"edge":E,"attrs":{}}
+    {"ev":"alert","name":N,"id":0,"parent":0,"round":R,"time":T,
+     "series":S,"kind":K,"magnitude":M,"attrs":{}}
     v}
 
     [parent] is the id of the enclosing span (0 at top level). An
@@ -40,7 +42,11 @@
     the [S] runtime rounds ending at round [R] ([S = 1] for an exact
     per-round sample, [S > 1] after the bounded-memory collector folded
     adjacent rounds together); [edge] names the measured edge for
-    per-edge utilization series and is [-1] for network-wide series. *)
+    per-edge utilization series and is [-1] for network-wide series. An
+    [alert] event is one change-point detection of a {!Monitor}: the
+    detector named [K] (["cusum_up"], ["page_hinkley_down"], ...)
+    crossed its threshold on series [S] at round [R] / virtual time [T]
+    with detector statistic [M]. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
@@ -61,6 +67,18 @@ type payload =
   | Attribution of { edge : int; obj : int; component : string; amount : int }
   | Fault of { round : int; fault : string; node : int; edge : int }
   | Series of { round : int; time : float; span : int; value : int; edge : int }
+  | Alert of {
+      round : int;
+      time : float;
+      series : string;
+      kind : string;
+      magnitude : float;
+    }
+
+val kinds : string list
+(** Every ["ev"] tag {!of_json} understands, in the schema order above.
+    Lets a reader distinguish an unknown (newer) event kind from a
+    malformed known one. *)
 
 type event = {
   name : string;

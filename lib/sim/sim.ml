@@ -4,6 +4,7 @@ module Placement = Hbn_placement.Placement
 module Trace = Hbn_obs.Trace
 module Sink = Hbn_obs.Sink
 module Telemetry = Hbn_obs.Telemetry
+module Monitor = Hbn_obs.Monitor
 module Engine = Hbn_event.Engine
 module Link = Hbn_event.Link
 
@@ -14,6 +15,7 @@ type outcome = {
   transmissions : int;
   edge_traffic : int array;
   max_dilation : int;
+  health : Monitor.verdict option;
 }
 
 (* One edge traversal of one packet. [dep] is the index (into the global
@@ -24,10 +26,18 @@ let scale_up amount scale = if amount = 0 then 0 else ((amount - 1) / scale) + 1
 
 type policy = Fifo | Round_robin | Reversed
 
-let run ?(scale = 1) ?(policy = Fifo) ?telemetry ?link w placement =
+let run ?(scale = 1) ?(policy = Fifo) ?telemetry ?monitor ?link w placement =
   if scale < 1 then invalid_arg "Sim.run: scale must be >= 1";
   let sp_run = Trace.span "sim.run" in
   let tree = Workload.tree w in
+  (* As in Runtime.run_core: a monitor with no caller-owned collector
+     records into a private one just for the end-of-run ingest. *)
+  let telemetry =
+    match (telemetry, monitor) with
+    | None, Some _ ->
+      Some (Telemetry.create ~num_edges:(Tree.num_edges tree) ())
+    | _ -> telemetry
+  in
   let m = max 1 (Tree.num_edges tree) in
   let hops_rev = ref [] in
   let count = ref 0 in
@@ -247,6 +257,15 @@ let run ?(scale = 1) ?(policy = Fifo) ?telemetry ?link w placement =
   if n_hops > 0 then ensure_tick 1.;
   Engine.drain engine;
   assert (!remaining = 0);
+  let health =
+    Option.map
+      (fun mon ->
+        (match telemetry with
+        | Some tel -> Monitor.ingest mon tel
+        | None -> ());
+        Monitor.health mon)
+      monitor
+  in
   let outcome =
     {
       makespan = !rounds;
@@ -255,6 +274,7 @@ let run ?(scale = 1) ?(policy = Fifo) ?telemetry ?link w placement =
       transmissions = n_hops;
       edge_traffic;
       max_dilation = !max_dilation;
+      health;
     }
   in
   if Trace.enabled () then begin

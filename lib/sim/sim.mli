@@ -69,6 +69,8 @@ type outcome = {
   transmissions : int;  (** total edge traversals *)
   edge_traffic : int array;  (** traversals per edge *)
   max_dilation : int;  (** longest dependency chain over all packets *)
+  health : Hbn_obs.Monitor.verdict option;
+      (** end-of-run drift verdict; [None] without a monitor *)
 }
 
 type policy =
@@ -80,6 +82,7 @@ val run :
   ?scale:int ->
   ?policy:policy ->
   ?telemetry:Hbn_obs.Telemetry.t ->
+  ?monitor:Hbn_obs.Monitor.t ->
   ?link:Hbn_event.Link.config ->
   Workload.t ->
   Placement.t ->
@@ -106,6 +109,12 @@ val run :
     ever dropped, and all nodes are live. The per-edge top-k series is
     the congestion-over-time profile of the schedule. Recording never
     changes the schedule.
+
+    [monitor] feeds the (folded) telemetry series through the
+    caller-owned {!Hbn_obs.Monitor} at end of run and fills
+    [outcome.health]; with no [telemetry] collector a private one is
+    recorded into just for the monitor. Monitoring never changes the
+    schedule either.
 
     When {!Hbn_obs.Trace} is enabled the run is wrapped in a [sim.run]
     span, every round streams the [sim.queue_depth] and

@@ -419,6 +419,37 @@ let test_simulate_telemetry_report () =
     Sys.remove tmp
   | _ -> ()
 
+(* Diffing the committed fixture against itself must report exactly
+   zero deltas in both renderers; chrome has no diff form. *)
+let test_report_diff_self () =
+  check_run "report --diff self"
+    [
+      "report"; "fixtures/report_fixture.jsonl"; "--diff";
+      "fixtures/report_fixture.jsonl";
+    ]
+    [ "verdict: identical — every series and alert matches" ];
+  check_run "report --format json --diff self"
+    [
+      "report"; "fixtures/report_fixture.jsonl"; "--format"; "json"; "--diff";
+      "fixtures/report_fixture.jsonl";
+    ]
+    [ "\"schema\":\"hbn.diff/v1\""; "\"clean\":true" ];
+  check_fails "report --format chrome --diff"
+    [
+      "report"; "fixtures/report_fixture.jsonl"; "--format"; "chrome"; "--diff";
+      "fixtures/report_fixture.jsonl";
+    ]
+    [ "hbn_cli:" ]
+
+(* --telemetry turns the drift monitors on: both engines end the run
+   with a health verdict line. *)
+let test_simulate_health_verdicts () =
+  let tmp = Filename.temp_file "hbn_cli_health" ".jsonl" in
+  check_run "simulate --telemetry health"
+    (faults_args [ "--telemetry"; tmp ])
+    [ "health (sim):"; "health (dist):" ];
+  if Sys.file_exists tmp then Sys.remove tmp
+
 (* The acceptance criterion verbatim: report --format chrome on a
    simulate --faults --trace file is valid Chrome trace-event JSON. *)
 let test_trace_to_chrome () =
@@ -478,5 +509,8 @@ let suite =
     Helpers.tc "cli report missing file" test_report_missing_file_fails;
     Helpers.tc "cli simulate --telemetry feeds report"
       test_simulate_telemetry_report;
+    Helpers.tc "cli report --diff against itself" test_report_diff_self;
+    Helpers.tc "cli simulate --telemetry health verdicts"
+      test_simulate_health_verdicts;
     Helpers.tc "cli --trace to chrome trace-event JSON" test_trace_to_chrome;
   ]

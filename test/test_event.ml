@@ -146,7 +146,47 @@ let test_link_spec_errors_carry_position () =
   check "1:8,,2:4" "clause 2 at char 4";
   check "1:8,2:zero" "clause 2 at char 4";
   check "1:8,-1:4" "clause 2 at char 4";
+  check "1:8,2:-4" "clause 2 at char 4";
+  check "0:inf" "clause 1 at char 0";
+  check "1:inf,1:8,nan:2" "clause 3 at char 10";
   check "" "empty"
+
+(* of_spec ∘ to_spec = id over arbitrary valid configs. Delays come from
+   a quarter-unit grid and bandwidths from small powers of two (plus
+   inf), all exact in binary, so the %g rendering is lossless and the
+   identity can be checked exactly — per-level numbers, not just the
+   spec string. *)
+let link_config_arb =
+  let clause =
+    QCheck.Gen.(
+      pair (map (fun k -> float_of_int k /. 4.) (int_range 0 16))
+        (oneof
+           [
+             map (fun k -> float_of_int (1 lsl k)) (int_bound 6);
+             return Float.infinity;
+           ]))
+  in
+  (* Zero delay with infinite bandwidth is the one rejected combination. *)
+  let repair (d, b) = if d = 0. && b = Float.infinity then (1., b) else (d, b) in
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ","
+        (List.map (fun (d, b) -> Printf.sprintf "%g:%g" d b) l))
+    QCheck.Gen.(map (List.map repair) (list_size (int_range 1 5) clause))
+
+let prop_link_spec_round_trip clauses =
+  let c = Link.v (Array.of_list clauses) in
+  let s = Link.to_spec c in
+  match Link.of_spec s with
+  | Error e -> QCheck.Test.fail_reportf "of_spec %S: %s" s e
+  | Ok c' ->
+    Link.to_spec c' = s
+    && Link.num_levels c' = Link.num_levels c
+    && List.for_all
+         (fun level ->
+           Link.delay c' ~level = Link.delay c ~level
+           && Link.bandwidth c' ~level = Link.bandwidth c ~level)
+         (List.init (List.length clauses) (fun i -> i + 1))
 
 let test_link_validation () =
   let raises a =
@@ -226,6 +266,8 @@ let suite =
     Helpers.tc "engine: rejects the past" test_engine_rejects_past;
     Helpers.tc "engine: next_time" test_engine_next_time;
     Helpers.tc "link: spec round-trip" test_link_spec_round_trip;
+    Helpers.qt ~count:200 "link: of_spec after to_spec is the identity"
+      link_config_arb prop_link_spec_round_trip;
     Helpers.tc "link: spec errors carry positions"
       test_link_spec_errors_carry_position;
     Helpers.tc "link: config validation" test_link_validation;

@@ -62,7 +62,63 @@ let test_spec_errors_carry_position () =
   check "drop=2.0" "clause 1 at char 0";
   check "drop=0.1,crash=x:1-2" "clause 2 at char 9";
   check "drop=0.1,until=30,cut=0:9-5" "clause 3 at char 18";
-  check "drop=0.5,drop=0.2" "clause 2 at char 9"
+  check "drop=0.5,drop=0.2" "clause 2 at char 9";
+  check "drop=0.1,until=zero" "clause 2 at char 9";
+  check "crash=1:2-4,cut=-1:3-9" "clause 2 at char 12";
+  check "drop=nan" "clause 1 at char 0"
+
+(* of_spec ∘ to_spec = id over arbitrary valid plans. Drop
+   probabilities come from a 1/16 grid (exact in binary, so the %g
+   rendering is lossless); windows mix finite and "-inf" right ends.
+   Plans built by [make] are compared after a round trip through the
+   spec grammar — canonical-spec fixed point plus full semantic
+   agreement on the query grid, which is what the runtime actually
+   consumes. *)
+let plan_arb =
+  let window max_id =
+    QCheck.Gen.(
+      map
+        (fun ((id, a), len) ->
+          (id, a, if len > 15 then max_int else a + len))
+        (pair (pair (int_bound max_id) (int_range 1 30)) (int_bound 20)))
+  in
+  QCheck.make
+    ~print:(fun (drop16, until, crashes, cuts) ->
+      Printf.sprintf "drop=%d/16 until=%d crashes=[%s] cuts=[%s]" drop16 until
+        (String.concat ";"
+           (List.map (fun (n, a, b) -> Printf.sprintf "%d:%d-%d" n a b) crashes))
+        (String.concat ";"
+           (List.map (fun (e, a, b) -> Printf.sprintf "%d:%d-%d" e a b) cuts)))
+    QCheck.Gen.(
+      quad (int_bound 16) (int_range 1 100)
+        (list_size (int_bound 3) (window 9))
+        (list_size (int_bound 3) (window 6)))
+
+let prop_plan_spec_round_trip (drop16, until, crashes, cuts) =
+  let p =
+    Faults.make ~seed:9 ~drop:(float_of_int drop16 /. 16.) ~drop_until:until
+      ~crashes ~cuts ()
+  in
+  let s = Faults.to_spec p in
+  match Faults.of_spec ~seed:9 s with
+  | Error e -> QCheck.Test.fail_reportf "of_spec %S: %s" s e
+  | Ok p' ->
+    Faults.to_spec p' = s
+    && Faults.seed p' = Faults.seed p
+    && Faults.is_empty p' = Faults.is_empty p
+    && Faults.quiet_after p' = Faults.quiet_after p
+    && List.for_all
+         (fun round ->
+           List.for_all
+             (fun id ->
+               Faults.drops p' ~round ~edge:id ~src:(id + 1)
+               = Faults.drops p ~round ~edge:id ~src:(id + 1)
+               && Faults.node_down p' ~round ~node:id
+                  = Faults.node_down p ~round ~node:id
+               && Faults.edge_cut p' ~round ~edge:id
+                  = Faults.edge_cut p ~round ~edge:id)
+             (List.init 10 Fun.id))
+         (List.init 60 (fun r -> r + 1))
 
 (* -- virtual-time shims -------------------------------------------------- *)
 
@@ -362,6 +418,8 @@ let prop_bounded_drops_recover seed =
 let suite =
   [
     Helpers.tc "spec round trip" test_spec_round_trip;
+    Helpers.qt ~count:200 "of_spec after to_spec is the identity" plan_arb
+      prop_plan_spec_round_trip;
     Helpers.tc "spec errors" test_spec_errors;
     Helpers.tc "spec errors carry positions" test_spec_errors_carry_position;
     Helpers.tc "round_of_time quantization" test_round_of_time;

@@ -9,6 +9,7 @@ let () =
       ("stats", Test_stats.suite);
       ("table", Test_table.suite);
       ("obs", Test_obs.suite);
+      ("monitor", Test_monitor.suite);
       ("prng", Test_prng.suite);
       ("tree", Test_tree.suite);
       ("flat", Test_flat.suite);

@@ -274,6 +274,40 @@ let prop_series_roundtrip ev =
   | Ok ev' -> ev = ev'
   | Error _ -> false
 
+(* Random Alert events through the codec — the monitor's sink_event is
+   the only producer, but the parser must accept arbitrary series names
+   (including ones needing escapes), detector kinds and magnitudes, and
+   reproduce every field byte for byte. *)
+let alert_event_arb =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun (round, time, series, kind, magnitude) ->
+        {
+          Sink.name = "monitor.alert";
+          id = 0;
+          parent = 0;
+          payload = Sink.Alert { round; time; series; kind; magnitude };
+          attrs = [];
+        })
+      Gen.(
+        tup5 (int_bound 100_000)
+          (map (fun t -> float_of_int t /. 16.) (int_bound 1_600_000))
+          (oneofl
+             [ "sent"; "dist.retransmits"; "edge_peak"; "odd \"series\"\t" ])
+          (oneofl
+             [ "cusum_up"; "cusum_down"; "page_hinkley_up"; "page_hinkley_down" ])
+          (map (fun m -> float_of_int m /. 64.) (int_bound 1_000_000)))
+  in
+  make ~print:Sink.to_json gen
+
+let prop_alert_roundtrip ev =
+  (* Byte identity, not just structural: re-rendering the re-parsed
+     event must give the same JSONL line. *)
+  match Sink.of_json (Sink.to_json ev) with
+  | Ok ev' -> ev = ev' && Sink.to_json ev' = Sink.to_json ev
+  | Error _ -> false
+
 let test_nan_gauge_roundtrips () =
   let ev =
     {
@@ -367,6 +401,8 @@ let suite =
     Helpers.tc "fault events round-trip" test_fault_event_roundtrips;
     Helpers.qt ~count:200 "series events round-trip" series_event_arb
       prop_series_roundtrip;
+    Helpers.qt ~count:200 "alert events round-trip byte for byte"
+      alert_event_arb prop_alert_roundtrip;
     Helpers.tc "strategy trace has all three steps" test_strategy_trace_shape;
     Helpers.qt ~count:60 "tracing never changes strategy results"
       Helpers.seed_arb prop_tracing_does_not_change_results;

@@ -347,6 +347,172 @@ let test_report_missing_file () =
   | Ok _ -> Alcotest.fail "loaded a nonexistent file"
   | Error _ -> ()
 
+(* -- vtime in series summaries, unknown kinds, alert rollups ------------ *)
+
+let emit_events tel ~prefix =
+  let evs = ref [] in
+  Telemetry.emit tel ~prefix (fun ev -> evs := ev :: !evs);
+  List.rev !evs
+
+let find_series r name =
+  match List.find_opt (fun s -> s.Report.s_name = name) (Report.series r) with
+  | Some s -> s
+  | None -> Alcotest.failf "missing series %s" name
+
+let test_report_series_carry_vtime () =
+  (* Sync axis: virtual time defaults to the round number... *)
+  let r =
+    Report.of_events (emit_events (drive ~rounds:6 ~num_edges:2 ()) ~prefix:"s")
+  in
+  let sent = find_series r "s.sent" in
+  Alcotest.(check (float 0.)) "sync first_time" 1. sent.Report.first_time;
+  Alcotest.(check (float 0.)) "sync last_time" 6. sent.Report.last_time;
+  (* ...while an async engine's clock flows through emit into the
+     summary, so the table's vtime column shows real virtual time. *)
+  let tel = Telemetry.create ~num_edges:1 () in
+  for rd = 1 to 6 do
+    Telemetry.begin_round ~vtime:(1.5 *. float_of_int rd) tel ~round:rd;
+    Telemetry.send tel ~edge:0 ~bytes:2;
+    Telemetry.end_round tel ~live_nodes:3
+  done;
+  let r = Report.of_events (emit_events tel ~prefix:"a") in
+  let sent = find_series r "a.sent" in
+  Alcotest.(check (float 1e-9)) "vtime first" 1.5 sent.Report.first_time;
+  Alcotest.(check (float 1e-9)) "vtime last" 9. sent.Report.last_time;
+  Alcotest.(check bool) "table shows the vtime range" true
+    (Helpers.contains (Report.to_table r) "1.5-9")
+
+(* Forward compatibility: a valid JSON line whose ["ev"] tag is unknown
+   is skipped and counted, not fatal; a malformed *known* event still
+   fails the load with its line number. *)
+let test_report_unknown_kind_skipped () =
+  let write lines =
+    let path = Filename.temp_file "hbn_report" ".jsonl" in
+    Out_channel.with_open_text path (fun oc ->
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines);
+    path
+  in
+  let path =
+    write
+      [
+        "{\"ev\":\"point\",\"name\":\"ok\",\"id\":0,\"parent\":0,\"attrs\":{}}";
+        "{\"ev\":\"hologram\",\"name\":\"from the future\",\"payload\":[1,2]}";
+        "{\"ev\":\"point\",\"name\":\"ok\",\"id\":0,\"parent\":0,\"attrs\":{}}";
+      ]
+  in
+  (match Report.load ~path with
+  | Error m -> Alcotest.failf "forward-compatible load failed: %s" m
+  | Ok r ->
+    Alcotest.(check int) "both known events kept" 2
+      (List.length (Report.events r));
+    Alcotest.(check int) "one unknown line counted" 1 (Report.unknown_events r);
+    Alcotest.(check bool) "table reports the skip count" true
+      (Helpers.contains (Report.to_table r) "(1 of unknown kind skipped)"));
+  Sys.remove path;
+  let path =
+    write
+      [ "{\"ev\":\"hologram\",\"name\":\"fine\"}"; "{\"ev\":\"point\",\"name\":3}" ]
+  in
+  (match Report.load ~path with
+  | Ok _ -> Alcotest.fail "malformed known event loaded"
+  | Error m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S names line 2" m)
+      true
+      (Helpers.contains m (path ^ ":2:")));
+  Sys.remove path
+
+let alert_ev ~round ~series ~kind ~magnitude =
+  {
+    Sink.name = "monitor.alert";
+    id = 0;
+    parent = 0;
+    attrs = [];
+    payload =
+      Sink.Alert { round; time = float_of_int round; series; kind; magnitude };
+  }
+
+let test_report_alert_summaries () =
+  let r =
+    Report.of_events
+      [
+        alert_ev ~round:9 ~series:"sent" ~kind:"cusum_up" ~magnitude:2.5;
+        alert_ev ~round:14 ~series:"sent" ~kind:"cusum_up" ~magnitude:4.25;
+        alert_ev ~round:11 ~series:"sent" ~kind:"ph_up" ~magnitude:1.5;
+        alert_ev ~round:30 ~series:"dropped" ~kind:"cusum_up" ~magnitude:9.;
+      ]
+  in
+  (match Report.alert_summaries r with
+  | [ a; b; c ] ->
+    Alcotest.(check string) "series order" "dropped" a.Report.al_series;
+    Alcotest.(check string) "kind within series" "cusum_up" b.Report.al_kind;
+    Alcotest.(check int) "grouped count" 2 b.Report.al_count;
+    Alcotest.(check int) "first round" 9 b.Report.al_first_round;
+    Alcotest.(check int) "last round" 14 b.Report.al_last_round;
+    Alcotest.(check (float 0.)) "max magnitude" 4.25 b.Report.al_max_magnitude;
+    Alcotest.(check string) "ph after cusum" "ph_up" c.Report.al_kind
+  | l -> Alcotest.failf "expected 3 alert summaries, got %d" (List.length l));
+  Alcotest.(check bool) "table has the alerts section" true
+    (Helpers.contains (Report.to_table r) "alerts (change-point detections)")
+
+(* -- trace diffing ------------------------------------------------------ *)
+
+(* Constant level [base] until round 60, then [late]: zero jitter keeps
+   the steady case under the detectors' sigma floor, so the diff's
+   alert sets are a pure function of the level shift. *)
+let drive_step ~rounds ~base ~late () =
+  let tel = Telemetry.create ~num_edges:1 () in
+  for rd = 1 to rounds do
+    Telemetry.begin_round tel ~round:rd;
+    for _ = 1 to if rd <= 60 then base else late do
+      Telemetry.send tel ~edge:0 ~bytes:1
+    done;
+    Telemetry.end_round tel ~live_nodes:4
+  done;
+  Report.of_events (emit_events tel ~prefix:"t")
+
+let test_report_self_diff_is_clean () =
+  let r = drive_step ~rounds:120 ~base:40 ~late:40 () in
+  let d = Report.diff ~base:r ~cur:r in
+  Alcotest.(check bool) "clean" true (Report.diff_clean d);
+  Alcotest.(check int) "no changed series" 0 d.Report.d_changed;
+  Alcotest.(check int) "no new alerts" 0 (List.length d.Report.d_new_alerts);
+  Alcotest.(check int) "no resolved alerts" 0
+    (List.length d.Report.d_gone_alerts);
+  Alcotest.(check bool) "table says identical" true
+    (Helpers.contains (Report.diff_to_table d)
+       "verdict: identical — every series and alert matches");
+  match Json.parse_result (Report.diff_to_json d) with
+  | Error m -> Alcotest.failf "diff JSON unparseable: %s" m
+  | Ok doc ->
+    Alcotest.(check (option string))
+      "schema tag" (Some "hbn.diff/v1")
+      (Option.bind (Json.member "schema" doc) Json.to_string);
+    Alcotest.(check bool) "clean flag" true
+      (Json.member "clean" doc = Some (Json.Bool true))
+
+let test_report_diff_flags_a_regression () =
+  let base = drive_step ~rounds:120 ~base:40 ~late:40 () in
+  let cur = drive_step ~rounds:120 ~base:40 ~late:80 () in
+  let d = Report.diff ~base ~cur in
+  Alcotest.(check bool) "not clean" false (Report.diff_clean d);
+  Alcotest.(check bool) "changed series counted" true (d.Report.d_changed > 0);
+  (* The step fires detectors only on the current side. *)
+  Alcotest.(check int) "baseline is silent" 0
+    (List.length d.Report.d_base_alerts);
+  Alcotest.(check bool) "new alerts surfaced" true
+    (d.Report.d_new_alerts <> []);
+  let tbl = Report.diff_to_table d in
+  Alcotest.(check bool) "changed rows are starred" true
+    (Helpers.contains tbl "*");
+  Alcotest.(check bool) "verdict is not identical" false
+    (Helpers.contains tbl "verdict: identical");
+  (* Swapping sides turns new alerts into resolved ones. *)
+  let d' = Report.diff ~base:cur ~cur:base in
+  Alcotest.(check int) "alerts resolve on the flipped diff"
+    (List.length d.Report.d_new_alerts)
+    (List.length d'.Report.d_gone_alerts)
+
 let suite =
   [
     Helpers.tc "telemetry exact under capacity"
@@ -370,4 +536,12 @@ let suite =
     Helpers.tc "report fails with a line number on malformed input"
       test_report_malformed_line_number;
     Helpers.tc "report fails on a missing file" test_report_missing_file;
+    Helpers.tc "report series summaries carry virtual time"
+      test_report_series_carry_vtime;
+    Helpers.tc "report skips unknown event kinds with a count"
+      test_report_unknown_kind_skipped;
+    Helpers.tc "report aggregates alerts by series and kind"
+      test_report_alert_summaries;
+    Helpers.tc "report self-diff is exactly clean" test_report_self_diff_is_clean;
+    Helpers.tc "report diff flags a regression" test_report_diff_flags_a_regression;
   ]
