@@ -6,8 +6,8 @@
 # `ocamlformat --enable-outside-detected-project` matches the style.
 
 .PHONY: all build test check bench bench-check bench-loads bench-parallel \
-	bench-faults bench-async bench-monitor bench-micro bench-quick \
-	report-smoke clean
+	bench-faults bench-async bench-monitor bench-serve bench-micro \
+	bench-quick report-smoke serve-smoke clean
 
 all: build
 
@@ -32,12 +32,15 @@ test:
 # drift matrix and requires steady traffic to stay silent while every
 # drift shape fires; report-smoke drives --trace/--telemetry recording,
 # the report command's three renderers, and a --diff of a trace against
-# itself (which must come back clean); bench-check re-runs the pipeline,
-# fault, async and monitor case matrices and diffs their deterministic
-# fields (telemetry series, detector hits) against the committed
-# BENCH_pipeline.json, BENCH_faults.json, BENCH_async.json and
-# BENCH_monitor.json, and validates the chunk-scheduling fields of
-# BENCH_parallel.json.
+# itself (which must come back clean); the serve smoke replays the
+# adaptive-serving matrix contract (steady silent, hotspot recovered
+# within budget) and serve-smoke drives `hbn_cli serve` --record/--replay
+# end to end; bench-check re-runs the pipeline, fault, async, monitor
+# and serve case matrices and diffs their deterministic fields
+# (telemetry series, detector hits, migration accounting) against the
+# committed BENCH_pipeline.json, BENCH_faults.json, BENCH_async.json,
+# BENCH_monitor.json and BENCH_serve.json, and validates the
+# chunk-scheduling fields of BENCH_parallel.json.
 check:
 	dune build && dune runtest && dune exec bench/loads.exe -- --smoke \
 	  && dune exec bench/parallel.exe -- --smoke \
@@ -45,11 +48,13 @@ check:
 	  && dune exec bench/faults.exe -- --smoke \
 	  && dune exec bench/async.exe -- --smoke \
 	  && dune exec bench/monitor.exe -- --smoke \
+	  && dune exec bench/serve.exe -- --smoke \
 	  && dune exec bin/hbn_cli.exe -- simulate --kind balanced --arity 3 \
 	       --height 3 --workload zipf --objects 8 --seed 7 \
 	       --faults "drop=0.15,until=60,crash=2:10-30" --link "1:64,1:32" \
 	  && dune exec test/test_main.exe -- test exec \
 	  && $(MAKE) report-smoke \
+	  && $(MAKE) serve-smoke \
 	  && $(MAKE) bench-check
 
 bench:
@@ -110,6 +115,35 @@ report-smoke:
 	  --diff /tmp/hbn_report_smoke_tel.jsonl | grep -q "verdict: identical"
 	rm -f /tmp/hbn_report_smoke_trace.jsonl /tmp/hbn_report_smoke_tel.jsonl
 	@echo "report-smoke: table/json/chrome renderers + self-diff ok"
+
+# Adaptive-serving profile: the four drift generators through the
+# epoch-based serving tier (alert-triggered top-k re-optimization under
+# a migration byte budget); writes BENCH_serve.json (refuses to write if
+# the steady-silent / hotspot-recovery contract fails).
+bench-serve:
+	dune exec bench/serve.exe
+
+# Serving-tier CLI smoke: run `serve` under hotspot-migration drift while
+# recording the generated request tables, replay the recording (which
+# must re-optimize the same epochs and migrate the same bytes — the
+# summary lines are compared verbatim), and feed the recorded telemetry
+# to `report` to prove the serving trace round-trips through the
+# analytics pipeline.
+serve-smoke:
+	dune build bin/hbn_cli.exe
+	dune exec --no-build bin/hbn_cli.exe -- serve --kind balanced --arity 3 \
+	  --height 3 --objects 8 --drift hotspot_migration --epochs 16 \
+	  --serve-seed 11 --record /tmp/hbn_serve_smoke_tables.txt \
+	  --telemetry /tmp/hbn_serve_smoke_tel.jsonl > /tmp/hbn_serve_smoke_a.txt
+	dune exec --no-build bin/hbn_cli.exe -- serve --kind balanced --arity 3 \
+	  --height 3 --objects 8 --serve-seed 11 \
+	  --replay /tmp/hbn_serve_smoke_tables.txt > /tmp/hbn_serve_smoke_b.txt
+	diff /tmp/hbn_serve_smoke_a.txt /tmp/hbn_serve_smoke_b.txt
+	dune exec --no-build bin/hbn_cli.exe -- report /tmp/hbn_serve_smoke_tel.jsonl \
+	  --format json > /dev/null
+	rm -f /tmp/hbn_serve_smoke_tables.txt /tmp/hbn_serve_smoke_tel.jsonl \
+	  /tmp/hbn_serve_smoke_a.txt /tmp/hbn_serve_smoke_b.txt
+	@echo "serve-smoke: record/replay identical + telemetry round-trip ok"
 
 # Bechamel timings of the Tree.Flat primitive kernels (path folds,
 # batched LCA, scratch reuse) next to their list-returning Tree

@@ -3,7 +3,7 @@
    Run with:
      dune exec bench/check.exe \
        [-- PIPELINE.json [FAULTS.json [PARALLEL.json [ASYNC.json
-            [MONITOR.json]]]]]
+            [MONITOR.json [SERVE.json]]]]]]
    Re-runs the Pipeline_cases matrix and compares every deterministic
    field — instance shape, congestion, makespan, pipeline counters —
    against the committed BENCH_pipeline.json. Wall times ("phases"
@@ -17,16 +17,19 @@
    per-level link model — against BENCH_async.json, and re-runs the
    Monitor_cases matrix — synthetic drift workloads through the
    streaming detectors — against BENCH_monitor.json (the "micro"
-   wall-clock note is ignored). Exits 1 listing every divergence: a
-   diff here means a code change altered what the pipeline (or the
-   fault recovery, or the drift detection) computes, not just how
-   fast. *)
+   wall-clock note is ignored), and re-runs the Serve_cases matrix —
+   the drift generators through the epoch-based adaptive serving
+   tier — against BENCH_serve.json. Exits 1 listing every divergence:
+   a diff here means a code change altered what the pipeline (or the
+   fault recovery, the drift detection, or the serving adaptation)
+   computes, not just how fast. *)
 
 module Json = Hbn_obs.Json
 module PC = Pipeline_cases
 module FC = Fault_cases
 module AC = Async_cases
 module MC = Monitor_cases
+module SC = Serve_cases
 
 let failures = ref 0
 
@@ -213,6 +216,49 @@ let check_monitor_case baseline fresh =
     check_float "sent_mean" fresh.MC.sent_mean
   end
 
+(* Serving-tier baseline: generators, epoch arithmetic, the climb PRNG
+   and the hysteresis gate are all deterministic, so every field
+   compares exactly (floats through the writer's %.3f). *)
+let check_serve_case baseline fresh =
+  let label = fresh.SC.workload in
+  if get "workload" Json.to_string baseline <> fresh.SC.workload then
+    fail "serve case order diverged at %s (baseline has %s)" label
+      (get "workload" Json.to_string baseline)
+  else begin
+    let check_int name v =
+      let b = get name Json.to_int baseline in
+      if b <> v then fail "%s: %s %d (baseline) <> %d (fresh)" label name b v
+    in
+    let check_float name v =
+      let b = fmt_congestion (get name Json.to_float baseline) in
+      let f = fmt_congestion v in
+      if b <> f then fail "%s: %s %s (baseline) <> %s (fresh)" label name b f
+    in
+    check_int "epochs" fresh.SC.epochs;
+    check_int "requests" fresh.SC.requests;
+    check_int "alerts" fresh.SC.alerts;
+    check_int "reoptimized" fresh.SC.reoptimized;
+    check_int "bytes_migrated" fresh.SC.bytes_migrated;
+    check_int "max_epoch_bytes" fresh.SC.max_epoch_bytes;
+    (match Json.member "budget_ok" baseline with
+    | Some (Json.Bool b) ->
+      if b <> fresh.SC.budget_ok then
+        fail "%s: budget_ok %b (baseline) <> %b (fresh)" label b
+          fresh.SC.budget_ok
+    | _ -> fail "%s: missing budget_ok" label);
+    check_int "replications" fresh.SC.replications;
+    check_int "migrations" fresh.SC.migrations;
+    check_int "contractions" fresh.SC.contractions;
+    let b_verdict = get "verdict" Json.to_string baseline in
+    if b_verdict <> fresh.SC.verdict then
+      fail "%s: verdict %S (baseline) <> %S (fresh)" label b_verdict
+        fresh.SC.verdict;
+    check_float "mean_serve" fresh.SC.mean_serve;
+    check_float "mean_stale" fresh.SC.mean_stale;
+    check_float "mean_oracle" fresh.SC.mean_oracle;
+    check_float "recovered" fresh.SC.recovered
+  end
+
 let load_doc ~path ~schema =
   let doc =
     match In_channel.with_open_text path In_channel.input_all with
@@ -298,10 +344,12 @@ let () =
   let parallel_path = arg 3 "BENCH_parallel.json" in
   let async_path = arg 4 "BENCH_async.json" in
   let monitor_path = arg 5 "BENCH_monitor.json" in
+  let serve_path = arg 6 "BENCH_serve.json" in
   let pipeline_baseline = load_baseline ~path:pipeline_path ~schema:PC.schema in
   let faults_baseline = load_baseline ~path:faults_path ~schema:FC.schema in
   let async_baseline = load_baseline ~path:async_path ~schema:AC.schema in
   let monitor_baseline = load_baseline ~path:monitor_path ~schema:MC.schema in
+  let serve_baseline = load_baseline ~path:serve_path ~schema:SC.schema in
   let pipeline_fresh = PC.all () in
   check_matrix ~what:"pipeline" ~path:pipeline_path pipeline_baseline
     pipeline_fresh check_case;
@@ -315,19 +363,23 @@ let () =
   let monitor_fresh = MC.all () in
   check_matrix ~what:"monitor" ~path:monitor_path monitor_baseline
     monitor_fresh check_monitor_case;
+  let serve_fresh = SC.all () in
+  check_matrix ~what:"serve" ~path:serve_path serve_baseline serve_fresh
+    check_serve_case;
   if !failures > 0 then begin
     Printf.eprintf
       "bench/check: %d divergence(s) from the committed baselines — a code \
-       change altered pipeline, fault-recovery, async-simulation or \
-       drift-detection results (regenerate the baselines only if that was \
-       the point)\n"
+       change altered pipeline, fault-recovery, async-simulation, \
+       drift-detection or serving-adaptation results (regenerate the \
+       baselines only if that was the point)\n"
       !failures;
     exit 1
   end;
   Printf.printf
     "bench/check: %d pipeline cases match %s, %d fault cases match %s, %d \
      parallel runs consistent in %s, %d async cases match %s, %d monitor \
-     cases match %s (deterministic fields)\n"
+     cases match %s, %d serve cases match %s (deterministic fields)\n"
     (List.length pipeline_fresh) pipeline_path (List.length faults_fresh)
     faults_path parallel_runs parallel_path (List.length async_fresh)
     async_path (List.length monitor_fresh) monitor_path
+    (List.length serve_fresh) serve_path

@@ -34,6 +34,8 @@ module Telemetry = Hbn_obs.Telemetry
 module Monitor = Hbn_obs.Monitor
 module Report = Hbn_obs.Report
 module Exec = Hbn_exec.Exec
+module Serve = Hbn_serve.Serve
+module Drift = Hbn_serve.Drift
 
 open Cmdliner
 
@@ -705,10 +707,14 @@ let simulate_cmd =
     let sim_tel = mk_tel () in
     let dist_tel = mk_tel () in
     (* A drift monitor rides along with each collector; the engines
-       ingest the folded series at end of run and hand back a verdict. *)
-    let mk_mon () = Option.map (fun _ -> Monitor.create ()) telemetry_path in
-    let sim_mon = mk_mon () in
-    let dist_mon = mk_mon () in
+       ingest the folded series at end of run and hand back a verdict.
+       The prefix matches the collector's emit prefix, so alert series
+       names agree with the telemetry series at the source. *)
+    let mk_mon prefix =
+      Option.map (fun _ -> Monitor.create ~prefix ()) telemetry_path
+    in
+    let sim_mon = mk_mon "sim" in
+    let dist_mon = mk_mon "dist" in
     let print_health what = function
       | None -> ()
       | Some v ->
@@ -838,35 +844,16 @@ let simulate_cmd =
         let dump prefix tel =
           Option.iter (fun t -> Telemetry.emit t ~prefix sink.Sink.emit) tel
         in
-        (* Alerts follow their series under the same prefix, so a
-           report (or report --diff) of the file sees both. The monitor
-           observed unprefixed series names; re-key them here. *)
-        let dump_alerts prefix mon =
-          Option.iter
-            (fun m ->
-              Monitor.emit m (fun ev ->
-                  match ev.Sink.payload with
-                  | Sink.Alert { round; time; series; kind; magnitude } ->
-                    sink.Sink.emit
-                      {
-                        ev with
-                        Sink.payload =
-                          Sink.Alert
-                            {
-                              round;
-                              time;
-                              series = prefix ^ "." ^ series;
-                              kind;
-                              magnitude;
-                            };
-                      }
-                  | _ -> sink.Sink.emit ev))
-            mon
+        (* Alerts follow their series under the same prefix: the
+           monitors are created with it, so their alert events already
+           carry fully-qualified series names. *)
+        let dump_alerts mon =
+          Option.iter (fun m -> Monitor.emit m sink.Sink.emit) mon
         in
         dump "sim" sim_tel;
-        dump_alerts "sim" sim_mon;
+        dump_alerts sim_mon;
         dump "dist" dist_tel;
-        dump_alerts "dist" dist_mon;
+        dump_alerts dist_mon;
         sink.Sink.flush ();
         close_out oc;
         let rounds tel =
@@ -882,6 +869,201 @@ let simulate_cmd =
     Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
           $ bandwidth $ workload_kind $ objects $ scale $ faults_spec
           $ link_spec $ telemetry_file $ run_opts_term)
+
+(* -- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let drift_kind =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("steady", Drift.Steady); ("diurnal", Drift.Diurnal);
+               ("flash_crowd", Drift.Flash_crowd);
+               ("hotspot_migration", Drift.Hotspot_migration) ])
+          Drift.Hotspot_migration
+      & info [ "drift" ]
+          ~doc:
+            "Drift generator: steady|diurnal|flash_crowd|hotspot_migration. \
+             Ignored with --replay.")
+  in
+  let epochs_flag =
+    Arg.(value & opt int Serve.default.Serve.epochs
+         & info [ "epochs" ] ~doc:"Epochs to serve (ignored with --replay).")
+  in
+  let slots_flag =
+    Arg.(value & opt int Serve.default.Serve.slots_per_epoch
+         & info [ "slots" ] ~doc:"Slots per epoch.")
+  in
+  let top_k_flag =
+    Arg.(value & opt int Serve.default.Serve.top_k
+         & info [ "top-k" ]
+             ~doc:"Hot objects eligible per re-optimization.")
+  in
+  let budget_flag =
+    Arg.(value & opt int Serve.default.Serve.budget_bytes
+         & info [ "budget" ] ~docv:"BYTES"
+             ~doc:"Hard cap on migration bytes per epoch.")
+  in
+  let hysteresis_flag =
+    Arg.(value & opt float Serve.default.Serve.hysteresis
+         & info [ "hysteresis" ]
+             ~doc:
+               "Commit a re-optimization only if its migration bytes stay \
+                under this fraction of the message bytes the congestion \
+                drop saves over the coming epoch.")
+  in
+  let rate_flag =
+    Arg.(value & opt int 8
+         & info [ "rate" ] ~doc:"Base per-(leaf,object) request rate.")
+  in
+  let serve_seed =
+    Arg.(value & opt int Serve.default.Serve.seed
+         & info [ "serve-seed" ]
+             ~doc:
+               "Seeds the drift generator, the per-epoch climb PRNG and \
+                the slot jitter (separate from the topology --seed; pass \
+                the same value when replaying a recording).")
+  in
+  let no_oracle =
+    Arg.(value & flag
+         & info [ "no-oracle" ]
+             ~doc:
+               "Skip the fresh per-epoch re-place the oracle column \
+                reports (faster; the serving loop itself never uses it).")
+  in
+  let record_file =
+    Arg.(value & opt (some string) None
+         & info [ "record" ] ~docv:"FILE"
+             ~doc:
+               "Save the generated per-epoch request tables to $(docv) \
+                for a later --replay.")
+  in
+  let replay_file =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:
+               "Serve the request tables recorded in $(docv) instead of a \
+                generator; the epoch count comes from the file, which \
+                must have been recorded over the same topology shape.")
+  in
+  let telemetry_file =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"FILE"
+             ~doc:
+               "Write the serving telemetry (per-slot traffic, \
+                reconfiguration counters) and the monitor's alerts to \
+                $(docv) as JSONL series/alert events under prefix \
+                $(b,serve) — feed it to $(b,hbn_cli report). Bit-identical \
+                across reruns and --jobs values.")
+  in
+  let run seed kind leaves arity height spine buses bandwidth objects drift
+      epochs slots top_k budget hysteresis rate sseed no_oracle record replay
+      telemetry_path opts =
+    with_run_opts opts @@ fun exec ->
+    if epochs < 1 then die "--epochs must be >= 1 (got %d)" epochs;
+    if slots < 1 then die "--slots must be >= 1 (got %d)" slots;
+    if top_k < 1 then die "--top-k must be >= 1 (got %d)" top_k;
+    if budget < 0 then die "--budget must be >= 0 (got %d)" budget;
+    if hysteresis < 0.0 then die "--hysteresis must be >= 0 (got %g)" hysteresis;
+    if rate < 1 then die "--rate must be >= 1 (got %d)" rate;
+    if objects < 1 then die "--objects must be >= 1 (got %d)" objects;
+    let prng = Prng.create seed in
+    let tree =
+      build_topology kind ~prng ~leaves ~arity ~height ~spine ~buses ~bandwidth
+    in
+    let cfg =
+      { Serve.default with Serve.slots_per_epoch = slots; epochs; top_k;
+        budget_bytes = budget; hysteresis; seed = sseed;
+        oracle = not no_oracle }
+    in
+    (* Mode banners go to stderr: stdout carries only the epoch table and
+       totals, which a generator run and a replay of its recording must
+       reproduce byte for byte (make serve-smoke diffs them). *)
+    let source, cfg =
+      match replay with
+      | Some path -> (
+        match Serve.load_tables ~tree path with
+        | Error m -> die "cannot replay %s: %s" path m
+        | Ok ts ->
+          Printf.eprintf "hbn_cli: replaying %d epoch table(s) from %s\n"
+            (Array.length ts) path;
+          (Serve.Tables ts, { cfg with Serve.epochs = Array.length ts }))
+      | None ->
+        let d = Drift.create drift ~seed:sseed ~tree ~objects ~rate in
+        (match record with
+        | None -> ()
+        | Some path -> (
+          let ts = Serve.tables d ~epochs:cfg.Serve.epochs in
+          match Serve.save_tables path ts with
+          | Ok () ->
+            Printf.eprintf "hbn_cli: recorded %d epoch table(s) to %s\n"
+              cfg.Serve.epochs path
+          | Error m -> die "cannot record tables to %s: %s" path m));
+        (Serve.Generator d, cfg)
+    in
+    let out = Serve.run ~exec cfg source in
+    let tbl =
+      Table.create
+        [ "epoch"; "requests"; "serve"; "stale"; "oracle"; "bytes";
+          "repl/migr/drop"; "alerts" ]
+    in
+    List.iter
+      (fun s ->
+        Table.add_row tbl
+          [
+            string_of_int s.Serve.s_epoch;
+            string_of_int s.Serve.s_requests;
+            Table.fmt_float s.Serve.s_congestion;
+            Table.fmt_float s.Serve.s_stale;
+            (if Float.is_nan s.Serve.s_oracle then "-"
+             else Table.fmt_float s.Serve.s_oracle);
+            string_of_int s.Serve.s_bytes_migrated;
+            (if s.Serve.s_reoptimized then
+               Printf.sprintf "%d/%d/%d" s.Serve.s_replications
+                 s.Serve.s_migrations s.Serve.s_contractions
+             else "-");
+            string_of_int s.Serve.s_alerts;
+          ])
+      out.Serve.epochs;
+    Table.print tbl;
+    Printf.printf "served %d requests over %d epochs (%d slots each)\n"
+      out.Serve.total_requests cfg.Serve.epochs cfg.Serve.slots_per_epoch;
+    Printf.printf
+      "re-optimized %d epoch(s), migrated %d bytes (budget %d/epoch, \
+       hysteresis %g)\n"
+      out.Serve.reoptimized_epochs out.Serve.total_bytes_migrated
+      cfg.Serve.budget_bytes cfg.Serve.hysteresis;
+    Printf.printf "health (serve): %s (%d alert%s)\n"
+      (Monitor.verdict_name out.Serve.verdict)
+      (List.length out.Serve.alerts)
+      (if List.length out.Serve.alerts = 1 then "" else "s");
+    match telemetry_path with
+    | None -> ()
+    | Some path -> (
+      match open_out path with
+      | exception Sys_error m -> die "cannot open telemetry file: %s" m
+      | oc ->
+        let sink = Sink.jsonl oc in
+        Telemetry.emit out.Serve.telemetry ~prefix:"serve" sink.Sink.emit;
+        Monitor.emit out.Serve.monitor sink.Sink.emit;
+        sink.Sink.flush ();
+        close_out oc;
+        Printf.eprintf "hbn_cli: telemetry: %d serve rounds -> %s\n"
+          (Telemetry.rounds_recorded out.Serve.telemetry)
+          path)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve drifting request traffic epoch by epoch, re-optimizing \
+          only the hot objects when the drift monitor raises an alert — \
+          gated by a per-epoch migration byte budget and hysteresis.")
+    Term.(const run $ seed $ kind $ leaves $ arity $ height $ spine $ buses
+          $ bandwidth $ objects $ drift_kind $ epochs_flag $ slots_flag
+          $ top_k_flag $ budget_flag $ hysteresis_flag $ rate_flag
+          $ serve_seed $ no_oracle $ record_file $ replay_file
+          $ telemetry_file $ run_opts_term)
 
 (* -- report ------------------------------------------------------------- *)
 
@@ -966,5 +1148,5 @@ let () =
        (Cmd.group info
           [
             topology_cmd; workload_cmd; place_cmd; compare_cmd; explain_cmd;
-            gadget_cmd; simulate_cmd; dynamic_cmd; report_cmd;
+            gadget_cmd; simulate_cmd; dynamic_cmd; serve_cmd; report_cmd;
           ]))

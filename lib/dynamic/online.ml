@@ -4,6 +4,13 @@ module Placement = Hbn_placement.Placement
 module Prng = Hbn_prng.Prng
 module Raw = Hbn_loads.Loads.Raw
 
+type violation = {
+  v_request : int;
+  v_object : int;
+  v_reason : string;
+  v_set : int list;
+}
+
 type outcome = {
   edge_loads : int array;
   served : int;
@@ -12,6 +19,7 @@ type outcome = {
   contractions : int;
   max_copies : int;
   final_set : int list;
+  violation : violation option;
 }
 
 (* The connected copy set is explicit ([in_set] + an [anchor] member);
@@ -224,19 +232,25 @@ let serve st (req : Request.t) =
       cascade (List.rev path)
     end
 
+(* The invariants the per-edge automaton maintains by construction. A
+   breach is a bug, but one the caller chooses how to absorb: the result
+   carries the reason and the offending copy set instead of raising, so
+   a long-running serve loop can drop the object and keep going. *)
 let check_consistent st =
   let members =
     List.filter (fun v -> st.in_set.(v)) (List.init (Tree.n st.tree) Fun.id)
   in
-  if members = [] then failwith "Online.run: empty copy set";
-  if not st.in_set.(st.anchor) then failwith "Online.run: anchor left the set";
-  if List.length members <> st.set_size then
-    failwith "Online.run: size accounting drifted";
-  if not (Hbn_nibble.Nibble.is_connected st.tree members) then
-    failwith "Online.run: copy set disconnected";
-  members
+  if members = [] then Error ("empty copy set", members)
+  else if not st.in_set.(st.anchor) then
+    Error ("anchor left the set", members)
+  else if List.length members <> st.set_size then
+    Error ("size accounting drifted", members)
+  else if not (Hbn_nibble.Nibble.is_connected st.tree members) then
+    Error ("copy set disconnected", members)
+  else Ok members
 
-let run ?(size = 1) ?threshold ?(validate = false) tree ~initial reqs =
+let run ?(size = 1) ?threshold ?(validate = false) ?(obj = -1) tree ~initial
+    reqs =
   if size < 1 then invalid_arg "Online.run: size must be >= 1";
   let threshold = match threshold with Some t -> t | None -> size in
   if threshold < 1 then invalid_arg "Online.run: threshold must be >= 1";
@@ -270,12 +284,29 @@ let run ?(size = 1) ?threshold ?(validate = false) tree ~initial reqs =
   in
   add_node st initial;
   let served = ref 0 in
-  List.iter
-    (fun req ->
-      serve st req;
-      incr served;
-      if validate then ignore (check_consistent st))
-    reqs;
+  let violation = ref None in
+  (* Stop at the first invariant breach: the remaining requests would be
+     served against a state the automaton no longer vouches for. *)
+  (try
+     List.iter
+       (fun req ->
+         serve st req;
+         incr served;
+         if validate then
+           match check_consistent st with
+           | Ok _ -> ()
+           | Error (reason, set) ->
+             violation :=
+               Some
+                 {
+                   v_request = !served - 1;
+                   v_object = obj;
+                   v_reason = reason;
+                   v_set = set;
+                 };
+             raise Exit)
+       reqs
+   with Exit -> ());
   {
     edge_loads = Raw.loads st.loads;
     served = !served;
@@ -285,9 +316,10 @@ let run ?(size = 1) ?threshold ?(validate = false) tree ~initial reqs =
     max_copies = st.max_copies;
     final_set =
       List.filter (fun v -> st.in_set.(v)) (List.init n Fun.id);
+    violation = !violation;
   }
 
-let run_workload ?size ?threshold ~prng w =
+let run_workload ?size ?threshold ?validate ~prng w =
   let tree = Workload.tree w in
   let m = max 1 (Tree.num_edges tree) in
   let loads = Array.make m 0 in
@@ -295,18 +327,23 @@ let run_workload ?size ?threshold ~prng w =
   and repl = ref 0
   and migr = ref 0
   and contr = ref 0
-  and maxc = ref 0 in
+  and maxc = ref 0
+  and violation = ref None in
   for obj = 0 to Workload.num_objects w - 1 do
     match Request.of_workload ~prng w ~obj with
     | [] -> ()
     | first :: _ as reqs ->
-      let out = run ?size ?threshold tree ~initial:first.Request.node reqs in
+      let out =
+        run ?size ?threshold ?validate ~obj tree ~initial:first.Request.node
+          reqs
+      in
       Array.iteri (fun e l -> loads.(e) <- loads.(e) + l) out.edge_loads;
       served := !served + out.served;
       repl := !repl + out.replications;
       migr := !migr + out.migrations;
       contr := !contr + out.contractions;
-      maxc := max !maxc out.max_copies
+      maxc := max !maxc out.max_copies;
+      if !violation = None then violation := out.violation
   done;
   {
     edge_loads = loads;
@@ -316,6 +353,7 @@ let run_workload ?size ?threshold ~prng w =
     contractions = !contr;
     max_copies = !maxc;
     final_set = [];
+    violation = !violation;
   }
 
 let congestion tree outcome =

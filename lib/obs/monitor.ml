@@ -162,12 +162,13 @@ type config = {
 
 type t = {
   cfg : config;
+  prefix : string; (* "" or "<prefix>." — prepended to every series name *)
   table : (string, series) Hashtbl.t;
   mutable order : string list; (* creation order, reversed *)
   mutable alerts_rev : alert list;
 }
 
-let create ?(warmup = 8) ?(half_life = 16.0) ?(window = 32)
+let create ?prefix ?(warmup = 8) ?(half_life = 16.0) ?(window = 32)
     ?(cusum_threshold = 8.0) ?(cusum_slack = 0.5) ?(ph_threshold = 8.0)
     ?(ph_delta = 0.05) () =
   if warmup < 2 then invalid_arg "Monitor.create: warmup < 2";
@@ -180,7 +181,14 @@ let create ?(warmup = 8) ?(half_life = 16.0) ?(window = 32)
   if not (ph_threshold > 0.0) then
     invalid_arg "Monitor.create: ph_threshold must be positive";
   if ph_delta < 0.0 then invalid_arg "Monitor.create: ph_delta < 0";
+  let prefix =
+    match prefix with
+    | None -> ""
+    | Some "" -> invalid_arg "Monitor.create: prefix must be non-empty"
+    | Some p -> p ^ "."
+  in
   {
+    prefix;
     cfg =
       {
         warmup;
@@ -223,7 +231,11 @@ let series_create t name =
     ph_down_max = 0.0;
   }
 
+(* Series are keyed under their full (prefixed) name, so alerts carry
+   the same name the telemetry series was emitted under — the CLI no
+   longer re-keys alert events after the fact. *)
 let series_of t name =
+  let name = t.prefix ^ name in
   match Hashtbl.find_opt t.table name with
   | Some s -> s
   | None ->
@@ -342,6 +354,12 @@ let observe_point t (p : Telemetry.point) =
   ob "bytes" (rate p.Telemetry.bytes);
   ob "retransmits" (rate p.Telemetry.retransmits);
   ob "dup_suppressed" (rate p.Telemetry.dup_suppressed);
+  (* Reconfiguration rates are fed unconditionally (zeros included) so
+     the detectors warm on the quiet baseline and a migration storm
+     registers as a shift, not as a first observation. *)
+  ob "replications" (rate p.Telemetry.replications);
+  ob "migrations" (rate p.Telemetry.migrations);
+  ob "contractions" (rate p.Telemetry.contractions);
   ob "live_nodes" (float_of_int p.Telemetry.live_nodes);
   let top = match p.Telemetry.edges with [] -> 0 | (_, c) :: _ -> c in
   ob "edge_peak" (rate top);
@@ -379,7 +397,12 @@ let estimates t =
   |> List.sort (fun a b -> String.compare a.e_series b.e_series)
 
 let estimate t ~series =
-  Option.map estimate_of (Hashtbl.find_opt t.table series)
+  match Hashtbl.find_opt t.table series with
+  | Some s -> Some (estimate_of s)
+  | None ->
+      (* accept the unprefixed name too, for callers that fed the
+         monitor through [observe ~series] without the prefix *)
+      Option.map estimate_of (Hashtbl.find_opt t.table (t.prefix ^ series))
 
 (* A degrading signal: loss-like series rising or liveness-like series
    falling. Series names may arrive prefixed ("dist.dropped"), so

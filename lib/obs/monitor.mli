@@ -86,6 +86,7 @@ type estimate = {
 }
 
 val create :
+  ?prefix:string ->
   ?warmup:int ->
   ?half_life:float ->
   ?window:int ->
@@ -95,13 +96,18 @@ val create :
   ?ph_delta:float ->
   unit ->
   t
-(** A fresh monitor. [warmup] (default 8, minimum 2) observations per
-    series freeze the reference mean/deviation before the detectors arm;
-    [half_life] (default 16.0 rounds, positive) sets the EWMA decay;
-    [window] (default 32, minimum 1) bounds the min/max window;
-    [cusum_threshold]/[cusum_slack] (defaults 8.0 / 0.5) are [h] and [k]
-    in sigma units; [ph_threshold]/[ph_delta] (defaults 8.0 / 0.05) are
-    [lambda] and [delta]. Invalid parameters raise [Invalid_argument]. *)
+(** A fresh monitor. [prefix] (default none, must be non-empty when
+    given) is prepended as ["<prefix>."] to every series name at
+    {!observe} time, so alerts carry the same fully-qualified name the
+    matching telemetry series is emitted under ([Telemetry.emit
+    ~prefix]) — no downstream re-keying. [warmup] (default 8, minimum 2)
+    observations per series freeze the reference mean/deviation before
+    the detectors arm; [half_life] (default 16.0 rounds, positive) sets
+    the EWMA decay; [window] (default 32, minimum 1) bounds the min/max
+    window; [cusum_threshold]/[cusum_slack] (defaults 8.0 / 0.5) are [h]
+    and [k] in sigma units; [ph_threshold]/[ph_delta] (defaults
+    8.0 / 0.05) are [lambda] and [delta]. Invalid parameters raise
+    [Invalid_argument]. *)
 
 val observe :
   t -> series:string -> round:int -> vtime:float -> span:int -> float -> unit
@@ -113,7 +119,10 @@ val observe :
 val observe_point : t -> Telemetry.point -> unit
 (** Feeds every derived series of one telemetry point: counter fields as
     per-round rates ([sent], [delivered], [dropped], [bytes],
-    [retransmits], [dup_suppressed]), [live_nodes] as a level, the
+    [retransmits], [dup_suppressed], [replications], [migrations],
+    [contractions] — the last three unconditionally, zeros included, so
+    a quiet baseline is armed before any migration storm),
+    [live_nodes] as a level, the
     busiest edge's rate as [edge_peak], the remainder as [edge_rest],
     and the busiest edge's share of all traversals as [hotspot_share]
     (skipped on traffic-free points) — the congestion and attribution
@@ -132,6 +141,8 @@ val estimates : t -> estimate list
 (** Current estimator state per series, sorted by series name. *)
 
 val estimate : t -> series:string -> estimate option
+(** Lookup by series name; accepts the fully-qualified name or, on a
+    prefixed monitor, the unprefixed one. *)
 
 val health : t -> verdict
 (** [Steady] when no alerts; otherwise [Degrading] carrying the alerts

@@ -8,6 +8,9 @@ type point = {
   bytes : int;
   retransmits : int;
   dup_suppressed : int;
+  replications : int;
+  migrations : int;
+  contractions : int;
   live_nodes : int;
   edges : (int * int) list;
   other_edges : int;
@@ -28,6 +31,9 @@ type t = {
   mutable cur_bytes : int;
   mutable cur_retransmits : int;
   mutable cur_dups : int;
+  mutable cur_replications : int;
+  mutable cur_migrations : int;
+  mutable cur_contractions : int;
   edge_count : int array;  (* per-edge traversals of the open round *)
   mutable touched : int list;  (* edges with a non-zero count, unordered *)
 }
@@ -48,6 +54,9 @@ let create ?(top_k = 4) ?(capacity = 256) ~num_edges () =
     cur_bytes = 0;
     cur_retransmits = 0;
     cur_dups = 0;
+    cur_replications = 0;
+    cur_migrations = 0;
+    cur_contractions = 0;
     edge_count = Array.make (max 1 num_edges) 0;
     touched = [];
   }
@@ -75,6 +84,16 @@ let send t ~edge ~bytes =
     t.edge_count.(edge) <- t.edge_count.(edge) + 1
   end
 
+let send_many t ~edge ~count ~bytes =
+  open_check t "send_many";
+  if count < 0 then invalid_arg "Telemetry.send_many: count must be >= 0";
+  t.cur_sent <- t.cur_sent + count;
+  t.cur_bytes <- t.cur_bytes + bytes;
+  if count > 0 && edge >= 0 && edge < Array.length t.edge_count then begin
+    if t.edge_count.(edge) = 0 then t.touched <- edge :: t.touched;
+    t.edge_count.(edge) <- t.edge_count.(edge) + count
+  end
+
 let drop t =
   open_check t "drop";
   t.cur_dropped <- t.cur_dropped + 1
@@ -86,6 +105,14 @@ let retransmit t =
 let duplicate t =
   open_check t "duplicate";
   t.cur_dups <- t.cur_dups + 1
+
+let reconfig t ~replications ~migrations ~contractions =
+  open_check t "reconfig";
+  if replications < 0 || migrations < 0 || contractions < 0 then
+    invalid_arg "Telemetry.reconfig: counters must be >= 0";
+  t.cur_replications <- t.cur_replications + replications;
+  t.cur_migrations <- t.cur_migrations + migrations;
+  t.cur_contractions <- t.cur_contractions + contractions
 
 (* Cut an unordered (edge, count) list down to the top-[k]: count
    descending, ties by edge id ascending, remainder summed. *)
@@ -124,6 +151,9 @@ let fold_pair t a b =
     bytes = a.bytes + b.bytes;
     retransmits = a.retransmits + b.retransmits;
     dup_suppressed = a.dup_suppressed + b.dup_suppressed;
+    replications = a.replications + b.replications;
+    migrations = a.migrations + b.migrations;
+    contractions = a.contractions + b.contractions;
     live_nodes = min a.live_nodes b.live_nodes;
     edges;
     other_edges = a.other_edges + b.other_edges + spill;
@@ -156,6 +186,9 @@ let end_round t ~live_nodes =
       bytes = t.cur_bytes;
       retransmits = t.cur_retransmits;
       dup_suppressed = t.cur_dups;
+      replications = t.cur_replications;
+      migrations = t.cur_migrations;
+      contractions = t.cur_contractions;
       live_nodes;
       edges;
       other_edges;
@@ -169,6 +202,9 @@ let end_round t ~live_nodes =
   t.cur_bytes <- 0;
   t.cur_retransmits <- 0;
   t.cur_dups <- 0;
+  t.cur_replications <- 0;
+  t.cur_migrations <- 0;
+  t.cur_contractions <- 0;
   t.history <- p :: t.history;
   t.count <- t.count + 1;
   t.total_rounds <- t.total_rounds + 1;
@@ -201,6 +237,12 @@ let emit t ~prefix emit_ev =
       field "bytes" p.bytes;
       field "retransmits" p.retransmits;
       field "dup_suppressed" p.dup_suppressed;
+      (* Reconfiguration counters are zero outside the serving tier;
+         emitting them only when set keeps pre-existing traces
+         byte-identical. *)
+      if p.replications > 0 then field "replications" p.replications;
+      if p.migrations > 0 then field "migrations" p.migrations;
+      if p.contractions > 0 then field "contractions" p.contractions;
       field "live_nodes" p.live_nodes;
       List.iter
         (fun (edge, c) ->

@@ -43,6 +43,9 @@ type point = {
   bytes : int;  (** payload bytes attempted (see the engine's sizer) *)
   retransmits : int;  (** link-layer retransmissions *)
   dup_suppressed : int;  (** duplicate deliveries suppressed *)
+  replications : int;  (** copies added by reconfiguration *)
+  migrations : int;  (** copies moved by reconfiguration *)
+  contractions : int;  (** copies dropped by reconfiguration *)
   live_nodes : int;  (** nodes not crashed (minimum over folded rounds) *)
   edges : (int * int) list;
       (** the busiest edges as [(edge, traversals)], traversal count
@@ -68,6 +71,13 @@ val send : t -> edge:int -> bytes:int -> unit
 (** Records one attempted send of [bytes] payload bytes over [edge]
     into the open round. *)
 
+val send_many : t -> edge:int -> count:int -> bytes:int -> unit
+(** Records [count] attempted sends totalling [bytes] payload bytes
+    over [edge] in one call — the batch form the serving tier uses to
+    account a whole slot's traffic per edge without a per-message loop.
+    A negative [edge] counts into [sent]/[bytes] only (off-edge
+    traffic, e.g. jitter), leaving the per-edge table untouched. *)
+
 val drop : t -> unit
 (** Marks the most recent send as lost (it still counts into [sent]
     and [bytes], never into [delivered]). *)
@@ -77,6 +87,13 @@ val retransmit : t -> unit
 
 val duplicate : t -> unit
 (** Records one suppressed duplicate delivery in the open round. *)
+
+val reconfig :
+  t -> replications:int -> migrations:int -> contractions:int -> unit
+(** Records copy-set reconfiguration work — copies added, moved and
+    dropped — into the open round, so migration storms appear in the
+    series (and hence in {!Monitor} and [report]) rather than only in
+    their congestion side-effects. All three must be [>= 0]. *)
 
 val end_round : t -> live_nodes:int -> unit
 (** Closes the open round with the number of live (non-crashed) nodes,
@@ -96,9 +113,12 @@ val rounds_recorded : t -> int
 val emit : t -> prefix:string -> (Sink.event -> unit) -> unit
 (** Streams the series as {!Sink.Series} events, one per (point,
     field): [<prefix>.sent], [.delivered], [.dropped], [.bytes],
-    [.retransmits], [.dup_suppressed], [.live_nodes] (all with
-    [edge = -1]), one [<prefix>.edge] per top-[k] entry carrying its
-    edge id, and [<prefix>.edge_rest] for the aggregate remainder. Every
+    [.retransmits], [.dup_suppressed], [.replications]/[.migrations]/
+    [.contractions] (reconfiguration counters, emitted only when
+    non-zero so pre-serving traces are unchanged), [.live_nodes] (all
+    with [edge = -1]), one [<prefix>.edge] per top-[k] entry carrying
+    its edge id, and [<prefix>.edge_rest] for the aggregate remainder.
+    Every
     event carries the point's [round], [vtime] (as the [time] field) and
     span
     (emitted only when non-zero, like the edge entries). Events appear

@@ -1,0 +1,36 @@
+type layout = { slots_per_epoch : int }
+
+let layout ~slots_per_epoch =
+  if slots_per_epoch < 1 then
+    invalid_arg "Epoch.layout: slots_per_epoch must be >= 1";
+  { slots_per_epoch }
+
+let check_slot name slot =
+  if slot < 0 then invalid_arg ("Epoch." ^ name ^ ": negative slot")
+
+let check_epoch name epoch =
+  if epoch < 0 then invalid_arg ("Epoch." ^ name ^ ": negative epoch")
+
+let epoch_of_slot l slot =
+  check_slot "epoch_of_slot" slot;
+  slot / l.slots_per_epoch
+
+let slot_in_epoch l slot =
+  check_slot "slot_in_epoch" slot;
+  slot mod l.slots_per_epoch
+
+let first_slot l ~epoch =
+  check_epoch "first_slot" epoch;
+  epoch * l.slots_per_epoch
+
+let last_slot l ~epoch =
+  check_epoch "last_slot" epoch;
+  ((epoch + 1) * l.slots_per_epoch) - 1
+
+let absolute l ~epoch ~slot =
+  check_epoch "absolute" epoch;
+  if slot < 0 || slot >= l.slots_per_epoch then
+    invalid_arg "Epoch.absolute: slot outside the epoch";
+  (epoch * l.slots_per_epoch) + slot
+
+let is_boundary l slot = slot_in_epoch l slot = 0

@@ -1,0 +1,36 @@
+(** Epoch/slot arithmetic for the serving tier.
+
+    The serving loop advances in fixed-width slots; [slots_per_epoch]
+    consecutive slots form an epoch, and re-optimization decisions are
+    taken only at epoch boundaries. The arithmetic is the standard
+    fixed-layout scheme (the cardano-node [Slot] bookkeeping is the
+    exemplar shape): slot numbers are absolute and non-negative, epoch
+    [e] owns slots [e * slots_per_epoch .. (e + 1) * slots_per_epoch - 1],
+    and epoch 0 starts at slot 0 — no off-by-one at either end. *)
+
+type layout = private { slots_per_epoch : int }
+
+val layout : slots_per_epoch:int -> layout
+(** Raises [Invalid_argument] unless [slots_per_epoch >= 1]. *)
+
+val epoch_of_slot : layout -> int -> int
+(** The epoch owning an absolute slot. Raises [Invalid_argument] on a
+    negative slot. *)
+
+val slot_in_epoch : layout -> int -> int
+(** Offset of an absolute slot within its epoch, in
+    [0 .. slots_per_epoch - 1]. *)
+
+val first_slot : layout -> epoch:int -> int
+(** First absolute slot of the epoch. *)
+
+val last_slot : layout -> epoch:int -> int
+(** Last absolute slot of the epoch:
+    [first_slot ~epoch:(epoch + 1) - 1]. *)
+
+val absolute : layout -> epoch:int -> slot:int -> int
+(** Absolute slot number of offset [slot] within [epoch]. Raises
+    [Invalid_argument] unless [0 <= slot < slots_per_epoch]. *)
+
+val is_boundary : layout -> int -> bool
+(** Whether the absolute slot is the first of its epoch. *)

@@ -29,6 +29,7 @@ let () =
       ("sim", Test_sim.suite);
       ("dist", Test_dist.suite);
       ("dynamic", Test_dynamic.suite);
+      ("serve", Test_serve.suite);
       ("capacitated", Test_capacitated.suite);
       ("ablation", Test_ablation.suite);
       ("io", Test_io.suite);

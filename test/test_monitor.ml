@@ -223,8 +223,9 @@ let test_observe_point_series_set () =
   Alcotest.(check (list string))
     "derived series, sorted"
     [
-      "bytes"; "delivered"; "dropped"; "dup_suppressed"; "edge_peak";
-      "edge_rest"; "hotspot_share"; "live_nodes"; "retransmits"; "sent";
+      "bytes"; "contractions"; "delivered"; "dropped"; "dup_suppressed";
+      "edge_peak"; "edge_rest"; "hotspot_share"; "live_nodes"; "migrations";
+      "replications"; "retransmits"; "sent";
     ]
     names;
   (* Traffic-free points skip the hotspot share (no 0/0). *)

@@ -1,0 +1,335 @@
+(* The serving tier: epoch/slot arithmetic, drift generators, the
+   record/replay round-trip, the adaptation loop's budget/hysteresis
+   discipline, and the observability plumbing it rides on (batched
+   telemetry, reconfiguration counters, monitor prefixes, the online
+   automaton's structured violations). *)
+
+module Tree = Hbn_tree.Tree
+module Builders = Hbn_tree.Builders
+module Workload = Hbn_workload.Workload
+module Prng = Hbn_prng.Prng
+module Exec = Hbn_exec.Exec
+module Telemetry = Hbn_obs.Telemetry
+module Monitor = Hbn_obs.Monitor
+module Request = Hbn_dynamic.Request
+module Online = Hbn_dynamic.Online
+module Epoch = Hbn_serve.Epoch
+module Drift = Hbn_serve.Drift
+module Serve = Hbn_serve.Serve
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* -- epoch/slot arithmetic ---------------------------------------------- *)
+
+let layout_slot_arb =
+  QCheck.(pair (int_range 1 64) (int_range 0 20_000))
+
+(* Decomposition is exact: every absolute slot splits into (epoch,
+   offset) and reassembles, the offset stays in range, and boundary
+   detection agrees with offset zero — including slot 0 of epoch 0. *)
+let prop_decompose (spe, slot) =
+  let l = Epoch.layout ~slots_per_epoch:spe in
+  let e = Epoch.epoch_of_slot l slot in
+  let o = Epoch.slot_in_epoch l slot in
+  o >= 0 && o < spe
+  && (e * spe) + o = slot
+  && Epoch.first_slot l ~epoch:e <= slot
+  && slot <= Epoch.last_slot l ~epoch:e
+  && Epoch.absolute l ~epoch:e ~slot:o = slot
+  && Epoch.is_boundary l slot = (o = 0)
+
+let prop_epoch_bounds (spe, epoch) =
+  let epoch = epoch mod 512 in
+  let l = Epoch.layout ~slots_per_epoch:spe in
+  let first = Epoch.first_slot l ~epoch and last = Epoch.last_slot l ~epoch in
+  first = epoch * spe
+  && last = first + spe - 1
+  && last = Epoch.first_slot l ~epoch:(epoch + 1) - 1
+  && Epoch.epoch_of_slot l first = epoch
+  && Epoch.epoch_of_slot l last = epoch
+  && Epoch.is_boundary l first
+  && (spe = 1 || not (Epoch.is_boundary l last))
+
+let test_epoch_edges () =
+  let l = Epoch.layout ~slots_per_epoch:16 in
+  Alcotest.(check int) "epoch 0 starts at slot 0" 0 (Epoch.first_slot l ~epoch:0);
+  Alcotest.(check int) "slot 0 is epoch 0" 0 (Epoch.epoch_of_slot l 0);
+  Alcotest.(check bool) "slot 0 is a boundary" true (Epoch.is_boundary l 0);
+  Alcotest.(check int) "last slot of epoch 0" 15 (Epoch.last_slot l ~epoch:0);
+  Alcotest.(check int) "slot 15 still epoch 0" 0 (Epoch.epoch_of_slot l 15);
+  Alcotest.(check int) "slot 16 opens epoch 1" 1 (Epoch.epoch_of_slot l 16);
+  Alcotest.(check bool) "zero-width layout rejected" true
+    (raises_invalid (fun () -> Epoch.layout ~slots_per_epoch:0));
+  Alcotest.(check bool) "negative slot rejected" true
+    (raises_invalid (fun () -> Epoch.epoch_of_slot l (-1)));
+  Alcotest.(check bool) "offset past the epoch rejected" true
+    (raises_invalid (fun () -> Epoch.absolute l ~epoch:0 ~slot:16));
+  Alcotest.(check bool) "negative offset rejected" true
+    (raises_invalid (fun () -> Epoch.absolute l ~epoch:0 ~slot:(-1)))
+
+(* -- drift generators --------------------------------------------------- *)
+
+let serve_tree () = Builders.balanced ~arity:3 ~height:2 ~profile:(Builders.Uniform 2)
+
+let same_tables a b =
+  let n_of w = Tree.n (Workload.tree w) in
+  Array.length a = Array.length b
+  && Array.for_all
+       (fun i ->
+         let wa = a.(i) and wb = b.(i) in
+         Workload.num_objects wa = Workload.num_objects wb
+         && n_of wa = n_of wb
+         &&
+         let ok = ref true in
+         for obj = 0 to Workload.num_objects wa - 1 do
+           for node = 0 to n_of wa - 1 do
+             if
+               Workload.reads wa ~obj node <> Workload.reads wb ~obj node
+               || Workload.writes wa ~obj node <> Workload.writes wb ~obj node
+             then ok := false
+           done
+         done;
+         !ok)
+       (Array.init (Array.length a) (fun i -> i))
+
+let test_drift_deterministic () =
+  let tree = serve_tree () in
+  let mk () = Drift.create Drift.Hotspot_migration ~seed:9 ~tree ~objects:4 ~rate:4 in
+  let a = Serve.tables (mk ()) ~epochs:6 in
+  let b = Serve.tables (mk ()) ~epochs:6 in
+  Alcotest.(check bool) "same seed, same tables" true (same_tables a b);
+  let c =
+    Serve.tables
+      (Drift.create Drift.Hotspot_migration ~seed:10 ~tree ~objects:4 ~rate:4)
+      ~epochs:6
+  in
+  Alcotest.(check bool) "different seed, different tables" false
+    (same_tables a c)
+
+let test_drift_names () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Drift.kind_name k ^ " round-trips")
+        true
+        (Drift.kind_of_name (Drift.kind_name k) = Some k))
+    Drift.all_kinds;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Drift.kind_of_name "weekly" = None)
+
+(* -- the serving loop --------------------------------------------------- *)
+
+let small_cfg =
+  { Serve.default with
+    Serve.slots_per_epoch = 8; epochs = 12; budget_bytes = 2048;
+    climb_iters = 80; seed = 7 }
+
+let run_kind ?exec ?(cfg = small_cfg) kind =
+  let tree = serve_tree () in
+  let d = Drift.create kind ~seed:cfg.Serve.seed ~tree ~objects:4 ~rate:4 in
+  Serve.run ?exec cfg (Serve.Generator d)
+
+(* The comparable payload of an outcome: everything except the live
+   telemetry/monitor handles. *)
+let fingerprint (o : Serve.outcome) =
+  ( o.Serve.epochs, o.Serve.total_requests, o.Serve.total_bytes_migrated,
+    o.Serve.reoptimized_epochs, o.Serve.alerts, o.Serve.final_copies )
+
+let test_steady_stays_put () =
+  let out = run_kind Drift.Steady in
+  Alcotest.(check int) "no re-optimizations" 0 out.Serve.reoptimized_epochs;
+  Alcotest.(check int) "no migration bytes" 0 out.Serve.total_bytes_migrated;
+  Alcotest.(check int) "no alerts" 0 (List.length out.Serve.alerts);
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9))
+        "serving equals stale when nothing moves" s.Serve.s_stale
+        s.Serve.s_congestion)
+    out.Serve.epochs
+
+let test_budget_and_hysteresis_bound () =
+  (* A deliberately tight budget: every committed epoch must still fit
+     under it, and epochs that did not commit must pay nothing. *)
+  let cfg = { small_cfg with Serve.budget_bytes = 512; epochs = 16 } in
+  List.iter
+    (fun kind ->
+      let out = run_kind ~cfg kind in
+      List.iter
+        (fun s ->
+          if s.Serve.s_bytes_migrated > cfg.Serve.budget_bytes then
+            Alcotest.failf "%s epoch %d migrated %d bytes over budget %d"
+              (Drift.kind_name kind) s.Serve.s_epoch s.Serve.s_bytes_migrated
+              cfg.Serve.budget_bytes;
+          if (not s.Serve.s_reoptimized) && s.Serve.s_bytes_migrated <> 0 then
+            Alcotest.failf "%s epoch %d paid bytes without committing"
+              (Drift.kind_name kind) s.Serve.s_epoch)
+        out.Serve.epochs)
+    [ Drift.Flash_crowd; Drift.Hotspot_migration ]
+
+let test_hotspot_adapts () =
+  let out = run_kind Drift.Hotspot_migration in
+  Alcotest.(check bool) "drift triggers re-optimization" true
+    (out.Serve.reoptimized_epochs > 0);
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 out.Serve.epochs in
+  let serve = sum (fun s -> s.Serve.s_congestion) in
+  let stale = sum (fun s -> s.Serve.s_stale) in
+  Alcotest.(check bool) "adaptation beats serving stale" true (serve < stale)
+
+let test_replay_round_trip () =
+  let tree = serve_tree () in
+  let cfg = small_cfg in
+  let d () =
+    Drift.create Drift.Hotspot_migration ~seed:cfg.Serve.seed ~tree ~objects:4
+      ~rate:4
+  in
+  let out_gen = Serve.run cfg (Serve.Generator (d ())) in
+  let ts = Serve.tables (d ()) ~epochs:cfg.Serve.epochs in
+  let path = Filename.temp_file "hbn_serve_tables" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Helpers.check_ok "save_tables" (Serve.save_tables path ts);
+      match Serve.load_tables ~tree path with
+      | Error m -> Alcotest.failf "load_tables: %s" m
+      | Ok ts' ->
+        Alcotest.(check bool) "tables survive the file format" true
+          (same_tables ts ts');
+        let out_replay = Serve.run cfg (Serve.Tables ts') in
+        Alcotest.(check bool) "replay reproduces the serve run" true
+          (fingerprint out_gen = fingerprint out_replay))
+
+let test_jobs_deterministic () =
+  let runs =
+    List.map
+      (fun jobs ->
+        Exec.with_runner ~jobs (fun exec ->
+            fingerprint (run_kind ~exec Drift.Hotspot_migration)))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "jobs 1 = jobs 2" true (a = b);
+    Alcotest.(check bool) "jobs 1 = jobs 4" true (a = c)
+  | _ -> assert false
+
+let test_rerun_deterministic () =
+  let a = fingerprint (run_kind Drift.Flash_crowd) in
+  let b = fingerprint (run_kind Drift.Flash_crowd) in
+  Alcotest.(check bool) "reruns are byte-identical" true (a = b)
+
+let test_load_tables_rejects_garbage () =
+  let tree = serve_tree () in
+  let reject name content =
+    let path = Filename.temp_file "hbn_serve_bad" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match Serve.load_tables ~tree path with
+        | Ok _ -> Alcotest.failf "%s: accepted a malformed file" name
+        | Error _ -> ())
+  in
+  reject "wrong magic" "not-a-table 1\n";
+  reject "wrong node count"
+    "hbn-serve-tables 1\nepochs 1\nnodes 3\nobjects 1\n";
+  let n = Tree.n tree in
+  reject "non-leaf cell"
+    (Printf.sprintf "hbn-serve-tables 1\nepochs 1\nnodes %d\nobjects 1\ne 0 0 0 1 0\n" n)
+
+(* -- telemetry batching and reconfiguration counters -------------------- *)
+
+let test_send_many_and_reconfig () =
+  let tel = Telemetry.create ~num_edges:3 () in
+  Telemetry.begin_round tel ~round:0;
+  Telemetry.send_many tel ~edge:1 ~count:5 ~bytes:50;
+  Telemetry.send_many tel ~edge:(-1) ~count:2 ~bytes:4;
+  Telemetry.send_many tel ~edge:2 ~count:0 ~bytes:0;
+  Telemetry.reconfig tel ~replications:2 ~migrations:1 ~contractions:0;
+  Telemetry.end_round tel ~live_nodes:9;
+  match Telemetry.points tel with
+  | [ p ] ->
+    Alcotest.(check int) "sent batches" 7 p.Telemetry.sent;
+    Alcotest.(check int) "bytes batches" 54 p.Telemetry.bytes;
+    Alcotest.(check int) "replications" 2 p.Telemetry.replications;
+    Alcotest.(check int) "migrations" 1 p.Telemetry.migrations;
+    Alcotest.(check int) "contractions" 0 p.Telemetry.contractions;
+    Alcotest.(check bool) "edge table sees the batch" true
+      (List.mem_assoc 1 p.Telemetry.edges);
+    Alcotest.(check bool) "off-edge traffic stays off the table" false
+      (List.mem_assoc 2 p.Telemetry.edges)
+  | ps -> Alcotest.failf "expected one point, got %d" (List.length ps)
+
+let test_counter_validation () =
+  let tel = Telemetry.create ~num_edges:2 () in
+  Telemetry.begin_round tel ~round:0;
+  Alcotest.(check bool) "negative count rejected" true
+    (raises_invalid (fun () -> Telemetry.send_many tel ~edge:0 ~count:(-1) ~bytes:0));
+  Alcotest.(check bool) "negative reconfig rejected" true
+    (raises_invalid (fun () ->
+         Telemetry.reconfig tel ~replications:(-1) ~migrations:0 ~contractions:0))
+
+(* -- monitor prefixes --------------------------------------------------- *)
+
+let test_monitor_prefix_qualifies_alerts () =
+  let m = Monitor.create ~prefix:"serve" () in
+  for r = 0 to 19 do
+    let v = if r < 12 then 10.0 else 400.0 in
+    Monitor.observe m ~series:"sent" ~round:r ~vtime:(float_of_int r) ~span:1 v
+  done;
+  (match Monitor.alerts m with
+  | [] -> Alcotest.fail "the jump must raise an alert"
+  | a :: _ ->
+    Alcotest.(check string) "alert carries the qualified name" "serve.sent"
+      a.Monitor.a_series);
+  Alcotest.(check bool) "estimate resolves the bare name" true
+    (Monitor.estimate m ~series:"sent" <> None);
+  Alcotest.(check bool) "estimate resolves the qualified name" true
+    (Monitor.estimate m ~series:"serve.sent" <> None);
+  Alcotest.(check bool) "empty prefix rejected" true
+    (raises_invalid (fun () -> Monitor.create ~prefix:"" ()))
+
+(* -- online automaton violations ---------------------------------------- *)
+
+let test_online_violation_shape () =
+  let star = Builders.star ~leaves:4 ~profile:(Builders.Uniform 1) in
+  let reqs =
+    List.concat_map
+      (fun node ->
+        [ { Request.node; kind = Request.Read };
+          { Request.node; kind = Request.Write } ])
+      [ 1; 2; 3; 1; 2 ]
+  in
+  let out = Online.run ~validate:true star ~initial:1 reqs in
+  Alcotest.(check bool) "a valid run carries no violation" true
+    (out.Online.violation = None);
+  Alcotest.(check int) "every request served" (List.length reqs)
+    out.Online.served;
+  let tree, w = Helpers.instance 424242 in
+  ignore tree;
+  let prng = Prng.create 5 in
+  let wout = Online.run_workload ~validate:true ~prng w in
+  Alcotest.(check bool) "workload run carries no violation" true
+    (wout.Online.violation = None)
+
+let suite =
+  [
+    Helpers.qt ~count:200 "epoch decomposition" layout_slot_arb prop_decompose;
+    Helpers.qt ~count:200 "epoch bounds" layout_slot_arb prop_epoch_bounds;
+    Helpers.tc "epoch edge cases" test_epoch_edges;
+    Helpers.tc "drift tables deterministic" test_drift_deterministic;
+    Helpers.tc "drift kind names round-trip" test_drift_names;
+    Helpers.tc "steady workload never re-optimizes" test_steady_stays_put;
+    Helpers.tc "migration bytes bounded by budget" test_budget_and_hysteresis_bound;
+    Helpers.tc "hotspot migration adapts" test_hotspot_adapts;
+    Helpers.tc "record/replay round-trip" test_replay_round_trip;
+    Helpers.slow "identical across --jobs 1/2/4" test_jobs_deterministic;
+    Helpers.tc "identical across reruns" test_rerun_deterministic;
+    Helpers.tc "malformed table files rejected" test_load_tables_rejects_garbage;
+    Helpers.tc "send_many and reconfig counters" test_send_many_and_reconfig;
+    Helpers.tc "counter validation" test_counter_validation;
+    Helpers.tc "monitor prefix qualifies alerts" test_monitor_prefix_qualifies_alerts;
+    Helpers.tc "online violations are structured" test_online_violation_shape;
+  ]
